@@ -1,0 +1,114 @@
+// Experiment E8 (Section 3.2.1, Example 3): the man/woman program under
+//   - the non-deterministic inflationary semantics (DL),
+//   - the deterministic inflationary semantics, and
+//   - the IDLOG sex-guess formulation (Example 2).
+// DL's possible answers and IDLOG's possible answers must coincide
+// (all 2^n subsets); the deterministic semantics collapses to one
+// (inconsistent) answer. Reports enumeration sizes and costs.
+#include <chrono>
+#include <cstdio>
+
+#include "core/answer_enumerator.h"
+#include "inflationary/inflationary.h"
+#include "parser/parser.h"
+#include "util.h"
+
+namespace idlog {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+InfProgram ManWoman() {
+  InfProgram p;
+  auto make = [](const char* head, const char* neg) {
+    InfClause c;
+    c.head.push_back(
+        Literal::Pos(Atom::Ordinary(head, {Term::Var("X")})));
+    c.body.push_back(
+        Literal::Pos(Atom::Ordinary("person", {Term::Var("X")})));
+    c.body.push_back(
+        Literal::Neg(Atom::Ordinary(neg, {Term::Var("X")})));
+    return c;
+  };
+  p.clauses.push_back(make("man", "woman"));
+  p.clauses.push_back(make("woman", "man"));
+  return p;
+}
+
+void RunScale(int persons) {
+  SymbolTable s;
+  Database db(&s);
+  for (int i = 0; i < persons; ++i) {
+    (void)db.AddRow("person", {"p" + std::to_string(i)});
+  }
+
+  // DL non-deterministic enumeration.
+  auto t0 = Clock::now();
+  auto dl = EnumerateInflationaryAnswers(ManWoman(), db, "man",
+                                         InfLanguage::kDL,
+                                         /*max_states=*/2000000);
+  double dl_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  // IDLOG guess program enumeration.
+  auto prog = ParseProgram(
+      "sex_guess(X, male) :- person(X)."
+      "sex_guess(X, female) :- person(X)."
+      "man(X) :- sex_guess[1](X, male, 1).",
+      &s);
+  double idlog_ms = -1;
+  size_t idlog_answers = 0;
+  if (prog.ok()) {
+    EnumerateOptions options;
+    options.max_assignments = 10000000;
+    t0 = Clock::now();
+    auto idlog = EnumerateAnswers(*prog, db, "man", options);
+    idlog_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                   .count();
+    if (idlog.ok()) idlog_answers = idlog->answers.size();
+  }
+
+  // Deterministic inflationary: a single run.
+  InfOptions det;
+  det.mode = InfMode::kDeterministic;
+  auto det_result = EvaluateInflationary(ManWoman(), db, det);
+  size_t det_man =
+      det_result.ok() && det_result->HasRelation("man")
+          ? (*det_result->Get("man"))->size()
+          : 0;
+
+  uint64_t expected = 1ull << persons;
+  auto fmt = [](double v) { return std::to_string(v).substr(0, 7); };
+  bench_util::PrintRow(
+      {std::to_string(persons),
+       dl.ok() ? std::to_string(dl->answers.size()) : "-",
+       dl.ok() ? fmt(dl_ms) : "-", std::to_string(idlog_answers),
+       fmt(idlog_ms), std::to_string(expected),
+       (dl.ok() && dl->answers.size() == expected &&
+        idlog_answers == expected)
+           ? "yes"
+           : "NO",
+       std::to_string(det_man)});
+}
+
+}  // namespace
+}  // namespace idlog
+
+int main() {
+  std::printf(
+      "E8: non-deterministic inflationary (DL) vs IDLOG guess program "
+      "(Examples 2/3)\n"
+      "Both must expose all 2^n possible answers for `man`; the "
+      "deterministic inflationary semantics instead reports every "
+      "person as both man and woman.\n\n");
+  idlog::bench_util::PrintHeader({"persons", "DL answers", "DL ms",
+                                  "idlog answers", "idlog ms", "expected",
+                                  "agree", "det man"});
+  for (int persons : {1, 2, 3, 4, 5}) {
+    idlog::RunScale(persons);
+  }
+  std::printf(
+      "\nDL enumeration explores firing orders (state-space BFS), so it "
+      "scales far worse than IDLOG's per-group choice enumeration.\n");
+  return 0;
+}

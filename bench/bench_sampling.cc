@@ -1,0 +1,126 @@
+// Experiment E1 (Section 3.3, Examples 4/5): sampling N employees per
+// department.
+//
+// IDLOG expresses the query as one rule over emp[2] with `T < N`; the
+// DATALOG^C workaround needs N independent choice rules plus
+// N(N-1)/2 inequality tests, and its intended models can still miss
+// employees (the choices may collide). This bench measures both the
+// cost gap and the correctness gap.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "choice/choice_semantics.h"
+#include "core/idlog_engine.h"
+#include "core/sampling.h"
+#include "parser/parser.h"
+#include "util.h"
+
+namespace idlog {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// The DATALOG^C multi-choice workaround for N samples per group.
+std::string ChoiceWorkaroundProgram(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    text += "emp" + std::to_string(i) +
+            "(Name, Dept) :- emp(Name, Dept), choice((Dept), (Name)).\n";
+  }
+  text += "select_n(N0) :- ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) text += ", ";
+    text += "emp" + std::to_string(i) + "(N" + std::to_string(i) +
+            ", Dept)";
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      text += ", N" + std::to_string(i) + " != N" + std::to_string(j);
+    }
+  }
+  text += ".\n";
+  return text;
+}
+
+void RunScale(int depts, int per_dept, int n) {
+  // --- IDLOG: one rule, one run. -----------------------------------
+  IdlogEngine engine;
+  bench_util::MakeEmpDatabase(&engine.database(), depts, per_dept);
+  std::string idlog_text = "select_n(Name) :- emp[2](Name, Dept, T), T < " +
+                           std::to_string(n) + ".";
+  Status st = engine.LoadProgramText(idlog_text);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return;
+  }
+  engine.SetTidAssigner(std::make_unique<RandomTidAssigner>(7));
+  auto t0 = Clock::now();
+  auto idlog_result = engine.Query("select_n");
+  double idlog_ms = MsSince(t0);
+  size_t idlog_size = idlog_result.ok() ? (*idlog_result)->size() : 0;
+  uint64_t idlog_tuples = engine.stats().tuples_considered;
+
+  // --- DATALOG^C workaround. ----------------------------------------
+  SymbolTable s2;
+  Database db2(&s2);
+  bench_util::MakeEmpDatabase(&db2, depts, per_dept);
+  auto choice_prog = ParseProgram(ChoiceWorkaroundProgram(n), &s2);
+  double choice_ms = -1;
+  size_t choice_size = 0;
+  bool choice_complete = false;
+  if (choice_prog.ok()) {
+    ChoicePolicy policy;
+    policy.kind = ChoicePolicy::Kind::kRandom;
+    policy.seed = 7;
+    t0 = Clock::now();
+    auto model = EvaluateChoiceProgram(*choice_prog, db2, policy);
+    choice_ms = MsSince(t0);
+    if (model.ok() && model->HasRelation("select_n")) {
+      choice_size = (*model->Get("select_n"))->size();
+      choice_complete =
+          choice_size == static_cast<size_t>(depts * n);
+    }
+  }
+
+  bench_util::PrintRow(
+      {std::to_string(depts) + "x" + std::to_string(per_dept),
+       std::to_string(n), std::to_string(idlog_size),
+       std::to_string(idlog_ms).substr(0, 6),
+       std::to_string(idlog_tuples), std::to_string(choice_size),
+       std::to_string(choice_ms).substr(0, 6),
+       choice_complete ? "yes" : "NO"});
+}
+
+}  // namespace
+}  // namespace idlog
+
+int main() {
+  std::printf(
+      "E1: sampling N employees per department "
+      "(IDLOG one-liner vs DATALOG^C workaround)\n"
+      "Paper claim: IDLOG defines multi-sampling directly; choice "
+      "needs n choices + n(n-1)/2 tests and may still under-sample.\n\n");
+  idlog::bench_util::PrintHeader({"depts x emps", "N", "idlog |ans|",
+                                  "idlog ms", "idlog tuples",
+                                  "choice |ans|", "choice ms",
+                                  "choice full?"});
+  for (int n : {1, 2, 3}) {
+    for (int depts : {10, 50, 200}) {
+      idlog::RunScale(depts, 20, n);
+    }
+  }
+  idlog::RunScale(100, 100, 2);
+  idlog::RunScale(100, 100, 4);
+  std::printf(
+      "\nNote: 'choice full?' = whether the DATALOG^C model really "
+      "contains N distinct samples for every department. Collisions "
+      "between the independent choices make it fall short (Example 5).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "util.h"
+
+#include <cstdio>
+
+namespace idlog {
+namespace bench_util {
+
+void MakeEmpDatabase(Database* db, int depts, int emps_per_dept) {
+  for (int d = 0; d < depts; ++d) {
+    std::string dept = "d" + std::to_string(d);
+    for (int e = 0; e < emps_per_dept; ++e) {
+      std::string emp = "e" + std::to_string(d) + "_" + std::to_string(e);
+      (void)db->AddRow("emp", {emp, dept});
+    }
+  }
+}
+
+void MakeRandomGraph(Database* db, const std::string& name, int nodes,
+                     int edges, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> dist(0, nodes - 1);
+  for (int i = 0; i < edges; ++i) {
+    std::string from = "n" + std::to_string(dist(rng));
+    std::string to = "n" + std::to_string(dist(rng));
+    (void)db->AddRow(name, {from, to});
+  }
+}
+
+void MakeChainGraph(Database* db, const std::string& name, int nodes) {
+  for (int i = 0; i + 1 < nodes; ++i) {
+    (void)db->AddRow(name, {"n" + std::to_string(i),
+                            "n" + std::to_string(i + 1)});
+  }
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  std::printf("|");
+  for (const std::string& c : cells) std::printf(" %-14s |", c.c_str());
+  std::printf("\n");
+}
+
+void PrintHeader(const std::vector<std::string>& cells) {
+  PrintRow(cells);
+  std::printf("|");
+  for (size_t i = 0; i < cells.size(); ++i) std::printf("%s|", std::string(16, '-').c_str());
+  std::printf("\n");
+}
+
+}  // namespace bench_util
+}  // namespace idlog

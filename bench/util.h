@@ -1,0 +1,35 @@
+#ifndef IDLOG_BENCH_BENCH_UTIL_H_
+#define IDLOG_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace idlog {
+namespace bench_util {
+
+/// Fills `db` with an emp(Name, Dept) relation: `depts` departments of
+/// `emps_per_dept` employees each. Names/departments are synthetic
+/// symbols ("e<i>", "d<j>").
+void MakeEmpDatabase(Database* db, int depts, int emps_per_dept);
+
+/// Adds `edges` random directed edges over `nodes` vertices to relation
+/// `name(From, To)` (self-loops allowed, duplicates collapse).
+void MakeRandomGraph(Database* db, const std::string& name, int nodes,
+                     int edges, uint64_t seed);
+
+/// Adds a simple chain 0 -> 1 -> ... -> n-1 to `name(From, To)`.
+void MakeChainGraph(Database* db, const std::string& name, int nodes);
+
+/// Prints a table row of the form "| a | b | ... |" with fixed widths,
+/// for the experiment tables in EXPERIMENTS.md.
+void PrintRow(const std::vector<std::string>& cells);
+void PrintHeader(const std::vector<std::string>& cells);
+
+}  // namespace bench_util
+}  // namespace idlog
+
+#endif  // IDLOG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,49 @@
+// Aggregates-as-IDLOG demo: DATALOG cannot count, but tuple
+// identifiers can (Section 5). Each aggregate below is computed by
+// generating and running an IDLOG program — see src/core/aggregates.cc
+// for the exact rules.
+#include <cstdio>
+
+#include "core/aggregates.h"
+#include "common/symbol_table.h"
+
+int main() {
+  idlog::SymbolTable symbols;
+  idlog::Relation sales(idlog::TypeFromString("001"));
+  struct Row {
+    const char* rep;
+    const char* region;
+    int64_t amount;
+  };
+  for (const Row& row : {Row{"ann", "east", 120}, Row{"bob", "east", 80},
+                         Row{"cal", "west", 200}, Row{"dee", "west", 50},
+                         Row{"eli", "west", 90}, Row{"fay", "north", 40}}) {
+    sales.Insert({idlog::Value::Symbol(symbols.Intern(row.rep)),
+                  idlog::Value::Symbol(symbols.Intern(row.region)),
+                  idlog::Value::Number(row.amount)});
+  }
+
+  auto count = idlog::CountViaTids(sales);
+  auto sum = idlog::SumViaTids(sales, 2);
+  auto min = idlog::MinOfColumn(sales, 2);
+  auto max = idlog::MaxOfColumn(sales, 2);
+  if (!count.ok() || !sum.ok() || !min.ok() || !max.ok()) {
+    std::fprintf(stderr, "aggregate failed\n");
+    return 1;
+  }
+  std::printf("sales rows : %lld\n", static_cast<long long>(*count));
+  std::printf("total      : %lld\n", static_cast<long long>(*sum));
+  std::printf("min / max  : %lld / %lld\n", static_cast<long long>(*min),
+              static_cast<long long>(*max));
+
+  auto by_region = idlog::GroupCountViaTids(sales, {1});
+  if (!by_region.ok()) return 1;
+  std::printf("rows per region:\n");
+  for (const idlog::Tuple& t : by_region->SortedTuples()) {
+    std::printf("  %s\n", idlog::TupleToString(t, symbols).c_str());
+  }
+  std::printf(
+      "\n(each value above was computed by a generated IDLOG program "
+      "using the tid-order idioms, not by C++ loops)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Choice operator vs IDLOG (Sections 3.2.2 and 3.3): evaluates the
+// KN88 one-per-department program under the native DATALOG^C
+// semantics, translates it to IDLOG via Theorem 2, and contrasts the
+// possible-answer sets of the broken multi-choice workaround with the
+// IDLOG multi-sampling one-liner (Example 5).
+#include <cstdio>
+
+#include "ast/printer.h"
+#include "choice/choice_semantics.h"
+#include "choice/choice_to_idlog.h"
+#include "core/answer_enumerator.h"
+#include "parser/parser.h"
+#include "storage/database.h"
+
+namespace {
+
+void PrintAnswers(const char* label, const idlog::AnswerSet& answers,
+                  const idlog::SymbolTable& symbols) {
+  std::printf("%s — %zu possible answer(s):\n", label,
+              answers.answers.size());
+  for (const auto& answer : answers.answers) {
+    std::printf("  {");
+    for (size_t i = 0; i < answer.size(); ++i) {
+      if (i > 0) std::printf(", ");
+      std::printf("%s", idlog::TupleToString(answer[i], symbols).c_str());
+    }
+    std::printf("}\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  idlog::SymbolTable symbols;
+  idlog::Database db(&symbols);
+  for (const auto& [name, dept] :
+       {std::pair<const char*, const char*>{"ann", "sales"},
+        {"bob", "sales"},
+        {"cal", "sales"},
+        {"dee", "dev"},
+        {"eli", "dev"}}) {
+    (void)db.AddRow("emp", {name, dept});
+  }
+
+  // --- KN88 choice: one employee per department. ---------------------
+  auto choice_prog = idlog::ParseProgram(
+      "select_emp(N) :- emp(N, D), choice((D), (N)).", &symbols);
+  if (!choice_prog.ok()) return 1;
+
+  auto translated = idlog::TranslateChoiceToIdlog(*choice_prog);
+  if (!translated.ok()) return 1;
+  std::printf("Theorem 2 translation of the choice program:\n%s\n",
+              idlog::ProgramToString(*translated, symbols).c_str());
+
+  auto native =
+      idlog::EnumerateChoiceAnswers(*choice_prog, db, "select_emp");
+  auto via_idlog =
+      idlog::EnumerateAnswers(*translated, db, "select_emp");
+  if (!native.ok() || !via_idlog.ok()) return 1;
+  PrintAnswers("DATALOG^C native", *native, symbols);
+  PrintAnswers("IDLOG translation", *via_idlog, symbols);
+  std::printf("answer sets %s\n\n",
+              native->answers == via_idlog->answers ? "AGREE" : "DIFFER");
+
+  // --- Example 5: two per department. --------------------------------
+  auto workaround = idlog::ParseProgram(
+      "emp1(N, D) :- emp(N, D), choice((D), (N))."
+      "emp2(N, D) :- emp(N, D), choice((D), (N))."
+      "two(N1) :- emp1(N1, D), emp2(N2, D), N1 != N2.",
+      &symbols);
+  auto idlog_two = idlog::ParseProgram(
+      "two(N) :- emp[2](N, D, T), T < 2.", &symbols);
+  if (!workaround.ok() || !idlog_two.ok()) return 1;
+
+  auto broken = idlog::EnumerateChoiceAnswers(*workaround, db, "two");
+  auto correct = idlog::EnumerateAnswers(*idlog_two, db, "two");
+  if (!broken.ok() || !correct.ok()) return 1;
+
+  std::printf(
+      "Example 5 — 'two employees per department':\n"
+      "  DATALOG^C workaround: %zu answers, includes the empty answer: "
+      "%s  <- broken\n",
+      broken->answers.size(),
+      broken->ContainsAnswer({}) ? "yes" : "no");
+  size_t min_size = SIZE_MAX;
+  for (const auto& a : correct->answers) {
+    min_size = a.size() < min_size ? a.size() : min_size;
+  }
+  std::printf(
+      "  IDLOG one-liner:      %zu answers, every answer has exactly "
+      "%zu names  <- correct\n",
+      correct->answers.size(), min_size);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Expressiveness demo (Section 5): compiles a bounded Turing machine
+// into a stratified IDLOG program and runs it, and shows the
+// tid-as-total-order trick that underlies Theorem 6 — ordering an
+// unordered domain with a global ID-relation.
+#include <cstdio>
+
+#include "ast/printer.h"
+#include "core/idlog_engine.h"
+#include "tm/compiler.h"
+#include "tm/encoder.h"
+#include "tm/machine.h"
+
+int main() {
+  // --- Part 1: order an unordered domain with tids. -------------------
+  // ord(X, I) gives every domain element a position; next/first/last
+  // are then plain arithmetic. This is exactly what makes stratified
+  // IDLOG computationally complete.
+  idlog::IdlogEngine engine;
+  for (const char* item : {"apple", "pear", "plum", "fig"}) {
+    (void)engine.AddRow("item", {item});
+  }
+  idlog::Status st = engine.LoadProgramText(R"(
+    ord(X, I) :- item[](X, I).
+    next(X, Y) :- ord(X, I), ord(Y, J), succ(I, J).
+    first(X) :- ord(X, 0).
+  )");
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("A total order on an unordered domain (via item[]):\n");
+  auto ord = engine.Query("ord");
+  if (!ord.ok()) return 1;
+  for (const idlog::Tuple& t : (*ord)->SortedTuples()) {
+    std::printf("  ord%s\n",
+                idlog::TupleToString(t, engine.symbols()).c_str());
+  }
+
+  // --- Part 2: a bounded TM compiled to IDLOG. ------------------------
+  // The machine flips 1<->2 over its input and accepts at the blank.
+  idlog::TuringMachine tm;
+  tm.num_states = 2;
+  tm.num_symbols = 3;
+  tm.start_state = 0;
+  tm.accepting = {1};
+  tm.delta[{0, 1}] = {{0, 2, idlog::TmMove::kRight}};
+  tm.delta[{0, 2}] = {{0, 1, idlog::TmMove::kRight}};
+  tm.delta[{0, 0}] = {{1, 0, idlog::TmMove::kStay}};
+
+  std::vector<int> input = {1, 2, 2, 1};
+  auto compiled = idlog::CompileTm(tm, input, /*step_bound=*/8);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nCompiled simulation program:\n%s\n",
+              idlog::ProgramToString(compiled->program, engine.symbols())
+                  .c_str());
+
+  idlog::IdlogEngine tm_engine;
+  if (!compiled->PopulateDatabase(&tm_engine.database()).ok()) return 1;
+  if (!tm_engine.LoadProgram(compiled->program).ok()) return 1;
+
+  auto accepts = tm_engine.Query("accepts");
+  auto out_tape = tm_engine.Query("out_tape");
+  if (!accepts.ok() || !out_tape.ok()) return 1;
+
+  std::printf("input tape : %s\n", idlog::TapeToString(input).c_str());
+  std::vector<int> final_tape(input.size(), 0);
+  for (const idlog::Tuple& t : (*out_tape)->tuples()) {
+    size_t pos = static_cast<size_t>(t[0].number());
+    if (pos < final_tape.size()) {
+      final_tape[pos] = static_cast<int>(t[1].number());
+    }
+  }
+  std::printf("output tape: %s\n",
+              idlog::TapeToString(final_tape).c_str());
+  std::printf("accepts    : %s\n",
+              (*accepts)->empty() ? "no" : "yes");
+
+  // Cross-check against the native simulator.
+  auto native = idlog::RunMachine(tm, input, 8);
+  if (native.ok()) {
+    std::printf("native simulator agrees: %s\n",
+                native->accepted == !(*accepts)->empty() ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "analysis/classification.h"
+
+namespace idlog {
+
+PredicateClassification ClassifyPredicates(const Program& program) {
+  PredicateClassification result;
+  std::set<std::string> in_body;
+  for (const Clause& clause : program.clauses) {
+    result.output.insert(clause.head.predicate);
+    for (const Literal& lit : clause.body) {
+      const Atom& a = lit.atom;
+      if (a.kind == AtomKind::kOrdinary || a.kind == AtomKind::kId) {
+        in_body.insert(a.predicate);
+      }
+    }
+  }
+  for (const std::string& p : in_body) {
+    if (result.output.count(p) == 0) result.input.insert(p);
+  }
+  return result;
+}
+
+}  // namespace idlog

@@ -1,0 +1,27 @@
+#ifndef IDLOG_ANALYSIS_CLASSIFICATION_H_
+#define IDLOG_ANALYSIS_CLASSIFICATION_H_
+
+#include <set>
+#include <string>
+
+#include "ast/ast.h"
+
+namespace idlog {
+
+/// Input/output predicate classification (Section 3.1): an *input*
+/// predicate never appears in a clause head but appears (directly or as
+/// an ID-version) in a body; an *output* predicate appears in a head.
+/// Built-ins are neither.
+struct PredicateClassification {
+  std::set<std::string> input;
+  std::set<std::string> output;
+
+  bool IsInput(const std::string& p) const { return input.count(p) > 0; }
+  bool IsOutput(const std::string& p) const { return output.count(p) > 0; }
+};
+
+PredicateClassification ClassifyPredicates(const Program& program);
+
+}  // namespace idlog
+
+#endif  // IDLOG_ANALYSIS_CLASSIFICATION_H_

@@ -1,0 +1,33 @@
+#ifndef IDLOG_ANALYSIS_DATABASE_PROGRAM_H_
+#define IDLOG_ANALYSIS_DATABASE_PROGRAM_H_
+
+#include <string>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace idlog {
+
+/// Builds the paper's database program dbp(P, q, τ) of Section 3.1:
+///
+///     P/q ∪ { p_j(t) : t ∈ r_j, p_j appears in P/q }
+///         ∪ { udom(d_i) : d_i in the u-domain of τ }
+///
+/// — the program portion related to the output predicate `q`, with the
+/// relevant input relations inlined as fact clauses and the u-domain
+/// spelled out. The result is self-contained: evaluating it against an
+/// *empty* database yields exactly the same answer for `q` as
+/// evaluating P against τ (tested in database_program_test.cc), which
+/// is the form the paper's model-theoretic definitions quantify over.
+///
+/// The unique-name and domain-closure axioms the paper adds are
+/// implicit in our Herbrand evaluation: distinct constants are distinct
+/// values, and quantification never leaves the active domain.
+Result<Program> BuildDatabaseProgram(const Program& program,
+                                     const std::string& output_pred,
+                                     const Database& database);
+
+}  // namespace idlog
+
+#endif  // IDLOG_ANALYSIS_DATABASE_PROGRAM_H_

@@ -1,0 +1,88 @@
+#include "analysis/dependency_graph.h"
+
+#include <algorithm>
+
+namespace idlog {
+
+DependencyGraph::DependencyGraph(const Program& program) {
+  auto add_node = [&](const std::string& name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    int idx = static_cast<int>(nodes_.size());
+    nodes_.push_back(name);
+    index_[name] = idx;
+    adj_.emplace_back();
+    return idx;
+  };
+
+  for (const PredicateInfo& info : program.predicates) add_node(info.name);
+
+  for (const Clause& clause : program.clauses) {
+    int head = add_node(clause.head.predicate);
+    for (const Literal& lit : clause.body) {
+      const Atom& a = lit.atom;
+      if (a.kind == AtomKind::kBuiltin || a.kind == AtomKind::kChoice) {
+        continue;
+      }
+      DepKind kind = DepKind::kPositive;
+      if (a.kind == AtomKind::kId) {
+        kind = DepKind::kId;
+      } else if (lit.negated) {
+        kind = DepKind::kNegative;
+      }
+      // A negated ID-literal still requires completeness of the base.
+      if (a.kind == AtomKind::kId && lit.negated) kind = DepKind::kId;
+      int body = add_node(a.predicate);
+      edges_.push_back(DepEdge{a.predicate, clause.head.predicate, kind});
+      adj_[body].push_back({head, kind});
+    }
+  }
+}
+
+int DependencyGraph::NodeIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::set<std::string> DependencyGraph::ReachableFrom(
+    const std::string& output) const {
+  std::set<std::string> result;
+  int start = NodeIndex(output);
+  if (start < 0) return result;
+  // Walk edges backwards: predicates that can reach `output`.
+  std::vector<std::vector<int>> rev(nodes_.size());
+  for (size_t v = 0; v < adj_.size(); ++v) {
+    for (auto [to, kind] : adj_[v]) {
+      (void)kind;
+      rev[static_cast<size_t>(to)].push_back(static_cast<int>(v));
+    }
+  }
+  std::vector<int> stack = {start};
+  std::vector<bool> seen(nodes_.size(), false);
+  seen[static_cast<size_t>(start)] = true;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    result.insert(nodes_[static_cast<size_t>(v)]);
+    for (int u : rev[static_cast<size_t>(v)]) {
+      if (!seen[static_cast<size_t>(u)]) {
+        seen[static_cast<size_t>(u)] = true;
+        stack.push_back(u);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Clause> ProgramPortion(const Program& program,
+                                   const std::string& q) {
+  DependencyGraph graph(program);
+  std::set<std::string> needed = graph.ReachableFrom(q);
+  std::vector<Clause> out;
+  for (const Clause& clause : program.clauses) {
+    if (needed.count(clause.head.predicate) > 0) out.push_back(clause);
+  }
+  return out;
+}
+
+}  // namespace idlog

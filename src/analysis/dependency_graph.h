@@ -1,0 +1,65 @@
+#ifndef IDLOG_ANALYSIS_DEPENDENCY_GRAPH_H_
+#define IDLOG_ANALYSIS_DEPENDENCY_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace idlog {
+
+/// How a clause head depends on a body predicate.
+enum class DepKind : uint8_t {
+  kPositive,  ///< Positive ordinary literal: same or lower stratum.
+  kNegative,  ///< Negated literal: strictly lower stratum.
+  kId,        ///< ID-literal p[s]: p must be complete, strictly lower
+              ///< stratum (the ID-relation is a function of the whole
+              ///< relation, like negation it cannot be inside recursion).
+};
+
+struct DepEdge {
+  std::string from;  ///< Body (base) predicate.
+  std::string to;    ///< Head predicate.
+  DepKind kind;
+};
+
+/// The predicate dependency graph of a program. Nodes are ordinary
+/// predicate names; built-ins and choice atoms contribute no nodes.
+class DependencyGraph {
+ public:
+  /// Builds the graph for `program`.
+  explicit DependencyGraph(const Program& program);
+
+  const std::vector<std::string>& nodes() const { return nodes_; }
+  const std::vector<DepEdge>& edges() const { return edges_; }
+
+  /// Outgoing adjacency: node -> (successor index, kind) pairs.
+  const std::vector<std::pair<int, DepKind>>& Successors(int node) const {
+    return adj_[node];
+  }
+
+  int NodeIndex(const std::string& name) const;
+
+  /// Predicates transitively needed to compute `output` (the paper's
+  /// program portion P/q): all predicates from which `output` is
+  /// reachable, plus `output` itself. Unknown name yields just {}.
+  std::set<std::string> ReachableFrom(const std::string& output) const;
+
+ private:
+  std::vector<std::string> nodes_;
+  std::map<std::string, int> index_;
+  std::vector<DepEdge> edges_;
+  std::vector<std::vector<std::pair<int, DepKind>>> adj_;
+};
+
+/// Returns the clauses of `program` related to output predicate `q`
+/// (the paper's P/q): every clause whose head predicate `q` transitively
+/// depends on, including the clauses defining `q`.
+std::vector<Clause> ProgramPortion(const Program& program,
+                                   const std::string& q);
+
+}  // namespace idlog
+
+#endif  // IDLOG_ANALYSIS_DEPENDENCY_GRAPH_H_

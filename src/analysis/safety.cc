@@ -1,0 +1,183 @@
+#include "analysis/safety.h"
+
+#include <algorithm>
+
+#include "ast/printer.h"
+
+namespace idlog {
+
+void CollectVariables(const Atom& atom, std::vector<std::string>* vars) {
+  for (const Term& t : atom.terms) {
+    if (t.is_variable()) vars->push_back(t.var_name());
+  }
+}
+
+bool BuiltinPatternAdmissible(BuiltinKind kind,
+                              const std::vector<bool>& bound) {
+  auto b = [&](size_t i) { return bound[i]; };
+  switch (kind) {
+    case BuiltinKind::kSucc:
+      // succ(A,B): either argument determines the other.
+      return b(0) || b(1);
+    case BuiltinKind::kAdd:
+      // A+B=C: any two bound, or C alone (finitely many decompositions).
+      return (b(0) && b(1)) || b(2);
+    case BuiltinKind::kSub:
+      // A-B=C over naturals: any two bound, or A alone (B<=A finite).
+      return (b(1) && b(2)) || b(0);
+    case BuiltinKind::kMul:
+      // A*B=C: only bbb/bbn are safe (a zero factor with C=0 leaves the
+      // other factor unconstrained, so C-driven generation is unsafe).
+      return b(0) && b(1);
+    case BuiltinKind::kDiv:
+      // floor(A/B)=C: bbb/bbn.
+      return b(0) && b(1);
+    case BuiltinKind::kLt:
+    case BuiltinKind::kLe:
+    case BuiltinKind::kGt:
+    case BuiltinKind::kGe:
+    case BuiltinKind::kNe:
+      return b(0) && b(1);
+    case BuiltinKind::kEq:
+      // One side determines the other.
+      return b(0) || b(1);
+  }
+  return false;
+}
+
+namespace {
+
+// Boundness vector of an atom's arguments given the currently bound
+// variable set (constants are always bound).
+std::vector<bool> ArgBoundness(const Atom& atom,
+                               const std::set<std::string>& bound_vars) {
+  std::vector<bool> out;
+  out.reserve(atom.terms.size());
+  for (const Term& t : atom.terms) {
+    out.push_back(t.is_constant() || bound_vars.count(t.var_name()) > 0);
+  }
+  return out;
+}
+
+bool AllBound(const Atom& atom, const std::set<std::string>& bound_vars) {
+  for (const Term& t : atom.terms) {
+    if (t.is_variable() && bound_vars.count(t.var_name()) == 0) return false;
+  }
+  return true;
+}
+
+// Whether the literal can be evaluated now, and a scheduling priority
+// (lower = sooner). Filters run as early as possible; generators last.
+struct Candidate {
+  bool evaluable = false;
+  int priority = 0;
+};
+
+Candidate Classify(const Literal& lit, const std::set<std::string>& bound,
+                   bool allow_choice) {
+  const Atom& a = lit.atom;
+  Candidate c;
+  switch (a.kind) {
+    case AtomKind::kOrdinary:
+    case AtomKind::kId: {
+      if (lit.negated) {
+        c.evaluable = AllBound(a, bound);
+        c.priority = 0;  // negation filter: run as soon as it is bound
+      } else {
+        c.evaluable = true;
+        // Prefer scans that are more selective: more bound arguments.
+        std::vector<bool> bv = ArgBoundness(a, bound);
+        int bound_count = static_cast<int>(
+            std::count(bv.begin(), bv.end(), true));
+        c.priority = 10 + (static_cast<int>(bv.size()) - bound_count);
+      }
+      return c;
+    }
+    case AtomKind::kBuiltin: {
+      std::vector<bool> bv = ArgBoundness(a, bound);
+      bool all = std::count(bv.begin(), bv.end(), false) == 0;
+      if (lit.negated) {
+        c.evaluable = all;
+        c.priority = 1;
+      } else {
+        c.evaluable = BuiltinPatternAdmissible(a.builtin, bv);
+        c.priority = all ? 1 : 5;  // pure filter before generator
+      }
+      return c;
+    }
+    case AtomKind::kChoice: {
+      if (!allow_choice) return c;  // never evaluable -> rejected later
+      c.evaluable = AllBound(a, bound) && !lit.negated;
+      c.priority = 20;  // after everything that binds its arguments
+      return c;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Result<SafeOrder> ComputeSafeOrder(const Clause& clause, bool allow_choice) {
+  std::set<std::string> bound;
+  std::vector<bool> used(clause.body.size(), false);
+  SafeOrder result;
+
+  for (size_t step = 0; step < clause.body.size(); ++step) {
+    int best = -1;
+    int best_priority = 0;
+    for (size_t i = 0; i < clause.body.size(); ++i) {
+      if (used[i]) continue;
+      Candidate c = Classify(clause.body[i], bound, allow_choice);
+      if (!c.evaluable) continue;
+      if (best < 0 || c.priority < best_priority) {
+        best = static_cast<int>(i);
+        best_priority = c.priority;
+      }
+    }
+    if (best < 0) {
+      // Identify the offender for the error message.
+      for (size_t i = 0; i < clause.body.size(); ++i) {
+        if (!used[i]) {
+          const Atom& a = clause.body[i].atom;
+          if (a.kind == AtomKind::kChoice && !allow_choice) {
+            return Status::Unsupported(
+                "choice atoms are only valid in DATALOG^C programs");
+          }
+        }
+      }
+      return Status::UnsafeProgram(
+          "no safe evaluation order for the body of a clause defining '" +
+          clause.head.predicate +
+          "' (unbound built-in arguments or unbound negation)");
+    }
+    used[static_cast<size_t>(best)] = true;
+    result.order.push_back(best);
+    // A positive literal (or an evaluable generator builtin / eq) binds
+    // all of its variables.
+    const Literal& lit = clause.body[static_cast<size_t>(best)];
+    if (!lit.negated) {
+      std::vector<std::string> vars;
+      CollectVariables(lit.atom, &vars);
+      for (const std::string& v : vars) bound.insert(v);
+    }
+  }
+
+  for (const Term& t : clause.head.terms) {
+    if (t.is_variable() && bound.count(t.var_name()) == 0) {
+      return Status::UnsafeProgram("head variable '" + t.var_name() +
+                                   "' of '" + clause.head.predicate +
+                                   "' is not bound by a positive body literal");
+    }
+  }
+  return result;
+}
+
+Status CheckProgramSafety(const Program& program, bool allow_choice) {
+  for (const Clause& clause : program.clauses) {
+    Result<SafeOrder> order = ComputeSafeOrder(clause, allow_choice);
+    if (!order.ok()) return order.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace idlog

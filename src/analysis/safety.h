@@ -1,0 +1,42 @@
+#ifndef IDLOG_ANALYSIS_SAFETY_H_
+#define IDLOG_ANALYSIS_SAFETY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/status.h"
+
+namespace idlog {
+
+/// A safe left-to-right evaluation order for a clause body: a
+/// permutation of body literal indexes such that, processing literals in
+/// this order with positive database literals binding their variables,
+/// every built-in is reached with one of its admissible bound/unbound
+/// argument patterns (Section 2.2's sufficient safety condition) and
+/// every negated literal is reached fully bound. The head variables are
+/// all bound at the end.
+struct SafeOrder {
+  std::vector<int> order;
+};
+
+/// Admissibility of a built-in under the given per-argument boundness
+/// (true = bound). Implements the paper's sufficient patterns, e.g. for
+/// `+` (add): bbb, bbn, bnb, nbb and the finite nnb case.
+bool BuiltinPatternAdmissible(BuiltinKind kind, const std::vector<bool>& bound);
+
+/// Computes a safe order for `clause`, or UnsafeProgram. `allow_choice`
+/// admits choice atoms (treated as filters over bound variables), for
+/// validating DATALOG^C programs before translation.
+Result<SafeOrder> ComputeSafeOrder(const Clause& clause, bool allow_choice);
+
+/// Checks every clause of `program`; returns the first violation.
+Status CheckProgramSafety(const Program& program, bool allow_choice = false);
+
+/// Collects the variables of an atom in order of first occurrence.
+void CollectVariables(const Atom& atom, std::vector<std::string>* vars);
+
+}  // namespace idlog
+
+#endif  // IDLOG_ANALYSIS_SAFETY_H_

@@ -1,0 +1,142 @@
+#include "analysis/stratifier.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace idlog {
+
+namespace {
+
+// Iterative Tarjan SCC over the dependency graph.
+struct SccResult {
+  std::vector<int> component_of;  // node -> component id
+  int num_components = 0;
+};
+
+SccResult ComputeScc(const DependencyGraph& graph) {
+  const int n = static_cast<int>(graph.nodes().size());
+  SccResult result;
+  result.component_of.assign(static_cast<size_t>(n), -1);
+
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  struct Frame {
+    int node;
+    size_t edge;
+  };
+
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<size_t>(root)] != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back({root, 0});
+    index[static_cast<size_t>(root)] = lowlink[static_cast<size_t>(root)] =
+        next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<size_t>(root)] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const auto& succ = graph.Successors(frame.node);
+      if (frame.edge < succ.size()) {
+        int w = succ[frame.edge].first;
+        ++frame.edge;
+        if (index[static_cast<size_t>(w)] == -1) {
+          index[static_cast<size_t>(w)] = lowlink[static_cast<size_t>(w)] =
+              next_index++;
+          stack.push_back(w);
+          on_stack[static_cast<size_t>(w)] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[static_cast<size_t>(w)]) {
+          lowlink[static_cast<size_t>(frame.node)] =
+              std::min(lowlink[static_cast<size_t>(frame.node)],
+                       index[static_cast<size_t>(w)]);
+        }
+      } else {
+        int v = frame.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          int parent = frames.back().node;
+          lowlink[static_cast<size_t>(parent)] =
+              std::min(lowlink[static_cast<size_t>(parent)],
+                       lowlink[static_cast<size_t>(v)]);
+        }
+        if (lowlink[static_cast<size_t>(v)] ==
+            index[static_cast<size_t>(v)]) {
+          int comp = result.num_components++;
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<size_t>(w)] = false;
+            result.component_of[static_cast<size_t>(w)] = comp;
+            if (w == v) break;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Stratification> Stratify(const Program& program) {
+  DependencyGraph graph(program);
+  SccResult scc = ComputeScc(graph);
+  const int n = static_cast<int>(graph.nodes().size());
+
+  // Reject negative/ID edges inside an SCC.
+  for (const DepEdge& e : graph.edges()) {
+    if (e.kind == DepKind::kPositive) continue;
+    int from = graph.NodeIndex(e.from);
+    int to = graph.NodeIndex(e.to);
+    if (scc.component_of[static_cast<size_t>(from)] ==
+        scc.component_of[static_cast<size_t>(to)]) {
+      const char* what = e.kind == DepKind::kNegative ? "negation" : "ID-literal";
+      return Status::NotStratified(
+          std::string("recursion through ") + what + " between '" + e.from +
+          "' and '" + e.to + "'");
+    }
+  }
+
+  // Longest-path strata over the component DAG: positive edges demand
+  // stratum(to) >= stratum(from); negative/ID edges demand strictly
+  // greater. Relax to fixpoint (the DAG guarantees termination).
+  std::vector<int> comp_stratum(static_cast<size_t>(scc.num_components), 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const DepEdge& e : graph.edges()) {
+      int from = scc.component_of[static_cast<size_t>(graph.NodeIndex(e.from))];
+      int to = scc.component_of[static_cast<size_t>(graph.NodeIndex(e.to))];
+      int need = comp_stratum[static_cast<size_t>(from)] +
+                 (e.kind == DepKind::kPositive ? 0 : 1);
+      if (comp_stratum[static_cast<size_t>(to)] < need) {
+        comp_stratum[static_cast<size_t>(to)] = need;
+        changed = true;
+      }
+    }
+  }
+
+  Stratification strat;
+  int max_stratum = 0;
+  for (int v = 0; v < n; ++v) {
+    int s = comp_stratum[static_cast<size_t>(scc.component_of[static_cast<size_t>(v)])];
+    strat.stratum_of[graph.nodes()[static_cast<size_t>(v)]] = s;
+    max_stratum = std::max(max_stratum, s);
+  }
+  strat.num_strata = max_stratum + 1;
+
+  strat.clauses_by_stratum.assign(static_cast<size_t>(strat.num_strata), {});
+  for (size_t i = 0; i < program.clauses.size(); ++i) {
+    int s = strat.StratumOf(program.clauses[i].head.predicate);
+    strat.clauses_by_stratum[static_cast<size_t>(s)].push_back(
+        static_cast<int>(i));
+  }
+  return strat;
+}
+
+}  // namespace idlog

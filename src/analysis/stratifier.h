@@ -1,0 +1,39 @@
+#ifndef IDLOG_ANALYSIS_STRATIFIER_H_
+#define IDLOG_ANALYSIS_STRATIFIER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "ast/ast.h"
+#include "common/status.h"
+
+namespace idlog {
+
+/// The result of stratifying a program: a stratum number per predicate
+/// such that positive dependencies never decrease the stratum and
+/// negative / ID dependencies strictly increase it. Stratum 0 holds the
+/// extensional (input) predicates and anything defined without negation
+/// or ID-literals over IDB predicates.
+struct Stratification {
+  std::map<std::string, int> stratum_of;
+  int num_strata = 0;
+
+  int StratumOf(const std::string& pred) const {
+    auto it = stratum_of.find(pred);
+    return it == stratum_of.end() ? 0 : it->second;
+  }
+
+  /// Clause indexes of the program grouped by the head's stratum.
+  std::vector<std::vector<int>> clauses_by_stratum;
+};
+
+/// Stratifies `program`. Fails with NotStratified if a negative or ID
+/// edge occurs inside a strongly connected component (Theorem 1 covers
+/// exactly the stratified programs; we reject the rest).
+Result<Stratification> Stratify(const Program& program);
+
+}  // namespace idlog
+
+#endif  // IDLOG_ANALYSIS_STRATIFIER_H_

@@ -1,0 +1,107 @@
+#include "analysis/tid_bounds.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+namespace idlog {
+
+namespace {
+
+// The tightest bound this clause places on variable `var` through a
+// positive comparison against a constant; nullopt if unconstrained.
+std::optional<int64_t> VariableBound(const Clause& clause,
+                                     const std::string& var) {
+  std::optional<int64_t> best;
+  auto consider = [&best](int64_t bound) {
+    if (bound < 0) bound = 0;
+    if (!best.has_value() || bound < *best) best = bound;
+  };
+  for (const Literal& lit : clause.body) {
+    if (lit.negated || lit.atom.kind != AtomKind::kBuiltin) continue;
+    const Atom& a = lit.atom;
+    if (a.terms.size() != 2) continue;
+    const Term& lhs = a.terms[0];
+    const Term& rhs = a.terms[1];
+    bool lhs_is_var = lhs.is_variable() && lhs.var_name() == var;
+    bool rhs_is_var = rhs.is_variable() && rhs.var_name() == var;
+    auto const_num = [](const Term& t) -> std::optional<int64_t> {
+      if (t.is_constant() && t.value().is_number()) return t.value().number();
+      return std::nullopt;
+    };
+    switch (a.builtin) {
+      case BuiltinKind::kLt:  // T < k  |  k < T (no bound)
+        if (lhs_is_var) {
+          if (auto k = const_num(rhs)) consider(*k);
+        }
+        break;
+      case BuiltinKind::kLe:  // T <= k
+        if (lhs_is_var) {
+          if (auto k = const_num(rhs)) consider(*k + 1);
+        }
+        break;
+      case BuiltinKind::kGt:  // k > T
+        if (rhs_is_var) {
+          if (auto k = const_num(lhs)) consider(*k);
+        }
+        break;
+      case BuiltinKind::kGe:  // k >= T
+        if (rhs_is_var) {
+          if (auto k = const_num(lhs)) consider(*k + 1);
+        }
+        break;
+      case BuiltinKind::kEq:  // T = c or c = T
+        if (lhs_is_var) {
+          if (auto k = const_num(rhs)) consider(*k + 1);
+        } else if (rhs_is_var) {
+          if (auto k = const_num(lhs)) consider(*k + 1);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::map<TidBoundKey, int64_t> ComputeTidBounds(const Program& program) {
+  std::map<TidBoundKey, int64_t> bounds;
+  std::set<TidBoundKey> unbounded;
+
+  for (const Clause& clause : program.clauses) {
+    for (const Literal& lit : clause.body) {
+      if (lit.atom.kind != AtomKind::kId) continue;
+      TidBoundKey key{lit.atom.predicate, lit.atom.group};
+      if (unbounded.count(key) > 0) continue;
+
+      const Term& tid = lit.atom.terms.back();
+      std::optional<int64_t> need;
+      if (tid.is_constant()) {
+        if (tid.value().is_number()) {
+          need = std::max<int64_t>(tid.value().number() + 1, 0);
+        }
+      } else {
+        std::optional<int64_t> var_bound =
+            VariableBound(clause, tid.var_name());
+        if (var_bound.has_value()) need = var_bound;
+      }
+
+      if (!need.has_value()) {
+        unbounded.insert(key);
+        bounds.erase(key);
+        continue;
+      }
+      auto it = bounds.find(key);
+      if (it == bounds.end()) {
+        bounds.emplace(std::move(key), *need);
+      } else {
+        it->second = std::max(it->second, *need);
+      }
+    }
+  }
+  return bounds;
+}
+
+}  // namespace idlog

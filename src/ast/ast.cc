@@ -1,0 +1,121 @@
+#include "ast/ast.h"
+
+#include <algorithm>
+
+namespace idlog {
+
+const char* BuiltinName(BuiltinKind kind) {
+  switch (kind) {
+    case BuiltinKind::kSucc: return "succ";
+    case BuiltinKind::kAdd: return "+";
+    case BuiltinKind::kSub: return "-";
+    case BuiltinKind::kMul: return "*";
+    case BuiltinKind::kDiv: return "/";
+    case BuiltinKind::kLt: return "<";
+    case BuiltinKind::kLe: return "<=";
+    case BuiltinKind::kGt: return ">";
+    case BuiltinKind::kGe: return ">=";
+    case BuiltinKind::kEq: return "=";
+    case BuiltinKind::kNe: return "!=";
+  }
+  return "?";
+}
+
+int BuiltinArity(BuiltinKind kind) {
+  switch (kind) {
+    case BuiltinKind::kSucc:
+    case BuiltinKind::kLt:
+    case BuiltinKind::kLe:
+    case BuiltinKind::kGt:
+    case BuiltinKind::kGe:
+    case BuiltinKind::kEq:
+    case BuiltinKind::kNe:
+      return 2;
+    case BuiltinKind::kAdd:
+    case BuiltinKind::kSub:
+    case BuiltinKind::kMul:
+    case BuiltinKind::kDiv:
+      return 3;
+  }
+  return 0;
+}
+
+Atom Atom::Ordinary(std::string pred, std::vector<Term> args) {
+  Atom a;
+  a.kind = AtomKind::kOrdinary;
+  a.predicate = std::move(pred);
+  a.terms = std::move(args);
+  return a;
+}
+
+Atom Atom::Id(std::string base_pred, std::vector<int> group0,
+              std::vector<Term> args_and_tid) {
+  Atom a;
+  a.kind = AtomKind::kId;
+  a.predicate = std::move(base_pred);
+  std::sort(group0.begin(), group0.end());
+  group0.erase(std::unique(group0.begin(), group0.end()), group0.end());
+  a.group = std::move(group0);
+  a.terms = std::move(args_and_tid);
+  return a;
+}
+
+Atom Atom::Builtin(BuiltinKind kind, std::vector<Term> args) {
+  Atom a;
+  a.kind = AtomKind::kBuiltin;
+  a.builtin = kind;
+  a.terms = std::move(args);
+  return a;
+}
+
+Atom Atom::Choice(std::vector<Term> domain, std::vector<Term> range) {
+  Atom a;
+  a.kind = AtomKind::kChoice;
+  a.choice_split = static_cast<int>(domain.size());
+  a.terms = std::move(domain);
+  a.terms.insert(a.terms.end(), range.begin(), range.end());
+  return a;
+}
+
+bool Atom::operator==(const Atom& o) const {
+  return kind == o.kind && predicate == o.predicate && group == o.group &&
+         (kind != AtomKind::kBuiltin || builtin == o.builtin) &&
+         choice_split == o.choice_split && terms == o.terms;
+}
+
+int Program::FindPredicate(const std::string& name) const {
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (predicates[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+PredicateInfo& Program::GetOrAddPredicate(const std::string& name, int arity) {
+  int idx = FindPredicate(name);
+  if (idx >= 0) return predicates[idx];
+  PredicateInfo info;
+  info.name = name;
+  info.type.assign(static_cast<size_t>(arity), Sort::kU);
+  predicates.push_back(std::move(info));
+  return predicates.back();
+}
+
+bool Program::UsesChoice() const {
+  for (const Clause& c : clauses) {
+    for (const Literal& l : c.body) {
+      if (l.atom.kind == AtomKind::kChoice) return true;
+    }
+  }
+  return false;
+}
+
+bool Program::UsesIdPredicates() const {
+  for (const Clause& c : clauses) {
+    for (const Literal& l : c.body) {
+      if (l.atom.kind == AtomKind::kId) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace idlog

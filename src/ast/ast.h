@@ -1,0 +1,182 @@
+#ifndef IDLOG_AST_AST_H_
+#define IDLOG_AST_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/symbol_table.h"
+#include "common/value.h"
+
+namespace idlog {
+
+/// A term: either a variable (identified by spelling, scoped to its
+/// clause) or a two-sorted constant.
+class Term {
+ public:
+  enum class Kind : uint8_t { kVariable, kConstant };
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind_ = Kind::kVariable;
+    t.var_name_ = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind_ = Kind::kConstant;
+    t.value_ = v;
+    return t;
+  }
+  static Term Number(int64_t n) { return Const(Value::Number(n)); }
+  static Term Symbol(SymbolId id) { return Const(Value::Symbol(id)); }
+
+  Kind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+
+  /// Variable spelling; only meaningful when is_variable().
+  const std::string& var_name() const { return var_name_; }
+  /// Constant payload; only meaningful when is_constant().
+  Value value() const { return value_; }
+
+  bool operator==(const Term& o) const {
+    if (kind_ != o.kind_) return false;
+    return is_variable() ? var_name_ == o.var_name_ : value_ == o.value_;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+
+ private:
+  Kind kind_ = Kind::kConstant;
+  std::string var_name_;
+  Value value_;
+};
+
+/// Built-in arithmetic/comparison predicates with fixed meaning
+/// (Section 2.2 fixes succ; +, -, *, / and comparisons are defined over
+/// sort i; eq/ne also apply to sort u).
+enum class BuiltinKind : uint8_t {
+  kSucc,  ///< succ(A, B) iff B = A + 1.
+  kAdd,   ///< add(A, B, C) iff A + B = C.
+  kSub,   ///< sub(A, B, C) iff A - B = C (natural subtraction, A >= B).
+  kMul,   ///< mul(A, B, C) iff A * B = C.
+  kDiv,   ///< div(A, B, C) iff floor(A / B) = C, B > 0.
+  kLt,    ///< A < B (sort i).
+  kLe,    ///< A <= B (sort i).
+  kGt,    ///< A > B (sort i).
+  kGe,    ///< A >= B (sort i).
+  kEq,    ///< A = B (either sort).
+  kNe,    ///< A != B (either sort).
+};
+
+/// Returns the surface spelling ("succ", "+", "<", ...).
+const char* BuiltinName(BuiltinKind kind);
+/// Number of arguments the builtin takes.
+int BuiltinArity(BuiltinKind kind);
+
+/// The flavour of an atom.
+enum class AtomKind : uint8_t {
+  kOrdinary,  ///< p(t1..tn) over an ordinary predicate.
+  kId,        ///< p[s](t1..tn, tid): ID-version of p grouped by s.
+  kBuiltin,   ///< Arithmetic / comparison.
+  kChoice,    ///< choice((X...),(Y...)) — DATALOG^C extension only.
+};
+
+/// An atom. One struct covers all four kinds; the active fields depend
+/// on `kind`:
+///  - kOrdinary: predicate, terms.
+///  - kId:       predicate (the *base* predicate), group (0-based sorted
+///               column positions of the grouping set s), terms — arity
+///               of the base predicate plus one trailing tid term.
+///  - kBuiltin:  builtin, terms.
+///  - kChoice:   terms, with the first `choice_split` terms forming the
+///               domain part X and the rest the range part Y.
+struct Atom {
+  AtomKind kind = AtomKind::kOrdinary;
+  std::string predicate;
+  std::vector<int> group;
+  BuiltinKind builtin = BuiltinKind::kEq;
+  std::vector<Term> terms;
+  int choice_split = 0;
+
+  static Atom Ordinary(std::string pred, std::vector<Term> args);
+  static Atom Id(std::string base_pred, std::vector<int> group0,
+                 std::vector<Term> args_and_tid);
+  static Atom Builtin(BuiltinKind kind, std::vector<Term> args);
+  static Atom Choice(std::vector<Term> domain, std::vector<Term> range);
+
+  /// Number of argument terms.
+  int arity() const { return static_cast<int>(terms.size()); }
+
+  /// For kId atoms: arity of the underlying base predicate.
+  int base_arity() const { return arity() - 1; }
+
+  bool operator==(const Atom& o) const;
+};
+
+/// A literal: an atom or its negation.
+struct Literal {
+  Atom atom;
+  bool negated = false;
+
+  static Literal Pos(Atom a) { return Literal{std::move(a), false}; }
+  static Literal Neg(Atom a) { return Literal{std::move(a), true}; }
+
+  bool operator==(const Literal& o) const {
+    return negated == o.negated && atom == o.atom;
+  }
+};
+
+/// A clause `head :- body.` The head must be an ordinary atom whose
+/// predicate is neither a built-in nor an ID-predicate (Section 2.2).
+/// A clause with an empty body and a ground head is a fact.
+struct Clause {
+  Atom head;
+  std::vector<Literal> body;
+
+  bool is_fact() const { return body.empty(); }
+};
+
+/// A clause with a disjunctive head — the DATALOG^∨ fragment of
+/// Section 3.2 (consumed by the grounder / minimal-model baseline, not
+/// by the IDLOG engine).
+struct DisjunctiveClause {
+  std::vector<Atom> head;  ///< One or more kOrdinary atoms.
+  std::vector<Literal> body;
+};
+
+struct DisjunctiveProgram {
+  std::vector<DisjunctiveClause> clauses;
+};
+
+/// Declared or inferred signature of a predicate.
+struct PredicateInfo {
+  std::string name;
+  RelationType type;  ///< Column sorts.
+  bool declared = false;
+};
+
+/// A parsed IDLOG (or DATALOG^C) program: clauses plus the predicate
+/// signature table. Constants of sort u are interned in an external
+/// SymbolTable shared with the database the program runs against.
+struct Program {
+  std::vector<Clause> clauses;
+  std::vector<PredicateInfo> predicates;
+
+  /// Returns the index into `predicates` for `name`, or -1.
+  int FindPredicate(const std::string& name) const;
+
+  /// Returns signature for `name`, registering it with `arity` unknown-
+  /// sort columns if new. Sorts default to kU until refined.
+  PredicateInfo& GetOrAddPredicate(const std::string& name, int arity);
+
+  /// True if any clause contains a choice atom (DATALOG^C program).
+  bool UsesChoice() const;
+  /// True if any clause contains an ID-atom.
+  bool UsesIdPredicates() const;
+};
+
+}  // namespace idlog
+
+#endif  // IDLOG_AST_AST_H_

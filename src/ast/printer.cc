@@ -1,0 +1,124 @@
+#include "ast/printer.h"
+
+namespace idlog {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  if (s.empty()) return true;
+  if (!(s[0] >= 'a' && s[0] <= 'z')) return true;
+  for (char c : s) {
+    bool ident = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_';
+    if (!ident) return true;
+  }
+  return false;
+}
+
+void AppendTermList(const std::vector<Term>& terms, size_t begin, size_t end,
+                    const SymbolTable& symbols, std::string* out) {
+  for (size_t i = begin; i < end; ++i) {
+    if (i > begin) out->append(", ");
+    out->append(TermToString(terms[i], symbols));
+  }
+}
+
+}  // namespace
+
+std::string TermToString(const Term& term, const SymbolTable& symbols) {
+  if (term.is_variable()) return term.var_name();
+  Value v = term.value();
+  if (v.is_number()) return std::to_string(v.number());
+  std::string name = v.ToString(symbols);
+  if (NeedsQuoting(name)) return "\"" + name + "\"";
+  return name;
+}
+
+std::string AtomToString(const Atom& atom, const SymbolTable& symbols) {
+  std::string out;
+  switch (atom.kind) {
+    case AtomKind::kOrdinary:
+      out = atom.predicate + "(";
+      AppendTermList(atom.terms, 0, atom.terms.size(), symbols, &out);
+      out += ")";
+      break;
+    case AtomKind::kId: {
+      out = atom.predicate + "[";
+      for (size_t i = 0; i < atom.group.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(atom.group[i] + 1);  // surface syntax: 1-based
+      }
+      out += "](";
+      AppendTermList(atom.terms, 0, atom.terms.size(), symbols, &out);
+      out += ")";
+      break;
+    }
+    case AtomKind::kBuiltin: {
+      // Comparisons print infix, arithmetic as the `C = A op B` sugar,
+      // succ in prefix form — all re-parseable.
+      BuiltinKind k = atom.builtin;
+      if (k == BuiltinKind::kSucc) {
+        out = "succ(";
+        AppendTermList(atom.terms, 0, atom.terms.size(), symbols, &out);
+        out += ")";
+      } else if (BuiltinArity(k) == 3) {
+        out = TermToString(atom.terms[2], symbols);
+        out += " = ";
+        out += TermToString(atom.terms[0], symbols);
+        out += " ";
+        out += BuiltinName(k);
+        out += " ";
+        out += TermToString(atom.terms[1], symbols);
+      } else {
+        out = TermToString(atom.terms[0], symbols);
+        out += " ";
+        out += BuiltinName(k);
+        out += " ";
+        out += TermToString(atom.terms[1], symbols);
+      }
+      break;
+    }
+    case AtomKind::kChoice: {
+      out = "choice((";
+      AppendTermList(atom.terms, 0, static_cast<size_t>(atom.choice_split),
+                     symbols, &out);
+      out += "), (";
+      AppendTermList(atom.terms, static_cast<size_t>(atom.choice_split),
+                     atom.terms.size(), symbols, &out);
+      out += "))";
+      break;
+    }
+  }
+  return out;
+}
+
+std::string LiteralToString(const Literal& lit, const SymbolTable& symbols) {
+  std::string out = AtomToString(lit.atom, symbols);
+  if (lit.negated) return "not " + out;
+  return out;
+}
+
+std::string ClauseToString(const Clause& clause, const SymbolTable& symbols) {
+  std::string out = AtomToString(clause.head, symbols);
+  if (!clause.body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < clause.body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += LiteralToString(clause.body[i], symbols);
+    }
+  }
+  out += ".";
+  return out;
+}
+
+std::string ProgramToString(const Program& program,
+                            const SymbolTable& symbols) {
+  std::string out;
+  for (const Clause& c : program.clauses) {
+    out += ClauseToString(c, symbols);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace idlog

@@ -1,0 +1,22 @@
+#ifndef IDLOG_AST_PRINTER_H_
+#define IDLOG_AST_PRINTER_H_
+
+#include <string>
+
+#include "ast/ast.h"
+
+namespace idlog {
+
+/// Renders AST nodes back into the surface syntax accepted by the
+/// parser (round-trippable for ordinary, ID, builtin and choice atoms).
+/// `symbols` resolves the spellings of interned sort-u constants.
+std::string TermToString(const Term& term, const SymbolTable& symbols);
+std::string AtomToString(const Atom& atom, const SymbolTable& symbols);
+std::string LiteralToString(const Literal& lit, const SymbolTable& symbols);
+std::string ClauseToString(const Clause& clause, const SymbolTable& symbols);
+std::string ProgramToString(const Program& program,
+                            const SymbolTable& symbols);
+
+}  // namespace idlog
+
+#endif  // IDLOG_AST_PRINTER_H_

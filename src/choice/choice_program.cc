@@ -1,0 +1,159 @@
+#include "choice/choice_program.h"
+
+#include <set>
+
+#include "analysis/dependency_graph.h"
+#include "ast/program_builder.h"
+
+namespace idlog {
+
+namespace {
+
+// Replaces the choice literal of `occ` in `clause` with an ordinary
+// extChoice atom over the choice variables.
+Clause ReplaceChoiceLiteral(const Clause& clause,
+                            const ChoiceOccurrence& occ) {
+  Clause out = clause;
+  std::vector<Term> args;
+  for (const std::string& v : occ.domain_vars) args.push_back(Term::Var(v));
+  for (const std::string& v : occ.range_vars) args.push_back(Term::Var(v));
+  out.body[static_cast<size_t>(occ.literal_index)] =
+      Literal::Pos(Atom::Ordinary(occ.ext_pred, std::move(args)));
+  return out;
+}
+
+// The choice-clause extChoice_i(X,Y) :- body-without-choice.
+Clause MakeChoiceClause(const Clause& clause, const ChoiceOccurrence& occ) {
+  Clause out;
+  std::vector<Term> args;
+  for (const std::string& v : occ.domain_vars) args.push_back(Term::Var(v));
+  for (const std::string& v : occ.range_vars) args.push_back(Term::Var(v));
+  out.head = Atom::Ordinary(occ.ext_pred, std::move(args));
+  for (size_t i = 0; i < clause.body.size(); ++i) {
+    if (static_cast<int>(i) == occ.literal_index) continue;
+    out.body.push_back(clause.body[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<ChoiceOccurrence>> AnalyzeChoiceProgram(
+    const Program& program) {
+  std::vector<ChoiceOccurrence> occurrences;
+
+  for (size_t c = 0; c < program.clauses.size(); ++c) {
+    const Clause& clause = program.clauses[c];
+    int found = 0;
+    for (size_t l = 0; l < clause.body.size(); ++l) {
+      const Literal& lit = clause.body[l];
+      if (lit.atom.kind != AtomKind::kChoice) continue;
+      ++found;
+      if (found > 1) {
+        return Status::InvalidArgument(
+            "condition (C1) violated: clause defining '" +
+            clause.head.predicate + "' contains more than one choice");
+      }
+      ChoiceOccurrence occ;
+      occ.clause_index = static_cast<int>(c);
+      occ.literal_index = static_cast<int>(l);
+      occ.ext_pred = "ext_choice_" + std::to_string(occurrences.size());
+
+      // Collect positively bound variables of the clause.
+      std::set<std::string> positive_vars;
+      for (size_t j = 0; j < clause.body.size(); ++j) {
+        const Literal& other = clause.body[j];
+        if (other.negated || other.atom.kind == AtomKind::kBuiltin ||
+            other.atom.kind == AtomKind::kChoice) {
+          continue;
+        }
+        for (const Term& t : other.atom.terms) {
+          if (t.is_variable()) positive_vars.insert(t.var_name());
+        }
+      }
+
+      std::set<std::string> seen;
+      auto take = [&](const Term& t,
+                      std::vector<std::string>* out) -> Status {
+        if (!t.is_variable()) {
+          return Status::InvalidArgument(
+              "choice arguments must be variables");
+        }
+        if (!seen.insert(t.var_name()).second) {
+          return Status::InvalidArgument(
+              "choice arguments must be distinct variables");
+        }
+        if (positive_vars.count(t.var_name()) == 0) {
+          return Status::UnsafeProgram(
+              "choice variable '" + t.var_name() +
+              "' is not positively bound in the clause body");
+        }
+        out->push_back(t.var_name());
+        return Status::OK();
+      };
+      for (int i = 0; i < lit.atom.choice_split; ++i) {
+        IDLOG_RETURN_NOT_OK(take(lit.atom.terms[static_cast<size_t>(i)],
+                                 &occ.domain_vars));
+      }
+      for (size_t i = static_cast<size_t>(lit.atom.choice_split);
+           i < lit.atom.terms.size(); ++i) {
+        IDLOG_RETURN_NOT_OK(take(lit.atom.terms[i], &occ.range_vars));
+      }
+      occurrences.push_back(std::move(occ));
+    }
+  }
+
+  // (C2): no choice clause may be related to the head predicate of
+  // another choice clause.
+  if (occurrences.size() > 1) {
+    DependencyGraph graph(program);
+    for (const ChoiceOccurrence& a : occurrences) {
+      const std::string& head_a =
+          program.clauses[static_cast<size_t>(a.clause_index)]
+              .head.predicate;
+      std::set<std::string> related = graph.ReachableFrom(head_a);
+      for (const ChoiceOccurrence& b : occurrences) {
+        if (a.clause_index == b.clause_index) continue;
+        const std::string& head_b =
+            program.clauses[static_cast<size_t>(b.clause_index)]
+                .head.predicate;
+        if (related.count(head_b) > 0) {
+          return Status::InvalidArgument(
+              "condition (C2) violated: choice clause defining '" + head_b +
+              "' is related to choice output '" + head_a + "'");
+        }
+      }
+    }
+  }
+  return occurrences;
+}
+
+Program BuildPc(const Program& program,
+                const std::vector<ChoiceOccurrence>& occurrences) {
+  Program out = BuildFinalProgram(program, occurrences);
+  for (const ChoiceOccurrence& occ : occurrences) {
+    out.clauses.push_back(MakeChoiceClause(
+        program.clauses[static_cast<size_t>(occ.clause_index)], occ));
+  }
+  // Type table: register the extChoice predicates and re-infer.
+  InferPredicateTypes(&out);
+  return out;
+}
+
+Program BuildFinalProgram(const Program& program,
+                          const std::vector<ChoiceOccurrence>& occurrences) {
+  Program out;
+  out.predicates = program.predicates;
+  out.clauses = program.clauses;
+  for (const ChoiceOccurrence& occ : occurrences) {
+    out.clauses[static_cast<size_t>(occ.clause_index)] = ReplaceChoiceLiteral(
+        program.clauses[static_cast<size_t>(occ.clause_index)], occ);
+    out.GetOrAddPredicate(
+        occ.ext_pred,
+        static_cast<int>(occ.domain_vars.size() + occ.range_vars.size()));
+  }
+  InferPredicateTypes(&out);
+  return out;
+}
+
+}  // namespace idlog

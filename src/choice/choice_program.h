@@ -1,0 +1,47 @@
+#ifndef IDLOG_CHOICE_CHOICE_PROGRAM_H_
+#define IDLOG_CHOICE_CHOICE_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/status.h"
+
+namespace idlog {
+
+/// One occurrence of a choice operator in a DATALOG^C program
+/// (Krishnamurthy–Naqvi, Section 3.2.2): in clause `clause_index`,
+/// literal `literal_index` is `choice((domain...), (range...))`.
+struct ChoiceOccurrence {
+  int clause_index = 0;
+  int literal_index = 0;
+  std::vector<std::string> domain_vars;  ///< The X part (may be empty).
+  std::vector<std::string> range_vars;   ///< The Y part (non-empty).
+  std::string ext_pred;                  ///< Generated extChoice_i name.
+};
+
+/// Validates a DATALOG^C program against the paper's restrictions and
+/// returns its choice occurrences:
+///  (C1) every clause contains at most one choice operator;
+///  (C2) no clause containing a choice operator is related to the head
+///       predicate of another clause containing a choice operator;
+/// plus: choice arguments must be distinct variables that occur in
+/// positive non-choice body literals of the same clause.
+Result<std::vector<ChoiceOccurrence>> AnalyzeChoiceProgram(
+    const Program& program);
+
+/// The translated program P^C of Section 3.2.2: each choice literal is
+/// replaced by `extChoice_i(X, Y)` and the choice-clause
+/// `extChoice_i(X, Y) :- body-without-choice` is appended.
+Program BuildPc(const Program& program,
+                const std::vector<ChoiceOccurrence>& occurrences);
+
+/// Like BuildPc but without the choice-clauses: the original clauses
+/// with choice literals replaced by extChoice references (used when the
+/// extChoice relations are supplied as EDB facts).
+Program BuildFinalProgram(const Program& program,
+                          const std::vector<ChoiceOccurrence>& occurrences);
+
+}  // namespace idlog
+
+#endif  // IDLOG_CHOICE_CHOICE_PROGRAM_H_

@@ -1,0 +1,67 @@
+#include "choice/choice_to_idlog.h"
+
+#include "ast/program_builder.h"
+#include "choice/choice_program.h"
+
+namespace idlog {
+
+Result<Program> TranslateChoiceToIdlog(const Program& choice_program) {
+  IDLOG_ASSIGN_OR_RETURN(std::vector<ChoiceOccurrence> occurrences,
+                         AnalyzeChoiceProgram(choice_program));
+
+  Program out;
+  out.predicates = choice_program.predicates;
+  out.clauses = choice_program.clauses;
+
+  for (size_t i = 0; i < occurrences.size(); ++i) {
+    const ChoiceOccurrence& occ = occurrences[i];
+    const Clause& original =
+        choice_program.clauses[static_cast<size_t>(occ.clause_index)];
+    const std::string body_pred = "choice_body_" + std::to_string(i);
+    const std::string chosen_pred = "chosen_" + std::to_string(i);
+
+    std::vector<Term> xy_terms;
+    for (const std::string& v : occ.domain_vars) {
+      xy_terms.push_back(Term::Var(v));
+    }
+    for (const std::string& v : occ.range_vars) {
+      xy_terms.push_back(Term::Var(v));
+    }
+    const int xy_arity = static_cast<int>(xy_terms.size());
+
+    // choice_body_i(X, Y) :- body-without-choice.
+    Clause body_clause;
+    body_clause.head = Atom::Ordinary(body_pred, xy_terms);
+    for (size_t l = 0; l < original.body.size(); ++l) {
+      if (static_cast<int>(l) == occ.literal_index) continue;
+      body_clause.body.push_back(original.body[l]);
+    }
+    out.clauses.push_back(std::move(body_clause));
+    out.GetOrAddPredicate(body_pred, xy_arity);
+
+    // chosen_i(X, Y) :- choice_body_i[sX](X, Y, 0).
+    std::vector<int> group;
+    for (size_t g = 0; g < occ.domain_vars.size(); ++g) {
+      group.push_back(static_cast<int>(g));
+    }
+    std::vector<Term> id_args = xy_terms;
+    id_args.push_back(Term::Number(0));
+    Clause chosen_clause;
+    chosen_clause.head = Atom::Ordinary(chosen_pred, xy_terms);
+    chosen_clause.body.push_back(
+        Literal::Pos(Atom::Id(body_pred, group, std::move(id_args))));
+    out.clauses.push_back(std::move(chosen_clause));
+    out.GetOrAddPredicate(chosen_pred, xy_arity);
+
+    // Replace the choice literal in the original clause.
+    Clause& rewritten =
+        out.clauses[static_cast<size_t>(occ.clause_index)];
+    rewritten.body[static_cast<size_t>(occ.literal_index)] =
+        Literal::Pos(Atom::Ordinary(chosen_pred, xy_terms));
+  }
+
+  IDLOG_RETURN_NOT_OK(InferPredicateTypes(&out));
+  return out;
+}
+
+}  // namespace idlog

@@ -1,0 +1,26 @@
+#ifndef IDLOG_CHOICE_CHOICE_TO_IDLOG_H_
+#define IDLOG_CHOICE_CHOICE_TO_IDLOG_H_
+
+#include "ast/ast.h"
+#include "common/status.h"
+
+namespace idlog {
+
+/// The constructive side of Theorem 2: translates a DATALOG^C program
+/// satisfying (C1)/(C2) into a q-equivalent stratified IDLOG program.
+/// For the i-th choice occurrence `choice((X),(Y))` in clause r:
+///
+///   choice_body_i(X, Y) :- body(r) minus the choice literal.
+///   chosen_i(X, Y)      :- choice_body_i[sX](X, Y, 0).
+///   r'                   = r with the choice literal replaced by
+///                          chosen_i(X, Y).
+///
+/// where sX groups by the X columns, so tid 0 picks exactly one Y per
+/// X value — precisely a functional subset w.r.t. X -> Y that covers
+/// every X group. The result spans four strata (inputs, choice_body,
+/// chosen via the ID-edge, and the rewritten rules).
+Result<Program> TranslateChoiceToIdlog(const Program& choice_program);
+
+}  // namespace idlog
+
+#endif  // IDLOG_CHOICE_CHOICE_TO_IDLOG_H_

@@ -1,0 +1,29 @@
+#include "common/status.h"
+
+namespace idlog {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kTypeError: return "TypeError";
+    case StatusCode::kUnsafeProgram: return "UnsafeProgram";
+    case StatusCode::kNotStratified: return "NotStratified";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace idlog

@@ -1,0 +1,145 @@
+#ifndef IDLOG_COMMON_STATUS_H_
+#define IDLOG_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace idlog {
+
+/// Error categories used across the library. Library code never throws;
+/// fallible operations return Status or Result<T> (Arrow/RocksDB idiom).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input from the caller.
+  kParseError,        ///< Lexical or syntactic error in program text.
+  kTypeError,         ///< Sort mismatch (u vs i) or arity mismatch.
+  kUnsafeProgram,     ///< Range-restriction / arithmetic-safety violation.
+  kNotStratified,     ///< Negation or ID-edge inside a recursive component.
+  kUnsupported,       ///< Feature outside the implemented fragment.
+  kNotFound,          ///< Lookup of a missing predicate/relation.
+  kResourceExhausted, ///< Step or size limit exceeded.
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// Returns a human-readable name for a StatusCode ("ParseError" etc.).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status UnsafeProgram(std::string msg) {
+    return Status(StatusCode::kUnsafeProgram, std::move(msg));
+  }
+  static Status NotStratified(std::string msg) {
+    return Status(StatusCode::kNotStratified, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Callers must check ok() before
+/// dereferencing.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {}   // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(data_);
+  }
+
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the contained value or aborts with the error message.
+  /// For use in tests and examples where failure is a bug.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status().ToString().c_str());
+      std::abort();
+    }
+    return std::get<T>(std::move(data_));
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define IDLOG_RETURN_NOT_OK(expr)                   \
+  do {                                              \
+    ::idlog::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating errors; on success binds
+/// the value into `lhs` (a declaration).
+#define IDLOG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define IDLOG_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  IDLOG_ASSIGN_OR_RETURN_IMPL(                                            \
+      IDLOG_CONCAT_NAME_(_idlog_result_, __LINE__), lhs, expr)
+
+#define IDLOG_CONCAT_NAME_INNER_(a, b) a##b
+#define IDLOG_CONCAT_NAME_(a, b) IDLOG_CONCAT_NAME_INNER_(a, b)
+
+}  // namespace idlog
+
+#endif  // IDLOG_COMMON_STATUS_H_

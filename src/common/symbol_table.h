@@ -1,0 +1,46 @@
+#ifndef IDLOG_COMMON_SYMBOL_TABLE_H_
+#define IDLOG_COMMON_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace idlog {
+
+/// Identifier of an interned uninterpreted constant (sort-u value).
+using SymbolId = uint32_t;
+
+/// Interns uninterpreted-domain constants (the paper's universal domain U)
+/// as dense integer ids so tuples are flat 64-bit arrays.
+///
+/// Not thread-safe; one table per engine / test.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = default;
+  SymbolTable& operator=(const SymbolTable&) = default;
+
+  /// Returns the id of `name`, interning it if new.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id of `name` or kNoSymbol if it was never interned.
+  SymbolId Lookup(std::string_view name) const;
+
+  /// Returns the spelling of an interned symbol. `id` must be valid.
+  const std::string& NameOf(SymbolId id) const { return names_[id]; }
+
+  /// Number of interned symbols.
+  size_t size() const { return names_.size(); }
+
+  static constexpr SymbolId kNoSymbol = UINT32_MAX;
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace idlog
+
+#endif  // IDLOG_COMMON_SYMBOL_TABLE_H_

@@ -1,0 +1,103 @@
+#ifndef IDLOG_COMMON_VALUE_H_
+#define IDLOG_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/symbol_table.h"
+
+namespace idlog {
+
+/// The paper's two sorts: `u` (uninterpreted constants drawn from the
+/// universal domain U) and `i` (the interpreted domain, natural numbers).
+/// Relation types are written as 0/1 strings in the paper; kU==0, kI==1.
+enum class Sort : uint8_t {
+  kU = 0,  ///< Uninterpreted constant (interned symbol).
+  kI = 1,  ///< Natural number.
+};
+
+/// Returns "u" or "i".
+const char* SortName(Sort sort);
+
+/// A single two-sorted value. Sort-u values carry a SymbolId into a
+/// SymbolTable; sort-i values carry a non-negative int64.
+///
+/// Ordering compares sort first (u < i), then payload; for sort-u values
+/// this is interning order, which is arbitrary but stable within a run —
+/// exactly the "some order, not a semantic one" the genericity condition
+/// of Section 3.1 requires us not to depend on.
+class Value {
+ public:
+  Value() : sort_(Sort::kU), payload_(0) {}
+
+  static Value Symbol(SymbolId id) { return Value(Sort::kU, id); }
+  static Value Number(int64_t n) { return Value(Sort::kI, n); }
+
+  Sort sort() const { return sort_; }
+  bool is_symbol() const { return sort_ == Sort::kU; }
+  bool is_number() const { return sort_ == Sort::kI; }
+
+  /// SymbolId payload; only meaningful when is_symbol().
+  SymbolId symbol() const { return static_cast<SymbolId>(payload_); }
+  /// Numeric payload; only meaningful when is_number().
+  int64_t number() const { return payload_; }
+
+  bool operator==(const Value& o) const {
+    return sort_ == o.sort_ && payload_ == o.payload_;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  bool operator<(const Value& o) const {
+    if (sort_ != o.sort_) return sort_ < o.sort_;
+    return payload_ < o.payload_;
+  }
+
+  /// Renders the value using `symbols` for sort-u spellings.
+  std::string ToString(const SymbolTable& symbols) const;
+
+  size_t Hash() const {
+    uint64_t h = static_cast<uint64_t>(payload_) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<uint64_t>(sort_) << 62;
+    return static_cast<size_t>(h ^ (h >> 29));
+  }
+
+ private:
+  Value(Sort sort, int64_t payload) : sort_(sort), payload_(payload) {}
+
+  Sort sort_;
+  int64_t payload_;
+};
+
+/// A database tuple: a fixed-arity sequence of values.
+using Tuple = std::vector<Value>;
+
+/// Combines hashes (boost::hash_combine recipe).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9E3779B9u + (seed << 6) + (seed >> 2));
+}
+
+/// Hash functor for tuples, for use with unordered containers.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t seed = t.size();
+    for (const Value& v : t) seed = HashCombine(seed, v.Hash());
+    return seed;
+  }
+};
+
+/// Renders "(v1, v2, ...)".
+std::string TupleToString(const Tuple& t, const SymbolTable& symbols);
+
+/// A relation type: the sort of each column (the paper's 0/1 strings).
+using RelationType = std::vector<Sort>;
+
+/// Parses a 0/1 string such as "001" into a RelationType.
+RelationType TypeFromString(std::string_view bits);
+
+/// Renders a RelationType back into a 0/1 string.
+std::string TypeToString(const RelationType& type);
+
+}  // namespace idlog
+
+#endif  // IDLOG_COMMON_VALUE_H_

@@ -1,0 +1,45 @@
+#ifndef IDLOG_CORE_AGGREGATES_H_
+#define IDLOG_CORE_AGGREGATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace idlog {
+
+/// Aggregates implemented *as IDLOG programs* — the practical face of
+/// the Section 5 expressiveness result. DATALOG alone cannot count;
+/// with tuple identifiers, cardinality is "successor of the largest
+/// global tid", per-group counts use per-group tids, and sums fold the
+/// relation along the tid order:
+///
+///     item(I, V) :- r[](X1..Xn, I).            % project tid + value
+///     acc(0, V)  :- item(0, V).
+///     acc(J, S2) :- acc(I, S), succ(I, J), item(J, V), S2 = S + V.
+///
+/// Every function below builds the corresponding program with
+/// ProgramBuilder, evaluates it and reads the answer back. All of them
+/// are deterministic queries even though the programs are
+/// non-deterministic (any tid order gives the same aggregate).
+
+/// |rel| via the counting idiom (0 for the empty relation).
+Result<int64_t> CountViaTids(const Relation& rel);
+
+/// Per-group cardinalities: returns a relation of type
+/// type(group cols) . 1 mapping each group key to its size.
+Result<Relation> GroupCountViaTids(const Relation& rel,
+                                   const std::vector<int>& group_cols);
+
+/// Minimum / maximum of sort-i column `col` (InvalidArgument if the
+/// column is not numeric, NotFound if the relation is empty).
+Result<int64_t> MinOfColumn(const Relation& rel, int col);
+Result<int64_t> MaxOfColumn(const Relation& rel, int col);
+
+/// Sum of sort-i column `col` via the ordered fold (0 for empty).
+Result<int64_t> SumViaTids(const Relation& rel, int col);
+
+}  // namespace idlog
+
+#endif  // IDLOG_CORE_AGGREGATES_H_

@@ -1,0 +1,71 @@
+#include "core/answer_enumerator.h"
+
+#include <algorithm>
+
+#include "eval/engine_impl.h"
+#include "storage/tid_assigner.h"
+
+namespace idlog {
+
+bool AnswerSet::ContainsAnswer(std::vector<Tuple> tuples) const {
+  std::sort(tuples.begin(), tuples.end());
+  return answers.count(tuples) > 0;
+}
+
+Result<AnswerSet> EnumerateAnswers(const Program& program,
+                                   const Database& database,
+                                   const std::string& query_pred,
+                                   const EnumerateOptions& options) {
+  EngineImpl engine(&program, &database);
+  IDLOG_RETURN_NOT_OK(engine.Prepare());
+
+  ScriptedTidAssigner assigner;
+  AnswerSet result;
+
+  // `script[i]` is the permutation rank chosen for the i-th ID-group
+  // encountered; `radix[i]` its number of permutations. Both describe
+  // the current root-to-leaf path of the choice tree. Incrementing the
+  // deepest incrementable digit and truncating everything below walks
+  // the whole tree even though different prefixes may expose different
+  // groups further down.
+  std::vector<uint64_t> script;
+  std::vector<uint64_t> radix;
+
+  while (true) {
+    if (result.assignments_tried >= options.max_assignments) {
+      return Status::ResourceExhausted(
+          "answer enumeration exceeded max_assignments=" +
+          std::to_string(options.max_assignments));
+    }
+    assigner.SetScript(script);
+    assigner.ResetRadices();
+    IDLOG_RETURN_NOT_OK(engine.Evaluate(&assigner, options.seminaive));
+    ++result.assignments_tried;
+
+    Result<const Relation*> rel = engine.RelationOf(query_pred);
+    if (!rel.ok()) return rel.status();
+    result.answers.insert((*rel)->SortedTuples());
+
+    // Groups discovered beyond the scripted prefix used rank 0.
+    for (uint64_t r : assigner.radices()) {
+      script.push_back(0);
+      radix.push_back(r);
+    }
+
+    // Odometer step with truncation.
+    int64_t i = static_cast<int64_t>(script.size()) - 1;
+    while (i >= 0 &&
+           (radix[static_cast<size_t>(i)] == UINT64_MAX ||
+            script[static_cast<size_t>(i)] + 1 >=
+                radix[static_cast<size_t>(i)])) {
+      --i;
+    }
+    if (i < 0) break;
+    ++script[static_cast<size_t>(i)];
+    script.resize(static_cast<size_t>(i) + 1);
+    radix.resize(static_cast<size_t>(i) + 1);
+  }
+  return result;
+}
+
+}  // namespace idlog

@@ -1,0 +1,141 @@
+#include "core/idlog_engine.h"
+
+#include "analysis/dependency_graph.h"
+#include "parser/parser.h"
+
+namespace idlog {
+
+IdlogEngine::IdlogEngine()
+    : database_(&symbols_),
+      assigner_(std::make_unique<IdentityTidAssigner>()) {}
+
+Status IdlogEngine::LoadProgramText(std::string_view text) {
+  IDLOG_ASSIGN_OR_RETURN(Program program, ParseProgram(text, &symbols_));
+  return LoadProgram(std::move(program));
+}
+
+Status IdlogEngine::LoadProgram(Program program) {
+  program_ = std::move(program);
+  auto impl = std::make_unique<EngineImpl>(&program_, &database_);
+  impl->set_tid_bound_pushdown(tid_bound_pushdown_);
+  impl->set_provenance_enabled(provenance_);
+  impl->set_use_indexes(use_indexes_);
+  IDLOG_RETURN_NOT_OK(impl->Prepare());
+  impl_ = std::move(impl);
+  ran_ = false;
+  return Status::OK();
+}
+
+Status IdlogEngine::AddFact(const std::string& pred, Tuple t) {
+  ran_ = false;
+  return database_.AddTuple(pred, std::move(t));
+}
+
+Status IdlogEngine::AddRow(const std::string& pred,
+                           const std::vector<std::string>& fields) {
+  ran_ = false;
+  return database_.AddRow(pred, fields);
+}
+
+void IdlogEngine::SetTidAssigner(std::unique_ptr<TidAssigner> assigner) {
+  assigner_ = std::move(assigner);
+  ran_ = false;
+}
+
+void IdlogEngine::SetSeminaive(bool seminaive) {
+  if (seminaive_ != seminaive) ran_ = false;
+  seminaive_ = seminaive;
+}
+
+void IdlogEngine::SetTidBoundPushdown(bool enabled) {
+  if (tid_bound_pushdown_ != enabled) ran_ = false;
+  tid_bound_pushdown_ = enabled;
+  if (impl_ != nullptr) impl_->set_tid_bound_pushdown(enabled);
+}
+
+Status IdlogEngine::Run() {
+  if (impl_ == nullptr) {
+    return Status::InvalidArgument("no program loaded");
+  }
+  if (ran_) return Status::OK();
+  IDLOG_RETURN_NOT_OK(impl_->Evaluate(assigner_.get(), seminaive_));
+  ran_ = true;
+  return Status::OK();
+}
+
+Result<const Relation*> IdlogEngine::Query(const std::string& pred) {
+  IDLOG_RETURN_NOT_OK(Run());
+  return impl_->RelationOf(pred);
+}
+
+Result<const Relation*> IdlogEngine::QueryIdRelation(
+    const std::string& pred, const std::vector<int>& group) {
+  IDLOG_RETURN_NOT_OK(Run());
+  return impl_->IdRelationOf(pred, group);
+}
+
+Result<Relation> IdlogEngine::QueryPortion(const std::string& pred) {
+  if (impl_ == nullptr) {
+    return Status::InvalidArgument("no program loaded");
+  }
+  Program portion;
+  portion.predicates = program_.predicates;
+  portion.clauses = ProgramPortion(program_, pred);
+  if (portion.clauses.empty() && !database_.HasRelation(pred)) {
+    return Status::NotFound("no clauses define '" + pred + "'");
+  }
+  EngineImpl impl(&portion, &database_);
+  impl.set_tid_bound_pushdown(tid_bound_pushdown_);
+  IDLOG_RETURN_NOT_OK(impl.Prepare());
+  IDLOG_RETURN_NOT_OK(impl.Evaluate(assigner_.get(), seminaive_));
+  IDLOG_ASSIGN_OR_RETURN(const Relation* rel, impl.RelationOf(pred));
+  return *rel;
+}
+
+Result<bool> IdlogEngine::VerifyModel() {
+  IDLOG_RETURN_NOT_OK(Run());
+  return impl_->VerifyModel();
+}
+
+void IdlogEngine::SetUseIndexes(bool enabled) {
+  if (use_indexes_ != enabled) ran_ = false;
+  use_indexes_ = enabled;
+  if (impl_ != nullptr) impl_->set_use_indexes(enabled);
+}
+
+void IdlogEngine::EnableProvenance(bool enabled) {
+  if (provenance_ != enabled) ran_ = false;
+  provenance_ = enabled;
+  if (impl_ != nullptr) impl_->set_provenance_enabled(enabled);
+}
+
+Result<std::string> IdlogEngine::Explain(const std::string& pred,
+                                         const Tuple& tuple) {
+  if (!provenance_) {
+    return Status::InvalidArgument(
+        "call EnableProvenance(true) before Run() to use Explain()");
+  }
+  IDLOG_RETURN_NOT_OK(Run());
+  IDLOG_ASSIGN_OR_RETURN(const Relation* rel, impl_->RelationOf(pred));
+  if (!rel->Contains(tuple)) {
+    return Status::NotFound(pred + TupleToString(tuple, symbols_) +
+                            " does not hold in the computed model");
+  }
+  auto is_leaf = [this](const std::string& p, const Tuple& t) {
+    Result<const Relation*> stored = database_.Get(p);
+    return stored.ok() && (*stored)->Contains(t);
+  };
+  return ExplainFact(impl_->provenance(), symbols_, pred, tuple, is_leaf);
+}
+
+const EvalStats& IdlogEngine::stats() const {
+  static const EvalStats kEmpty;
+  return impl_ == nullptr ? kEmpty : impl_->stats();
+}
+
+Result<const Stratification*> IdlogEngine::stratification() const {
+  if (impl_ == nullptr) return Status::InvalidArgument("no program loaded");
+  return &impl_->stratification();
+}
+
+}  // namespace idlog

@@ -1,0 +1,133 @@
+#ifndef IDLOG_CORE_IDLOG_ENGINE_H_
+#define IDLOG_CORE_IDLOG_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "common/symbol_table.h"
+#include "eval/engine_impl.h"
+#include "storage/database.h"
+#include "storage/tid_assigner.h"
+
+namespace idlog {
+
+/// The main entry point of the library: owns a symbol table, an
+/// extensional database and one loaded IDLOG program, and evaluates the
+/// program's perfect model under a pluggable tid-assignment policy.
+///
+///   IdlogEngine engine;
+///   engine.AddRow("emp", {"ann", "sales"});
+///   engine.AddRow("emp", {"bob", "sales"});
+///   engine.LoadProgramText(
+///       "one_per_dept(N) :- emp[2](N, D, 0).");
+///   engine.SetTidAssigner(std::make_unique<RandomTidAssigner>(42));
+///   const Relation* r = engine.Query("one_per_dept").ValueOrDie();
+///
+/// Every call to Run()/Query() after changing the assigner or database
+/// recomputes the model; with a deterministic assigner results are
+/// repeatable.
+class IdlogEngine {
+ public:
+  IdlogEngine();
+
+  IdlogEngine(const IdlogEngine&) = delete;
+  IdlogEngine& operator=(const IdlogEngine&) = delete;
+
+  SymbolTable& symbols() { return symbols_; }
+  Database& database() { return database_; }
+  const Database& database() const { return database_; }
+
+  /// Parses and loads program text (see ParseProgram for the syntax).
+  /// Replaces any previously loaded program.
+  Status LoadProgramText(std::string_view text);
+
+  /// Loads an already-built Program (its u-constants must be interned
+  /// in this engine's symbol table).
+  Status LoadProgram(Program program);
+
+  const Program& program() const { return program_; }
+  bool has_program() const { return impl_ != nullptr; }
+
+  /// Adds an EDB fact; convenience wrappers over Database.
+  Status AddFact(const std::string& pred, Tuple t);
+  Status AddRow(const std::string& pred,
+                const std::vector<std::string>& fields);
+
+  /// Selects the non-determinism policy. Default: IdentityTidAssigner.
+  void SetTidAssigner(std::unique_ptr<TidAssigner> assigner);
+  TidAssigner* tid_assigner() { return assigner_.get(); }
+
+  /// Naive-vs-semi-naive fixpoint (ablation switch; default semi-naive).
+  void SetSeminaive(bool seminaive);
+
+  /// Footnote 6/7 tid-bound pushdown (ablation switch; default on):
+  /// when every use of an ID-relation bounds its tid, materialize only
+  /// the needed prefix of each group.
+  void SetTidBoundPushdown(bool enabled);
+
+  /// Index ablation switch (default on): with false, joins fall back to
+  /// full scans with key filters.
+  void SetUseIndexes(bool enabled);
+
+  /// Evaluates the program (all strata). Idempotent until the program,
+  /// database, assigner or mode changes.
+  Status Run();
+
+  /// Forces re-evaluation on the next Run()/Query() (e.g. after
+  /// reseeding a random assigner in place).
+  void InvalidateRun() { ran_ = false; }
+
+  /// Returns the relation for `pred` after evaluation, running first if
+  /// needed. EDB predicates resolve to their stored contents.
+  Result<const Relation*> Query(const std::string& pred);
+
+  /// The materialized ID-relation of (pred, group) from the last run.
+  Result<const Relation*> QueryIdRelation(const std::string& pred,
+                                          const std::vector<int>& group);
+
+  /// Evaluates only the program portion related to `pred` (the paper's
+  /// P/q) and returns its relation by value. Useful when the loaded
+  /// program defines many outputs and only one is needed; the engine's
+  /// cached full-program results are left untouched.
+  Result<Relation> QueryPortion(const std::string& pred);
+
+  const EvalStats& stats() const;
+  /// Stratification of the loaded program (valid after load).
+  Result<const Stratification*> stratification() const;
+
+  /// Soundness self-check: after Run(), re-derives every rule against
+  /// the computed relations (same ID-relations) and confirms the result
+  /// is a fixpoint model — nothing new is derivable. Runs first if
+  /// needed.
+  Result<bool> VerifyModel();
+
+  /// Records derivations during evaluation so Explain() works. Off by
+  /// default (memory proportional to the number of derived facts).
+  void EnableProvenance(bool enabled);
+
+  /// Renders the derivation tree of `pred(tuple)` from the last run:
+  /// which clause fired, from which facts, which tid choices and
+  /// built-ins it used. Requires EnableProvenance(true); runs first if
+  /// needed. NotFound if the fact does not hold.
+  Result<std::string> Explain(const std::string& pred, const Tuple& tuple);
+
+ private:
+  SymbolTable symbols_;
+  Database database_;
+  Program program_;
+  std::unique_ptr<EngineImpl> impl_;
+  std::unique_ptr<TidAssigner> assigner_;
+  bool seminaive_ = true;
+  bool tid_bound_pushdown_ = true;
+  bool provenance_ = false;
+  bool use_indexes_ = true;
+  bool ran_ = false;
+};
+
+}  // namespace idlog
+
+#endif  // IDLOG_CORE_IDLOG_ENGINE_H_

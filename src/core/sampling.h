@@ -1,0 +1,42 @@
+#ifndef IDLOG_CORE_SAMPLING_H_
+#define IDLOG_CORE_SAMPLING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+#include "storage/tid_assigner.h"
+
+namespace idlog {
+
+/// Sampling queries (Section 3.3) as a library call: returns `k`
+/// uniformly chosen tuples from every sub-relation of `rel` grouped by
+/// `group_cols` (all tuples of a group when the group has fewer than
+/// `k`). Implemented as the paper's one-line IDLOG idiom
+///
+///     sample(X1..Xn) :- r[s](X1..Xn, T), T < k.
+///
+/// evaluated under a RandomTidAssigner seeded with `seed` — random tids
+/// make `T < k` a uniform k-subset per group.
+Result<Relation> SampleKPerGroup(const Relation& rel,
+                                 const std::vector<int>& group_cols,
+                                 int64_t k, uint64_t seed);
+
+/// Same, but with a caller-supplied assigner (e.g. IdentityTidAssigner
+/// for the deterministic "first k in canonical order" variant).
+Result<Relation> SampleKPerGroupWith(const Relation& rel,
+                                     const std::vector<int>& group_cols,
+                                     int64_t k, TidAssigner* assigner);
+
+/// Renders the sampling program text for documentation/demo purposes,
+/// e.g. SamplingProgramText("emp", 3, {1}, 2) ==
+///   "sample(X1, X2, X3) :- emp[2](X1, X2, X3, T), T < 2."
+std::string SamplingProgramText(const std::string& relation_name, int arity,
+                                const std::vector<int>& group_cols,
+                                int64_t k);
+
+}  // namespace idlog
+
+#endif  // IDLOG_CORE_SAMPLING_H_

@@ -1,0 +1,203 @@
+#include "eval/engine_impl.h"
+
+#include "analysis/classification.h"
+#include "analysis/safety.h"
+#include "eval/stratum_eval.h"
+
+namespace idlog {
+
+Status EngineImpl::Prepare() {
+  IDLOG_RETURN_NOT_OK(CheckProgramSafety(*program_, /*allow_choice=*/false));
+  IDLOG_ASSIGN_OR_RETURN(strat_, Stratify(*program_));
+
+  plans_.clear();
+  plans_.reserve(program_->clauses.size());
+  for (size_t i = 0; i < program_->clauses.size(); ++i) {
+    IDLOG_ASSIGN_OR_RETURN(RulePlan plan,
+                           CompileRule(program_->clauses[i]));
+    plan.clause_index = static_cast<int>(i);
+    plans_.push_back(std::move(plan));
+  }
+
+  PredicateClassification classes = ClassifyPredicates(*program_);
+  idb_preds_ = classes.output;
+  tid_bounds_ = ComputeTidBounds(*program_);
+
+  // Does the program read `udom` without defining or storing it?
+  udom_needed_ = false;
+  for (const Clause& clause : program_->clauses) {
+    for (const Literal& lit : clause.body) {
+      if ((lit.atom.kind == AtomKind::kOrdinary ||
+           lit.atom.kind == AtomKind::kId) &&
+          lit.atom.predicate == "udom" && idb_preds_.count("udom") == 0 &&
+          !database_->HasRelation("udom")) {
+        udom_needed_ = true;
+      }
+    }
+  }
+
+  prepared_ = true;
+  return Status::OK();
+}
+
+const Relation* EngineImpl::FullRelation(const std::string& pred) const {
+  auto it = derived_.find(pred);
+  if (it != derived_.end()) return &it->second;
+  Result<const Relation*> edb = database_->Get(pred);
+  if (edb.ok()) return *edb;
+  if (pred == "udom" && udom_needed_) return &udom_;
+  return nullptr;
+}
+
+Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
+  if (!prepared_) {
+    return Status::InvalidArgument("Prepare() the engine before Evaluate()");
+  }
+  derived_.clear();
+  id_relations_.clear();
+  index_caches_.clear();
+  stats_.Reset();
+  provenance_.Clear();
+
+  // The implicit udom(d) facts of the database program (Section 3.1).
+  if (udom_needed_) {
+    udom_ = Relation(RelationType{Sort::kU});
+    for (SymbolId id : database_->u_domain()) {
+      udom_.Insert({Value::Symbol(id)});
+    }
+  }
+
+  // Pre-create IDB relations with their inferred types so that empty
+  // results still carry the right schema.
+  for (const PredicateInfo& info : program_->predicates) {
+    if (idb_preds_.count(info.name) > 0) {
+      derived_.emplace(info.name, Relation(info.type));
+    }
+  }
+
+  EvalContext ctx;
+  ctx.full = [this](const std::string& pred) { return FullRelation(pred); };
+  ctx.id_relation =
+      [this, assigner](const std::string& pred, const std::vector<int>& group)
+      -> Result<const Relation*> {
+    auto key = std::make_pair(pred, group);
+    auto it = id_relations_.find(key);
+    if (it != id_relations_.end()) return &it->second;
+    // Materialize now: stratification guarantees the base is complete.
+    const Relation* base = FullRelation(pred);
+    Relation empty_base(RelationType{});
+    if (base == nullptr) {
+      // Unknown relation: the ID-relation of the empty relation.
+      int idx = program_->FindPredicate(pred);
+      if (idx >= 0) {
+        empty_base = Relation(
+            program_->predicates[static_cast<size_t>(idx)].type);
+      }
+      base = &empty_base;
+    }
+    int64_t max_tid = -1;
+    if (tid_bound_pushdown_) {
+      auto bound = tid_bounds_.find(TidBoundKey{pred, group});
+      if (bound != tid_bounds_.end()) max_tid = bound->second;
+    }
+    size_t num_groups = 0;
+    IDLOG_ASSIGN_OR_RETURN(
+        Relation id_rel,
+        BuildIdRelation(pred, *base, group, assigner, max_tid,
+                        &num_groups));
+    stats_.id_groups_assigned += num_groups;
+    stats_.id_tuples_materialized += id_rel.size();
+    auto [pos, inserted] =
+        id_relations_.emplace(std::move(key), std::move(id_rel));
+    (void)inserted;
+    return &pos->second;
+  };
+  ctx.index_caches = &index_caches_;
+  ctx.stats = &stats_;
+  ctx.use_indexes = use_indexes_;
+  if (provenance_enabled_) {
+    ctx.provenance = &provenance_;
+    ctx.symbols = database_->symbols();
+  }
+
+  for (int s = 0; s < strat_.num_strata; ++s) {
+    // Materialize the ID-relations this stratum reads, in deterministic
+    // clause/step order (ScriptedTidAssigner relies on this order).
+    for (int clause_idx : strat_.clauses_by_stratum[static_cast<size_t>(s)]) {
+      const RulePlan& plan = plans_[static_cast<size_t>(clause_idx)];
+      for (const PlanStep& step : plan.steps) {
+        if ((step.kind == PlanStep::Kind::kScan ||
+             step.kind == PlanStep::Kind::kNegation) &&
+            step.is_id) {
+          IDLOG_ASSIGN_OR_RETURN(const Relation* ignored,
+                                 ctx.id_relation(step.predicate, step.group));
+          (void)ignored;
+        }
+      }
+    }
+
+    std::vector<const RulePlan*> stratum_plans;
+    std::set<std::string> stratum_preds;
+    for (int clause_idx : strat_.clauses_by_stratum[static_cast<size_t>(s)]) {
+      stratum_plans.push_back(&plans_[static_cast<size_t>(clause_idx)]);
+      stratum_preds.insert(plans_[static_cast<size_t>(clause_idx)].head_pred);
+    }
+    if (stratum_plans.empty()) continue;
+    IDLOG_RETURN_NOT_OK(EvaluateStratum(stratum_plans, stratum_preds, ctx,
+                                        &derived_, seminaive));
+  }
+  return Status::OK();
+}
+
+Result<const Relation*> EngineImpl::RelationOf(const std::string& pred) const {
+  const Relation* rel = FullRelation(pred);
+  if (rel == nullptr) {
+    return Status::NotFound("no relation computed or stored for '" + pred +
+                            "'");
+  }
+  return rel;
+}
+
+Result<bool> EngineImpl::VerifyModel() {
+  if (!prepared_) {
+    return Status::InvalidArgument("Prepare() and Evaluate() first");
+  }
+  EvalContext ctx;
+  ctx.full = [this](const std::string& pred) { return FullRelation(pred); };
+  ctx.id_relation = [this](const std::string& pred,
+                           const std::vector<int>& group)
+      -> Result<const Relation*> {
+    auto it = id_relations_.find(std::make_pair(pred, group));
+    if (it == id_relations_.end()) {
+      return Status::Internal("ID-relation '" + pred +
+                              "' missing from the evaluated state");
+    }
+    return &it->second;
+  };
+  ctx.index_caches = &index_caches_;
+  ctx.stats = nullptr;
+
+  for (const RulePlan& plan : plans_) {
+    const Relation* current = FullRelation(plan.head_pred);
+    if (current == nullptr) return false;
+    Relation derived(current->type());
+    IDLOG_RETURN_NOT_OK(
+        EvaluateRuleInto(plan, ctx, /*delta_step=*/-1, &derived));
+    for (const Tuple& t : derived.tuples()) {
+      if (!current->Contains(t)) return false;
+    }
+  }
+  return true;
+}
+
+Result<const Relation*> EngineImpl::IdRelationOf(
+    const std::string& pred, const std::vector<int>& group) const {
+  auto it = id_relations_.find(std::make_pair(pred, group));
+  if (it == id_relations_.end()) {
+    return Status::NotFound("ID-relation of '" + pred +
+                            "' was not materialized in the last run");
+  }
+  return &it->second;
+}
+
+}  // namespace idlog

@@ -1,0 +1,114 @@
+#ifndef IDLOG_EVAL_ENGINE_IMPL_H_
+#define IDLOG_EVAL_ENGINE_IMPL_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/stratifier.h"
+#include "analysis/tid_bounds.h"
+#include "ast/ast.h"
+#include "common/status.h"
+#include "eval/eval_stats.h"
+#include "eval/provenance.h"
+#include "eval/rule_eval.h"
+#include "eval/rule_plan.h"
+#include "storage/database.h"
+#include "storage/id_relation.h"
+#include "storage/tid_assigner.h"
+
+namespace idlog {
+
+/// One prepared evaluation of a stratified IDLOG program against a
+/// database: stratification + compiled rule plans, reusable across runs
+/// with different tid assigners (each run computes one perfect model).
+class EngineImpl {
+ public:
+  /// `program` and `database` must outlive the engine.
+  EngineImpl(const Program* program, const Database* database)
+      : program_(program), database_(database) {}
+
+  EngineImpl(const EngineImpl&) = delete;
+  EngineImpl& operator=(const EngineImpl&) = delete;
+
+  /// Validates (safety, stratification) and compiles rule plans.
+  Status Prepare();
+
+  /// Computes the perfect model under `assigner`'s ID-functions.
+  /// Clears previous results first. `seminaive=false` selects the naive
+  /// fixpoint (ablation only).
+  Status Evaluate(TidAssigner* assigner, bool seminaive = true);
+
+  /// The relation of `pred` after Evaluate: derived if IDB, database
+  /// contents if EDB, NotFound otherwise. The special predicate `udom`
+  /// resolves to the database's u-domain if not stored explicitly.
+  Result<const Relation*> RelationOf(const std::string& pred) const;
+
+  /// Materialized ID-relation of (pred, group) from the last run, for
+  /// inspection and invariant checks.
+  Result<const Relation*> IdRelationOf(const std::string& pred,
+                                       const std::vector<int>& group) const;
+
+  /// Verifies that the relations computed by the last Evaluate() form a
+  /// fixpoint model: re-runs every rule against the final state (with
+  /// the same materialized ID-relations) and checks that nothing new is
+  /// derivable. Returns false with no error if a violation is found.
+  Result<bool> VerifyModel();
+
+  const EvalStats& stats() const { return stats_; }
+  const Stratification& stratification() const { return strat_; }
+  bool prepared() const { return prepared_; }
+
+  /// Enables/disables the footnote 6/7 tid-bound pushdown (default on):
+  /// ID-relations whose tids are provably bounded materialize only the
+  /// needed prefix per group. Call before Evaluate.
+  void set_tid_bound_pushdown(bool enabled) {
+    tid_bound_pushdown_ = enabled;
+  }
+
+  /// The bounds the analysis found (for inspection and tests).
+  const std::map<TidBoundKey, int64_t>& tid_bounds() const {
+    return tid_bounds_;
+  }
+
+  /// Records first derivations during Evaluate (off by default; costs
+  /// memory proportional to the number of derived facts).
+  void set_provenance_enabled(bool enabled) {
+    provenance_enabled_ = enabled;
+  }
+
+  /// Ablation: disable index lookups (full scans + filters).
+  void set_use_indexes(bool enabled) { use_indexes_ = enabled; }
+  const ProvenanceStore& provenance() const { return provenance_; }
+
+ private:
+  const Relation* FullRelation(const std::string& pred) const;
+
+  const Program* program_;
+  const Database* database_;
+
+  bool prepared_ = false;
+  bool tid_bound_pushdown_ = true;
+  std::map<TidBoundKey, int64_t> tid_bounds_;
+  Stratification strat_;
+  std::vector<RulePlan> plans_;  ///< One per program clause.
+  std::set<std::string> idb_preds_;
+
+  std::map<std::string, Relation> derived_;
+  std::map<std::pair<std::string, std::vector<int>>, Relation> id_relations_;
+  Relation udom_;  ///< Synthesized u-domain relation.
+  bool udom_needed_ = false;
+
+  mutable std::map<const Relation*, std::unique_ptr<IndexCache>>
+      index_caches_;
+  EvalStats stats_;
+  bool provenance_enabled_ = false;
+  bool use_indexes_ = true;
+  ProvenanceStore provenance_;
+};
+
+}  // namespace idlog
+
+#endif  // IDLOG_EVAL_ENGINE_IMPL_H_

@@ -1,0 +1,38 @@
+#ifndef IDLOG_EVAL_EVAL_STATS_H_
+#define IDLOG_EVAL_EVAL_STATS_H_
+
+#include <cstdint>
+
+namespace idlog {
+
+/// Work counters collected during bottom-up evaluation. These back the
+/// paper's Section 4 claim that ID-literal rewriting "greatly reduces
+/// the number of intermediate redundant tuples": benches report
+/// `tuples_considered` with and without the rewrite, independent of
+/// machine speed.
+struct EvalStats {
+  uint64_t tuples_considered = 0;   ///< Candidate tuples enumerated in joins.
+  uint64_t facts_derived = 0;       ///< Head instantiations produced.
+  uint64_t facts_inserted = 0;      ///< Of those, new (first derivation).
+  uint64_t rule_firings = 0;        ///< Rule evaluation passes.
+  uint64_t iterations = 0;          ///< Fixpoint rounds across strata.
+  uint64_t id_groups_assigned = 0;  ///< Sub-relations given an ID-function.
+  uint64_t id_tuples_materialized = 0;
+
+  void Reset() { *this = EvalStats(); }
+
+  EvalStats& operator+=(const EvalStats& o) {
+    tuples_considered += o.tuples_considered;
+    facts_derived += o.facts_derived;
+    facts_inserted += o.facts_inserted;
+    rule_firings += o.rule_firings;
+    iterations += o.iterations;
+    id_groups_assigned += o.id_groups_assigned;
+    id_tuples_materialized += o.id_tuples_materialized;
+    return *this;
+  }
+};
+
+}  // namespace idlog
+
+#endif  // IDLOG_EVAL_EVAL_STATS_H_

@@ -1,0 +1,76 @@
+#ifndef IDLOG_EVAL_PROVENANCE_H_
+#define IDLOG_EVAL_PROVENANCE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/symbol_table.h"
+#include "common/value.h"
+
+namespace idlog {
+
+/// One premise used by a rule firing.
+struct Premise {
+  enum class Kind : uint8_t {
+    kFact,      ///< Positive ordinary fact (EDB or derived).
+    kIdFact,    ///< Tuple of a materialized ID-relation (a leaf: its
+                ///< tid comes from the run's ID-function choice).
+    kNegation,  ///< A fact whose absence was checked.
+    kBuiltin,   ///< A satisfied built-in constraint.
+  };
+  Kind kind = Kind::kFact;
+  std::string predicate;       ///< For kBuiltin: rendered text instead.
+  std::vector<int> group;      ///< kIdFact only.
+  Tuple tuple;                 ///< Empty for kBuiltin.
+  std::string builtin_text;    ///< kBuiltin only.
+};
+
+/// The first recorded derivation of a fact: which clause fired with
+/// which premises.
+struct Derivation {
+  int clause_index = -1;
+  std::vector<Premise> premises;
+};
+
+/// Records the first derivation of every fact inserted during a run.
+/// Facts present in the database and ID-relation tuples are leaves.
+class ProvenanceStore {
+ public:
+  ProvenanceStore() = default;
+  ProvenanceStore(const ProvenanceStore&) = delete;
+  ProvenanceStore& operator=(const ProvenanceStore&) = delete;
+
+  void Clear() { derivations_.clear(); }
+
+  /// Keeps only the first derivation per (pred, tuple).
+  void Record(const std::string& pred, const Tuple& tuple,
+              int clause_index, std::vector<Premise> premises);
+
+  /// Returns the derivation or nullptr (leaf / unknown).
+  const Derivation* Lookup(const std::string& pred,
+                           const Tuple& tuple) const;
+
+  size_t size() const { return derivations_.size(); }
+
+ private:
+  std::map<std::pair<std::string, Tuple>, Derivation> derivations_;
+};
+
+/// Renders a derivation tree for `pred(tuple)` as indented text. Leaves
+/// are annotated "[database fact]", "[tid choice]", "[absent]" or the
+/// built-in constraint; repeated subtrees and depth overruns are
+/// elided. Returns NotFound if the fact has no recorded derivation and
+/// is not marked as a leaf by the caller's `is_leaf` predicate.
+std::string ExplainFact(const ProvenanceStore& store,
+                        const SymbolTable& symbols, const std::string& pred,
+                        const Tuple& tuple,
+                        const std::function<bool(const std::string&,
+                                                 const Tuple&)>& is_leaf,
+                        int max_depth = 32);
+
+}  // namespace idlog
+
+#endif  // IDLOG_EVAL_PROVENANCE_H_

@@ -1,0 +1,259 @@
+#include "eval/rule_eval.h"
+
+#include <optional>
+#include <vector>
+
+#include "eval/builtin_eval.h"
+
+namespace idlog {
+
+namespace {
+
+/// Recursive nested-loop executor over the plan steps.
+class RuleExecutor {
+ public:
+  RuleExecutor(const RulePlan& plan, const EvalContext& ctx, int delta_step,
+               Relation* out)
+      : plan_(plan), ctx_(ctx), delta_step_(delta_step), out_(out),
+        slots_(static_cast<size_t>(plan.num_slots)) {
+    if (ctx_.provenance != nullptr) {
+      premises_.resize(plan.steps.size());
+    }
+  }
+
+  Status Run() {
+    // A differentiated rule derives nothing when its delta is empty;
+    // bail out before scanning any earlier (possibly large) steps.
+    if (delta_step_ >= 0) {
+      const PlanStep& step =
+          plan_.steps[static_cast<size_t>(delta_step_)];
+      const Relation* delta =
+          ctx_.delta ? ctx_.delta(step.predicate) : nullptr;
+      if (delta == nullptr || delta->empty()) return Status::OK();
+    }
+    if (ctx_.stats != nullptr) ++ctx_.stats->rule_firings;
+    return RunStep(0);
+  }
+
+ private:
+  Value Resolve(const ArgSource& src) const {
+    return src.is_slot ? slots_[static_cast<size_t>(src.slot)] : src.constant;
+  }
+
+  const IndexCache* CacheFor(const Relation* rel) const {
+    auto it = ctx_.index_caches->find(rel);
+    if (it == ctx_.index_caches->end()) {
+      it = ctx_.index_caches
+               ->emplace(rel, std::make_unique<IndexCache>(rel))
+               .first;
+    }
+    return it->second.get();
+  }
+
+  Status EmitHead() {
+    Tuple t;
+    t.reserve(plan_.head_args.size());
+    for (const ArgSource& src : plan_.head_args) t.push_back(Resolve(src));
+    if (ctx_.stats != nullptr) ++ctx_.stats->facts_derived;
+    if (ctx_.provenance != nullptr) {
+      ctx_.provenance->Record(plan_.head_pred, t, plan_.clause_index,
+                              premises_);
+    }
+    if (out_->Insert(std::move(t)) && ctx_.stats != nullptr) {
+      ++ctx_.stats->facts_inserted;
+    }
+    return Status::OK();
+  }
+
+  // Verifies kKey positions against `row` (needed when scanning without
+  // an index; index lookups guarantee them).
+  bool KeysMatch(const PlanStep& step, const Tuple& row) {
+    if (ctx_.use_indexes || step.key_cols.empty()) return true;
+    for (int col : step.key_cols) {
+      if (Resolve(step.sources[static_cast<size_t>(col)]) !=
+          row[static_cast<size_t>(col)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Applies write/filter argument modes against `row`; returns false on
+  // a filter mismatch. kKey positions are guaranteed by the index.
+  bool BindRow(const PlanStep& step, const Tuple& row) {
+    for (size_t pos = 0; pos < step.modes.size(); ++pos) {
+      const ArgSource& src = step.sources[pos];
+      switch (step.modes[pos]) {
+        case ArgMode::kKey:
+          break;
+        case ArgMode::kWrite:
+          slots_[static_cast<size_t>(src.slot)] = row[pos];
+          break;
+        case ArgMode::kFilter:
+          if (slots_[static_cast<size_t>(src.slot)] != row[pos]) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  Result<const Relation*> ResolveRelation(const PlanStep& step,
+                                          bool use_delta) {
+    if (step.is_id) {
+      return ctx_.id_relation(step.predicate, step.group);
+    }
+    if (use_delta) {
+      return ctx_.delta ? ctx_.delta(step.predicate) : nullptr;
+    }
+    return ctx_.full(step.predicate);
+  }
+
+  Status RunStep(size_t i) {
+    if (i == plan_.steps.size()) return EmitHead();
+    const PlanStep& step = plan_.steps[i];
+
+    switch (step.kind) {
+      case PlanStep::Kind::kScan: {
+        bool use_delta = static_cast<int>(i) == delta_step_;
+        IDLOG_ASSIGN_OR_RETURN(const Relation* rel,
+                               ResolveRelation(step, use_delta));
+        if (rel == nullptr || rel->empty()) return Status::OK();
+
+        if (step.key_cols.empty() || !ctx_.use_indexes) {
+          for (const Tuple& row : rel->tuples()) {
+            if (ctx_.stats != nullptr) ++ctx_.stats->tuples_considered;
+            if (!KeysMatch(step, row)) continue;
+            if (!BindRow(step, row)) continue;
+            if (ctx_.provenance != nullptr) RecordScanPremise(i, step, row);
+            IDLOG_RETURN_NOT_OK(RunStep(i + 1));
+          }
+          return Status::OK();
+        }
+
+        Tuple key;
+        key.reserve(step.key_cols.size());
+        for (int col : step.key_cols) {
+          key.push_back(Resolve(step.sources[static_cast<size_t>(col)]));
+        }
+        const ColumnIndex& index =
+            const_cast<IndexCache*>(CacheFor(rel))->Get(step.key_cols);
+        const std::vector<size_t>* rows = index.Lookup(key);
+        if (rows == nullptr) return Status::OK();
+        for (size_t r : *rows) {
+          if (ctx_.stats != nullptr) ++ctx_.stats->tuples_considered;
+          const Tuple& row = rel->tuples()[r];
+          if (!BindRow(step, row)) continue;
+          if (ctx_.provenance != nullptr) RecordScanPremise(i, step, row);
+          IDLOG_RETURN_NOT_OK(RunStep(i + 1));
+        }
+        return Status::OK();
+      }
+
+      case PlanStep::Kind::kNegation: {
+        IDLOG_ASSIGN_OR_RETURN(const Relation* rel,
+                               ResolveRelation(step, /*use_delta=*/false));
+        Tuple probe;
+        probe.reserve(step.sources.size());
+        for (const ArgSource& src : step.sources) probe.push_back(Resolve(src));
+        if (ctx_.stats != nullptr) ++ctx_.stats->tuples_considered;
+        if (rel != nullptr && rel->Contains(probe)) return Status::OK();
+        if (ctx_.provenance != nullptr) {
+          Premise& p = premises_[i];
+          p.kind = Premise::Kind::kNegation;
+          p.predicate = step.predicate;
+          p.group = step.group;
+          p.tuple = std::move(probe);
+        }
+        return RunStep(i + 1);
+      }
+
+      case PlanStep::Kind::kBuiltin: {
+        if (step.negated) {
+          std::vector<Value> args;
+          args.reserve(step.sources.size());
+          for (const ArgSource& src : step.sources) {
+            args.push_back(Resolve(src));
+          }
+          if (BuiltinHolds(step.builtin, args)) return Status::OK();
+          if (ctx_.provenance != nullptr) {
+            RecordBuiltinPremise(i, step, args, /*negated=*/true);
+          }
+          return RunStep(i + 1);
+        }
+        std::vector<std::optional<Value>> args(step.sources.size());
+        for (size_t pos = 0; pos < step.sources.size(); ++pos) {
+          if (step.modes[pos] == ArgMode::kKey) {
+            args[pos] = Resolve(step.sources[pos]);
+          }
+        }
+        Status inner = Status::OK();
+        Status st = EnumerateBuiltin(
+            step.builtin, args, [&](const std::vector<Value>& solution) {
+              if (!inner.ok()) return;
+              // Apply writes/filters for unbound positions.
+              for (size_t pos = 0; pos < step.modes.size(); ++pos) {
+                const ArgSource& src = step.sources[pos];
+                if (step.modes[pos] == ArgMode::kWrite) {
+                  slots_[static_cast<size_t>(src.slot)] = solution[pos];
+                } else if (step.modes[pos] == ArgMode::kFilter) {
+                  if (slots_[static_cast<size_t>(src.slot)] !=
+                      solution[pos]) {
+                    return;
+                  }
+                }
+              }
+              if (ctx_.provenance != nullptr) {
+                RecordBuiltinPremise(i, step, solution, /*negated=*/false);
+              }
+              inner = RunStep(i + 1);
+            });
+        IDLOG_RETURN_NOT_OK(st);
+        return inner;
+      }
+    }
+    return Status::Internal("unknown plan step kind");
+  }
+
+  void RecordScanPremise(size_t i, const PlanStep& step, const Tuple& row) {
+    Premise& p = premises_[i];
+    p.kind = step.is_id ? Premise::Kind::kIdFact : Premise::Kind::kFact;
+    p.predicate = step.predicate;
+    p.group = step.group;
+    p.tuple = row;
+  }
+
+  void RecordBuiltinPremise(size_t i, const PlanStep& step,
+                            const std::vector<Value>& args, bool negated) {
+    static const SymbolTable& kEmptySymbols = *new SymbolTable();
+    const SymbolTable& symbols =
+        ctx_.symbols != nullptr ? *ctx_.symbols : kEmptySymbols;
+    Premise& p = premises_[i];
+    p.kind = Premise::Kind::kBuiltin;
+    std::string text = negated ? "not " : "";
+    text += BuiltinName(step.builtin);
+    text += "(";
+    for (size_t a = 0; a < args.size(); ++a) {
+      if (a > 0) text += ", ";
+      text += args[a].ToString(symbols);
+    }
+    text += ")";
+    p.builtin_text = std::move(text);
+  }
+
+  const RulePlan& plan_;
+  const EvalContext& ctx_;
+  int delta_step_;
+  Relation* out_;
+  std::vector<Value> slots_;
+  std::vector<Premise> premises_;
+};
+
+}  // namespace
+
+Status EvaluateRuleInto(const RulePlan& plan, const EvalContext& ctx,
+                        int delta_step, Relation* out) {
+  RuleExecutor executor(plan, ctx, delta_step, out);
+  return executor.Run();
+}
+
+}  // namespace idlog

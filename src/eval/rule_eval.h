@@ -1,0 +1,61 @@
+#ifndef IDLOG_EVAL_RULE_EVAL_H_
+#define IDLOG_EVAL_RULE_EVAL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/symbol_table.h"
+#include "eval/eval_stats.h"
+#include "eval/provenance.h"
+#include "eval/rule_plan.h"
+#include "storage/index.h"
+#include "storage/relation.h"
+
+namespace idlog {
+
+/// Runtime environment a rule executes in. The resolver functions
+/// return nullptr for relations that do not exist yet (treated as
+/// empty for scans, which makes the rule produce nothing, and as empty
+/// for negation, which makes the negation succeed).
+struct EvalContext {
+  /// Full contents of an ordinary predicate (EDB or IDB).
+  std::function<const Relation*(const std::string&)> full;
+  /// Delta (facts new in the previous round) of an IDB predicate.
+  std::function<const Relation*(const std::string&)> delta;
+  /// Materialized ID-relation of (base predicate, grouping columns).
+  std::function<Result<const Relation*>(const std::string&,
+                                        const std::vector<int>&)>
+      id_relation;
+
+  /// Pointer-keyed index caches, owned by the caller and shared across
+  /// rule evaluations within one engine run.
+  std::map<const Relation*, std::unique_ptr<IndexCache>>* index_caches =
+      nullptr;
+
+  EvalStats* stats = nullptr;
+
+  /// Ablation switch: with false, scans ignore their index keys and
+  /// filter full scans instead (bench E4 measures the cost of losing
+  /// index nested-loop joins).
+  bool use_indexes = true;
+
+  /// When set, the first derivation of every new fact is recorded
+  /// (clause index + matched premises). `symbols` is only consulted for
+  /// rendering built-in premises and may be null otherwise.
+  ProvenanceStore* provenance = nullptr;
+  const SymbolTable* symbols = nullptr;
+};
+
+/// Evaluates one rule bottom-up, inserting derived head tuples into
+/// `out`. If `delta_step >= 0`, that step (which must be a positive
+/// non-ID scan) reads the delta relation instead of the full relation —
+/// the semi-naive differentiation hook.
+Status EvaluateRuleInto(const RulePlan& plan, const EvalContext& ctx,
+                        int delta_step, Relation* out);
+
+}  // namespace idlog
+
+#endif  // IDLOG_EVAL_RULE_EVAL_H_

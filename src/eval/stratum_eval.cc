@@ -1,0 +1,129 @@
+#include "eval/stratum_eval.h"
+
+namespace idlog {
+
+namespace {
+
+// Moves `staged` facts that are new into their full relations and into
+// `next_delta`. Returns true if anything was new.
+bool Commit(std::map<std::string, Relation>* staged,
+            std::map<std::string, Relation>* derived,
+            std::map<std::string, Relation>* next_delta) {
+  bool any = false;
+  for (auto& [pred, rel] : *staged) {
+    Relation& full = (*derived)[pred];
+    if (full.arity() == 0 && full.empty() && rel.arity() != 0) {
+      full = Relation(rel.type());
+    }
+    Relation fresh(rel.type());
+    for (const Tuple& t : rel.tuples()) {
+      if (full.Insert(t)) {
+        fresh.Insert(t);
+        any = true;
+      }
+    }
+    if (next_delta != nullptr) (*next_delta)[pred] = std::move(fresh);
+  }
+  return any;
+}
+
+}  // namespace
+
+Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
+                       const std::set<std::string>& stratum_preds,
+                       const EvalContext& base_ctx,
+                       std::map<std::string, Relation>* derived,
+                       bool seminaive) {
+  std::map<std::string, Relation> delta;
+
+  EvalContext ctx = base_ctx;
+  ctx.delta = [&delta](const std::string& pred) -> const Relation* {
+    auto it = delta.find(pred);
+    return it == delta.end() ? nullptr : &it->second;
+  };
+
+  // Each round produces fresh delta relations; their index-cache
+  // entries must be evicted or the pointer-keyed cache grows with the
+  // number of fixpoint rounds (visible on long chains like the E10
+  // sum fold).
+  auto replace_delta = [&](std::map<std::string, Relation>&& next) {
+    if (ctx.index_caches != nullptr) {
+      for (auto& [pred, rel] : delta) {
+        (void)pred;
+        ctx.index_caches->erase(&rel);
+      }
+    }
+    delta = std::move(next);
+  };
+
+  auto staging_for = [&](std::map<std::string, Relation>* staged,
+                         const RulePlan& plan) -> Relation* {
+    auto it = staged->find(plan.head_pred);
+    if (it == staged->end()) {
+      // Shape the staging relation after the existing full relation.
+      const Relation* full = base_ctx.full(plan.head_pred);
+      RelationType type =
+          full != nullptr
+              ? full->type()
+              : RelationType(plan.head_args.size(), Sort::kU);
+      it = staged->emplace(plan.head_pred, Relation(type)).first;
+    }
+    return &it->second;
+  };
+
+  // Round 0: all rules over full relations.
+  {
+    std::map<std::string, Relation> staged;
+    for (const RulePlan* plan : plans) {
+      IDLOG_RETURN_NOT_OK(
+          EvaluateRuleInto(*plan, ctx, /*delta_step=*/-1,
+                           staging_for(&staged, *plan)));
+    }
+    if (ctx.stats != nullptr) ++ctx.stats->iterations;
+    std::map<std::string, Relation> next_delta;
+    bool any = Commit(&staged, derived, &next_delta);
+    replace_delta(std::move(next_delta));
+    if (!any) return Status::OK();
+  }
+
+  // Later rounds.
+  while (true) {
+    std::map<std::string, Relation> staged;
+    bool fired = false;
+    for (const RulePlan* plan : plans) {
+      if (seminaive) {
+        for (int step : plan->positive_scan_steps) {
+          const std::string& pred =
+              plan->steps[static_cast<size_t>(step)].predicate;
+          if (stratum_preds.count(pred) == 0) continue;
+          fired = true;
+          IDLOG_RETURN_NOT_OK(EvaluateRuleInto(
+              *plan, ctx, step, staging_for(&staged, *plan)));
+        }
+      } else {
+        // Naive mode: re-run recursive rules in full. Rules with no
+        // intra-stratum dependency are complete after round 0.
+        bool recursive = false;
+        for (int step : plan->positive_scan_steps) {
+          if (stratum_preds.count(
+                  plan->steps[static_cast<size_t>(step)].predicate) > 0) {
+            recursive = true;
+            break;
+          }
+        }
+        if (!recursive) continue;
+        fired = true;
+        IDLOG_RETURN_NOT_OK(EvaluateRuleInto(*plan, ctx, /*delta_step=*/-1,
+                                             staging_for(&staged, *plan)));
+      }
+    }
+    if (!fired) return Status::OK();
+    if (ctx.stats != nullptr) ++ctx.stats->iterations;
+    std::map<std::string, Relation> next_delta;
+    bool any = Commit(&staged, derived, &next_delta);
+    replace_delta(std::move(next_delta));
+    if (!any) return Status::OK();
+  }
+}
+
+}  // namespace idlog

@@ -1,0 +1,33 @@
+#ifndef IDLOG_EVAL_STRATUM_EVAL_H_
+#define IDLOG_EVAL_STRATUM_EVAL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/rule_eval.h"
+#include "eval/rule_plan.h"
+#include "storage/relation.h"
+
+namespace idlog {
+
+/// Evaluates one stratum to its least fixpoint.
+///
+/// `plans` are the compiled rules whose heads belong to this stratum;
+/// `stratum_preds` the predicates defined here (everything else the
+/// rules read is complete). `derived` maps IDB predicate names to their
+/// relations, which this function extends in place. With
+/// `seminaive=false` every rule re-runs in full each round (the naive
+/// ablation baseline of bench E4); otherwise rounds after the first use
+/// delta differentiation on intra-stratum positive scans.
+Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
+                       const std::set<std::string>& stratum_preds,
+                       const EvalContext& base_ctx,
+                       std::map<std::string, Relation>* derived,
+                       bool seminaive);
+
+}  // namespace idlog
+
+#endif  // IDLOG_EVAL_STRATUM_EVAL_H_

@@ -1,0 +1,83 @@
+#include "models/stable.h"
+
+#include <algorithm>
+
+namespace idlog {
+
+AtomSet LeastModel(const GroundProgram& ground) {
+  AtomSet model;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const GroundClause& clause : ground.clauses) {
+      if (clause.head.size() != 1) continue;
+      bool body_holds = true;
+      for (const GroundAtom& a : clause.positive) {
+        if (model.count(a) == 0) {
+          body_holds = false;
+          break;
+        }
+      }
+      if (!body_holds) continue;
+      if (model.insert(clause.head[0]).second) changed = true;
+    }
+  }
+  return model;
+}
+
+Result<std::vector<AtomSet>> StableModels(const GroundProgram& ground,
+                                          int max_candidate_atoms) {
+  // Facts (no body, single head) are in every model; candidates are the
+  // remaining head atoms.
+  AtomSet facts;
+  std::set<GroundAtom> candidate_set;
+  for (const GroundClause& clause : ground.clauses) {
+    if (clause.head.size() != 1) {
+      return Status::InvalidArgument(
+          "stable models are implemented for single-head programs");
+    }
+    if (clause.positive.empty() && clause.negative.empty()) {
+      facts.insert(clause.head[0]);
+    } else {
+      candidate_set.insert(clause.head[0]);
+    }
+  }
+  for (const GroundAtom& f : facts) candidate_set.erase(f);
+  std::vector<GroundAtom> candidates(candidate_set.begin(),
+                                     candidate_set.end());
+  if (static_cast<int>(candidates.size()) > max_candidate_atoms) {
+    return Status::ResourceExhausted(
+        "too many candidate atoms for brute-force stable-model "
+        "enumeration (" +
+        std::to_string(candidates.size()) + ")");
+  }
+
+  std::vector<AtomSet> stable;
+  const uint64_t combos = 1ull << candidates.size();
+  for (uint64_t mask = 0; mask < combos; ++mask) {
+    AtomSet m = facts;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if ((mask >> i) & 1) m.insert(candidates[i]);
+    }
+    // Gelfond–Lifschitz reduct w.r.t. m.
+    GroundProgram reduct;
+    for (const GroundClause& clause : ground.clauses) {
+      bool blocked = false;
+      for (const GroundAtom& n : clause.negative) {
+        if (m.count(n) > 0) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+      GroundClause stripped;
+      stripped.head = clause.head;
+      stripped.positive = clause.positive;
+      reduct.clauses.push_back(std::move(stripped));
+    }
+    if (LeastModel(reduct) == m) stable.push_back(std::move(m));
+  }
+  return stable;
+}
+
+}  // namespace idlog

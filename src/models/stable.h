@@ -1,0 +1,33 @@
+#ifndef IDLOG_MODELS_STABLE_H_
+#define IDLOG_MODELS_STABLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ground/grounder.h"
+#include "models/disjunctive.h"
+
+namespace idlog {
+
+/// Stable-model semantics [GL88] for single-head ground programs with
+/// negation (the [SZ90] baseline of Section 3.2): M is stable iff M is
+/// the least model of the Gelfond–Lifschitz reduct of the program
+/// w.r.t. M. Enumerated by brute force over subsets of the derivable
+/// (non-fact head) atoms, so intended for the small instances of tests
+/// and benches — the paper's point is that every such query is *also*
+/// definable in stratified IDLOG (Theorem 6), which the tests verify by
+/// comparing possible-answer sets.
+///
+/// Fails with InvalidArgument on disjunctive heads, and with
+/// ResourceExhausted when there are more than `max_candidate_atoms`
+/// derivable atoms (2^n candidate sets).
+Result<std::vector<AtomSet>> StableModels(const GroundProgram& ground,
+                                          int max_candidate_atoms = 20);
+
+/// The least model of a negation-free single-head ground program
+/// (iterated immediate consequence); exposed for tests.
+AtomSet LeastModel(const GroundProgram& ground);
+
+}  // namespace idlog
+
+#endif  // IDLOG_MODELS_STABLE_H_

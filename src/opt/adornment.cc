@@ -1,0 +1,117 @@
+#include "opt/adornment.h"
+
+#include <map>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+
+namespace idlog {
+
+namespace {
+
+// Counts occurrences of variable `v` across all body literals of a
+// clause (every atom kind, every position).
+int CountBodyOccurrences(const Clause& clause, const std::string& v) {
+  int count = 0;
+  for (const Literal& lit : clause.body) {
+    for (const Term& t : lit.atom.terms) {
+      if (t.is_variable() && t.var_name() == v) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+ExistentialAnalysis DetectExistentialArguments(
+    const Program& program, const std::string& output_pred) {
+  ExistentialAnalysis analysis;
+  analysis.output_pred = output_pred;
+
+  std::vector<Clause> portion = ProgramPortion(program, output_pred);
+
+  // Disqualified predicates: occurring negated or as ID-versions (the
+  // test is stated for positive ordinary occurrences), or the output
+  // itself (its schema is the query's answer type).
+  std::set<std::string> disqualified = {output_pred};
+  for (const Clause& clause : portion) {
+    for (const Literal& lit : clause.body) {
+      if (lit.atom.kind == AtomKind::kId ||
+          (lit.atom.kind == AtomKind::kOrdinary && lit.negated)) {
+        disqualified.insert(lit.atom.predicate);
+      }
+    }
+  }
+
+  // Candidates: every position of every predicate with a positive
+  // ordinary body occurrence in P/q.
+  for (const Clause& clause : portion) {
+    for (const Literal& lit : clause.body) {
+      if (lit.atom.kind != AtomKind::kOrdinary || lit.negated) continue;
+      if (disqualified.count(lit.atom.predicate) > 0) continue;
+      for (int j = 0; j < lit.atom.arity(); ++j) {
+        analysis.positions.insert({lit.atom.predicate, j});
+      }
+    }
+  }
+
+  // Greatest fixpoint: remove (p, j) while some occurrence violates the
+  // adornment property.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : portion) {
+      for (const Literal& lit : clause.body) {
+        if (lit.atom.kind != AtomKind::kOrdinary || lit.negated) continue;
+        const std::string& pred = lit.atom.predicate;
+        for (int j = 0; j < lit.atom.arity(); ++j) {
+          if (!analysis.IsExistential(pred, j)) continue;
+          const Term& t = lit.atom.terms[static_cast<size_t>(j)];
+          bool ok = false;
+          if (t.is_variable()) {
+            const std::string& v = t.var_name();
+            ok = CountBodyOccurrences(clause, v) == 1;
+            if (ok) {
+              // Head occurrences allowed only at existential positions
+              // of the head predicate.
+              for (int k = 0; k < clause.head.arity(); ++k) {
+                const Term& h = clause.head.terms[static_cast<size_t>(k)];
+                if (h.is_variable() && h.var_name() == v &&
+                    !analysis.IsExistential(clause.head.predicate, k)) {
+                  ok = false;
+                  break;
+                }
+              }
+            }
+          }
+          if (!ok) {
+            analysis.positions.erase({pred, j});
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return analysis;
+}
+
+bool OccurrencePositionExistential(const Clause& clause, int literal_index,
+                                   int pos,
+                                   const ExistentialAnalysis& analysis) {
+  const Literal& lit = clause.body[static_cast<size_t>(literal_index)];
+  if (lit.negated || lit.atom.kind != AtomKind::kOrdinary) return false;
+  const Term& t = lit.atom.terms[static_cast<size_t>(pos)];
+  if (!t.is_variable()) return false;
+  const std::string& v = t.var_name();
+  if (CountBodyOccurrences(clause, v) != 1) return false;
+  for (int k = 0; k < clause.head.arity(); ++k) {
+    const Term& h = clause.head.terms[static_cast<size_t>(k)];
+    if (h.is_variable() && h.var_name() == v &&
+        !analysis.IsExistential(clause.head.predicate, k)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace idlog

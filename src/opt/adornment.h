@@ -1,0 +1,54 @@
+#ifndef IDLOG_OPT_ADORNMENT_H_
+#define IDLOG_OPT_ADORNMENT_H_
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "ast/ast.h"
+
+namespace idlog {
+
+/// The argument positions identified as existential w.r.t. one output
+/// predicate by the RBK88 adornment test (Section 4). By Theorem 4
+/// every position found here is also ∃-existential, so both the
+/// projection-pushing transform (Definition 1) and the ID-literal
+/// rewrite (Definition 2) are sound on them.
+struct ExistentialAnalysis {
+  std::string output_pred;
+  /// (predicate name, 0-based argument position).
+  std::set<std::pair<std::string, int>> positions;
+
+  bool IsExistential(const std::string& pred, int pos) const {
+    return positions.count({pred, pos}) > 0;
+  }
+};
+
+/// Runs the adornment algorithm on the program portion P/q: a greatest
+/// fixpoint that keeps (p, j) existential as long as every positive
+/// body occurrence of p in P/q carries at position j a variable that
+/// occurs nowhere else in the clause except possibly at existential
+/// head positions. Predicates that occur negated, under an ID-version
+/// or in the head of the output predicate are excluded outright (the
+/// sufficient test is only stated for positive occurrences, and the
+/// output schema must not change).
+///
+/// Detection of existential arguments is undecidable in general
+/// (Theorem 3 for the ∃ notion, RBK88 for the ∀ notion); this is the
+/// sound sufficient test both notions share.
+ExistentialAnalysis DetectExistentialArguments(const Program& program,
+                                               const std::string& output_pred);
+
+/// The occurrence-level test behind Definitions 1/2: in `clause`, is
+/// position `pos` of body literal `literal_index` existential? True iff
+/// the term there is a variable occurring exactly once across the body
+/// and, in the head, only at positions that `analysis` marks
+/// existential. Step 3 of the Section 4 strategy applies this to input
+/// predicate literals before rewriting them to ID-literals.
+bool OccurrencePositionExistential(const Clause& clause, int literal_index,
+                                   int pos,
+                                   const ExistentialAnalysis& analysis);
+
+}  // namespace idlog
+
+#endif  // IDLOG_OPT_ADORNMENT_H_

@@ -1,0 +1,113 @@
+#include "opt/cleanup.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "ast/printer.h"
+
+namespace idlog {
+
+namespace {
+
+// A syntactic key for literal/clause comparison. The shared symbol
+// table makes printing stable within one program.
+std::string LiteralKey(const Literal& lit, const SymbolTable& symbols) {
+  return LiteralToString(lit, symbols);
+}
+
+}  // namespace
+
+Program CleanupProgram(const Program& program, const std::string& output,
+                       CleanupStats* stats) {
+  CleanupStats local;
+  SymbolTable scratch;  // keys only need to be internally consistent
+
+  Program out;
+  out.predicates = program.predicates;
+
+  std::set<std::string> clause_keys;
+  std::vector<std::set<std::string>> kept_bodies;  // parallel to clauses
+  std::vector<std::string> kept_heads;
+
+  for (const Clause& clause : program.clauses) {
+    // 1. Collapse duplicate literals; detect L together with not L.
+    Clause cleaned;
+    cleaned.head = clause.head;
+    std::set<std::string> body_keys;
+    bool contradictory = false;
+    for (const Literal& lit : clause.body) {
+      std::string key = LiteralKey(lit, scratch);
+      if (!body_keys.insert(key).second) {
+        ++local.duplicate_literals_removed;
+        continue;
+      }
+      Literal flipped = lit;
+      flipped.negated = !flipped.negated;
+      if (lit.atom.kind != AtomKind::kChoice &&
+          body_keys.count(LiteralKey(flipped, scratch)) > 0) {
+        contradictory = true;
+        break;
+      }
+      cleaned.body.push_back(lit);
+    }
+    if (contradictory) {
+      ++local.contradictory_clauses_removed;
+      continue;
+    }
+
+    // 2. Duplicate clause elimination (order-insensitive bodies).
+    std::string head_key = AtomToString(cleaned.head, scratch);
+    std::string clause_key = head_key + " :- ";
+    for (const std::string& k : body_keys) clause_key += k + ", ";
+    if (!clause_keys.insert(clause_key).second) {
+      ++local.duplicate_clauses_removed;
+      continue;
+    }
+
+    // 3. Syntactic subsumption against already-kept clauses with the
+    // same head atom.
+    bool subsumed = false;
+    for (size_t i = 0; i < kept_heads.size(); ++i) {
+      if (kept_heads[i] != head_key) continue;
+      const std::set<std::string>& other = kept_bodies[i];
+      if (std::includes(body_keys.begin(), body_keys.end(), other.begin(),
+                        other.end())) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (subsumed) {
+      ++local.subsumed_clauses_removed;
+      continue;
+    }
+
+    kept_heads.push_back(std::move(head_key));
+    kept_bodies.push_back(std::move(body_keys));
+    out.clauses.push_back(std::move(cleaned));
+  }
+
+  // 4. Drop clauses outside P/output.
+  if (!output.empty()) {
+    size_t before = out.clauses.size();
+    Program restricted;
+    restricted.predicates = out.predicates;
+    DependencyGraph graph(out);
+    std::set<std::string> needed = graph.ReachableFrom(output);
+    for (Clause& clause : out.clauses) {
+      if (needed.count(clause.head.predicate) > 0) {
+        restricted.clauses.push_back(std::move(clause));
+      }
+    }
+    local.unreachable_clauses_removed =
+        static_cast<int>(before - restricted.clauses.size());
+    out = std::move(restricted);
+  }
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace idlog

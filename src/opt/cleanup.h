@@ -1,0 +1,43 @@
+#ifndef IDLOG_OPT_CLEANUP_H_
+#define IDLOG_OPT_CLEANUP_H_
+
+#include <string>
+
+#include "ast/ast.h"
+#include "common/status.h"
+
+namespace idlog {
+
+/// Statistics from one cleanup pass.
+struct CleanupStats {
+  int duplicate_literals_removed = 0;
+  int contradictory_clauses_removed = 0;
+  int duplicate_clauses_removed = 0;
+  int subsumed_clauses_removed = 0;
+  int unreachable_clauses_removed = 0;
+
+  int total() const {
+    return duplicate_literals_removed + contradictory_clauses_removed +
+           duplicate_clauses_removed + subsumed_clauses_removed +
+           unreachable_clauses_removed;
+  }
+};
+
+/// Rule-level cleanup, standing in for the thesis-only Algorithm D.1
+/// the Section 4 strategy invokes as its step 4. Purely syntactic and
+/// model-preserving transformations:
+///  - duplicate body literals collapse;
+///  - clauses whose body contains both L and not L are dropped;
+///  - textually duplicate clauses are dropped;
+///  - a clause is dropped when another clause with the same head atom
+///    has a body that is a subset of its body (syntactic subsumption);
+///  - when `output` is non-empty, clauses not related to it (outside
+///    the paper's P/q) are dropped.
+///
+/// Returns the cleaned program; `stats` (optional) reports what fired.
+Program CleanupProgram(const Program& program, const std::string& output = "",
+                       CleanupStats* stats = nullptr);
+
+}  // namespace idlog
+
+#endif  // IDLOG_OPT_CLEANUP_H_

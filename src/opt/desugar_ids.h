@@ -1,0 +1,43 @@
+#ifndef IDLOG_OPT_DESUGAR_IDS_H_
+#define IDLOG_OPT_DESUGAR_IDS_H_
+
+#include "ast/ast.h"
+#include "common/status.h"
+
+namespace idlog {
+
+/// Footnote 5 of the paper (attributed to Richard Hull): among the
+/// ID-predicates, the ungrouped form p[] is the most primitive — every
+/// grouped ID-predicate can be defined through it. This transform makes
+/// that constructive: each grouped ID-literal p[s](X̄, T) is replaced by
+/// a derived predicate whose tid is the *rank* of the tuple's global
+/// tid within its group:
+///
+///   gid(X̄, G)        :- p[](X̄, G).
+///   member(K̄, G)     :- gid(X̄, G).               % K̄ = X̄ | s
+///   walk(K̄, 0, 0)    :- member(K̄, G).             % start the counter
+///   walk(K̄, G1, R1)  :- walk(K̄, G, R), member(K̄, G),
+///                        succ(G, G1), succ(R, R1).
+///   walk(K̄, G1, R)   :- walk(K̄, G, R), not member(K̄, G),
+///                        gid_used(G), succ(G, G1).
+///   rank(K̄, G, R)    :- walk(K̄, G, R), member(K̄, G).
+///   p_id_s(X̄, T)     :- gid(X̄, G), rank(K̄, G, T).
+///
+/// Within each group the ranks are a bijection onto {0..k-1}, so the
+/// desugared predicate is a legal ID-relation of p on s; and as the
+/// global ID-function ranges over all permutations, the induced group
+/// rankings cover every combination of group ID-functions — the
+/// possible-answer sets of the original and desugared programs are
+/// equal (verified by enumeration in desugar_ids_test.cc).
+///
+/// Ungrouped ID-literals and everything else pass through unchanged.
+struct DesugarResult {
+  Program program;
+  int literals_desugared = 0;
+};
+
+Result<DesugarResult> DesugarGroupedIds(const Program& program);
+
+}  // namespace idlog
+
+#endif  // IDLOG_OPT_DESUGAR_IDS_H_

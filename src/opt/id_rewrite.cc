@@ -1,0 +1,80 @@
+#include "opt/id_rewrite.h"
+
+#include <vector>
+
+#include "analysis/classification.h"
+#include "ast/program_builder.h"
+#include "opt/cleanup.h"
+#include "opt/projection_push.h"
+
+namespace idlog {
+
+Result<IdRewriteResult> RewriteExistentialToId(
+    const Program& program, const ExistentialAnalysis& analysis) {
+  PredicateClassification classes = ClassifyPredicates(program);
+
+  IdRewriteResult result;
+  result.program.predicates = program.predicates;
+
+  for (const Clause& clause : program.clauses) {
+    Clause rewritten = clause;
+    for (size_t l = 0; l < clause.body.size(); ++l) {
+      const Literal& lit = clause.body[l];
+      if (lit.negated || lit.atom.kind != AtomKind::kOrdinary) continue;
+      if (!classes.IsInput(lit.atom.predicate)) continue;
+
+      std::vector<int> group;
+      int existential = 0;
+      for (int j = 0; j < lit.atom.arity(); ++j) {
+        if (OccurrencePositionExistential(clause, static_cast<int>(l), j,
+                                          analysis)) {
+          ++existential;
+        } else {
+          group.push_back(j);
+        }
+      }
+      if (existential == 0) continue;
+
+      std::vector<Term> args = lit.atom.terms;
+      args.push_back(Term::Number(0));
+      rewritten.body[l] =
+          Literal::Pos(Atom::Id(lit.atom.predicate, group, std::move(args)));
+      ++result.literals_rewritten;
+    }
+    result.program.clauses.push_back(std::move(rewritten));
+  }
+  IDLOG_RETURN_NOT_OK(InferPredicateTypes(&result.program));
+  return result;
+}
+
+Result<OptimizeResult> OptimizeForOutput(const Program& program,
+                                         const std::string& output_pred) {
+  OptimizeResult out;
+
+  // Step 1: RBK88 adornment + projection pushing through the IDB.
+  ExistentialAnalysis analysis =
+      DetectExistentialArguments(program, output_pred);
+  IDLOG_ASSIGN_OR_RETURN(ProjectionResult projected,
+                         PushProjections(program, analysis));
+  out.renamed = projected.renamed;
+  for (const auto& [pred, pos] : analysis.positions) {
+    (void)pos;
+    if (out.renamed.count(pred) > 0) ++out.idb_columns_dropped;
+  }
+
+  // Step 3: re-detect on the projected program (projection exposes new
+  // singleton variables) and rewrite input literals to ID-literals.
+  ExistentialAnalysis analysis2 =
+      DetectExistentialArguments(projected.program, output_pred);
+  IDLOG_ASSIGN_OR_RETURN(
+      IdRewriteResult rewritten,
+      RewriteExistentialToId(projected.program, analysis2));
+  out.literals_rewritten = rewritten.literals_rewritten;
+
+  // Step 4: rule cleanup (the Algorithm D.1 role) restricted to the
+  // output's program portion.
+  out.program = CleanupProgram(rewritten.program, output_pred);
+  return out;
+}
+
+}  // namespace idlog

@@ -1,0 +1,51 @@
+#ifndef IDLOG_OPT_ID_REWRITE_H_
+#define IDLOG_OPT_ID_REWRITE_H_
+
+#include <map>
+#include <string>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "opt/adornment.h"
+
+namespace idlog {
+
+/// Step 3 of the Section 4 optimization strategy: for every positive
+/// body literal p(Ȳ) over an *input* predicate whose positions
+/// {X1..Xn} are occurrence-existential, replace it with the ID-literal
+///
+///     p[s](Ȳ, 0)        with  s = positions of Ȳ − {X1..Xn},
+///
+/// so that only one tuple per sub-relation feeds the join — sound
+/// because every argument the RBK88 test identifies is ∃-existential
+/// (Theorem 4). Literals with no existential position are untouched.
+///
+/// Returns the rewritten program and the number of literals rewritten.
+struct IdRewriteResult {
+  Program program;
+  int literals_rewritten = 0;
+};
+
+Result<IdRewriteResult> RewriteExistentialToId(
+    const Program& program, const ExistentialAnalysis& analysis);
+
+/// The full strategy (steps 1 and 3; step 2's output-schema pruning is
+/// intentionally skipped so the query type is preserved): detect
+/// existential arguments w.r.t. `output_pred`, push projections through
+/// the IDB, re-detect on the projected program, and rewrite input
+/// literals to ID-literals. The result is q-equivalent to the input
+/// program for q = `output_pred` (modulo the `_x` renaming of projected
+/// IDB predicates, reported in `renamed`).
+struct OptimizeResult {
+  Program program;
+  std::map<std::string, std::string> renamed;
+  int idb_columns_dropped = 0;
+  int literals_rewritten = 0;
+};
+
+Result<OptimizeResult> OptimizeForOutput(const Program& program,
+                                         const std::string& output_pred);
+
+}  // namespace idlog
+
+#endif  // IDLOG_OPT_ID_REWRITE_H_

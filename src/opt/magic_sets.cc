@@ -1,0 +1,180 @@
+#include "opt/magic_sets.h"
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "analysis/classification.h"
+#include "ast/program_builder.h"
+
+namespace idlog {
+
+namespace {
+
+/// An adornment: one char per argument, 'b' (bound) or 'f' (free).
+using Adornment = std::string;
+
+std::string AdornedName(const std::string& pred, const Adornment& a) {
+  return pred + "__" + a;
+}
+std::string MagicName(const std::string& pred, const Adornment& a) {
+  return "m_" + pred + "__" + a;
+}
+
+/// Bound argument terms of `atom` under `adornment`, in order.
+std::vector<Term> BoundArgs(const Atom& atom, const Adornment& adornment) {
+  std::vector<Term> out;
+  for (size_t i = 0; i < adornment.size(); ++i) {
+    if (adornment[i] == 'b') out.push_back(atom.terms[i]);
+  }
+  return out;
+}
+
+Adornment AtomAdornment(const Atom& atom,
+                        const std::set<std::string>& bound_vars) {
+  Adornment a;
+  for (const Term& t : atom.terms) {
+    bool bound = t.is_constant() || bound_vars.count(t.var_name()) > 0;
+    a += bound ? 'b' : 'f';
+  }
+  return a;
+}
+
+}  // namespace
+
+Result<MagicResult> MagicSetTransform(const Program& program,
+                                      const MagicQuery& query) {
+  // Validate the fragment.
+  for (const Clause& clause : program.clauses) {
+    for (const Literal& lit : clause.body) {
+      if (lit.negated || lit.atom.kind == AtomKind::kId ||
+          lit.atom.kind == AtomKind::kChoice) {
+        return Status::Unsupported(
+            "magic sets are implemented for positive programs "
+            "(ordinary atoms and built-ins only)");
+      }
+    }
+  }
+  int query_idx = program.FindPredicate(query.predicate);
+  if (query_idx < 0) {
+    return Status::NotFound("unknown query predicate '" +
+                            query.predicate + "'");
+  }
+  size_t query_arity =
+      program.predicates[static_cast<size_t>(query_idx)].type.size();
+  if (query.bindings.size() != query_arity) {
+    return Status::InvalidArgument("query binding arity mismatch");
+  }
+
+  PredicateClassification classes = ClassifyPredicates(program);
+  // Group clauses by head predicate.
+  std::map<std::string, std::vector<const Clause*>> defining;
+  for (const Clause& clause : program.clauses) {
+    defining[clause.head.predicate].push_back(&clause);
+  }
+
+  MagicResult result;
+  Program& out = result.program;
+
+  Adornment query_adornment;
+  for (const auto& b : query.bindings) {
+    query_adornment += b.has_value() ? 'b' : 'f';
+  }
+  result.answer_pred = AdornedName(query.predicate, query_adornment);
+  result.seed_pred = MagicName(query.predicate, query_adornment);
+
+  // Seed fact: m_q__a(c1..ck).
+  {
+    Clause seed;
+    std::vector<Term> consts;
+    for (const auto& b : query.bindings) {
+      if (b.has_value()) consts.push_back(Term::Const(*b));
+    }
+    seed.head = Atom::Ordinary(result.seed_pred, std::move(consts));
+    out.clauses.push_back(std::move(seed));
+  }
+
+  // Worklist over (predicate, adornment).
+  std::set<std::pair<std::string, Adornment>> processed;
+  std::deque<std::pair<std::string, Adornment>> worklist;
+  worklist.push_back({query.predicate, query_adornment});
+
+  while (!worklist.empty()) {
+    auto [pred, adornment] = worklist.front();
+    worklist.pop_front();
+    if (!processed.insert({pred, adornment}).second) continue;
+
+    auto it = defining.find(pred);
+    if (it == defining.end()) continue;  // EDB: nothing to rewrite
+
+    for (const Clause* clause : it->second) {
+      // Head variables bound by the magic atom.
+      std::set<std::string> bound_vars;
+      for (size_t i = 0; i < adornment.size(); ++i) {
+        const Term& t = clause->head.terms[i];
+        if (adornment[i] == 'b' && t.is_variable()) {
+          bound_vars.insert(t.var_name());
+        }
+      }
+
+      Clause rewritten;
+      rewritten.head =
+          Atom::Ordinary(AdornedName(pred, adornment), clause->head.terms);
+      Atom magic_guard = Atom::Ordinary(MagicName(pred, adornment),
+                                        BoundArgs(clause->head, adornment));
+      rewritten.body.push_back(Literal::Pos(magic_guard));
+
+      // Left-to-right SIP over the body.
+      std::vector<Literal> prefix;  // rewritten literals seen so far
+      for (const Literal& lit : clause->body) {
+        if (lit.atom.kind == AtomKind::kBuiltin) {
+          rewritten.body.push_back(lit);
+          prefix.push_back(lit);
+          for (const Term& t : lit.atom.terms) {
+            if (t.is_variable()) bound_vars.insert(t.var_name());
+          }
+          continue;
+        }
+        const std::string& body_pred = lit.atom.predicate;
+        if (classes.IsOutput(body_pred)) {
+          Adornment body_adornment = AtomAdornment(lit.atom, bound_vars);
+          // Magic rule: m_body(bound) :- m_head(bound), prefix...
+          Clause magic_rule;
+          magic_rule.head =
+              Atom::Ordinary(MagicName(body_pred, body_adornment),
+                             BoundArgs(lit.atom, body_adornment));
+          magic_rule.body.push_back(Literal::Pos(magic_guard));
+          for (const Literal& p : prefix) magic_rule.body.push_back(p);
+          out.clauses.push_back(std::move(magic_rule));
+          worklist.push_back({body_pred, body_adornment});
+
+          Literal adorned = Literal::Pos(Atom::Ordinary(
+              AdornedName(body_pred, body_adornment), lit.atom.terms));
+          rewritten.body.push_back(adorned);
+          prefix.push_back(adorned);
+        } else {
+          rewritten.body.push_back(lit);
+          prefix.push_back(lit);
+        }
+        for (const Term& t : lit.atom.terms) {
+          if (t.is_variable()) bound_vars.insert(t.var_name());
+        }
+      }
+      out.clauses.push_back(std::move(rewritten));
+    }
+  }
+
+  // Register predicates and infer types.
+  for (const Clause& clause : out.clauses) {
+    out.GetOrAddPredicate(clause.head.predicate, clause.head.arity());
+    for (const Literal& lit : clause.body) {
+      if (lit.atom.kind == AtomKind::kOrdinary) {
+        out.GetOrAddPredicate(lit.atom.predicate, lit.atom.arity());
+      }
+    }
+  }
+  IDLOG_RETURN_NOT_OK(InferPredicateTypes(&out));
+  return result;
+}
+
+}  // namespace idlog

@@ -1,0 +1,48 @@
+#ifndef IDLOG_OPT_MAGIC_SETS_H_
+#define IDLOG_OPT_MAGIC_SETS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace idlog {
+
+/// A point query: predicate plus per-argument binding (a constant, or
+/// nullopt for a free position). E.g. path(n3, X) is
+/// {"path", {Value(n3), nullopt}}.
+struct MagicQuery {
+  std::string predicate;
+  std::vector<std::optional<Value>> bindings;
+};
+
+struct MagicResult {
+  Program program;
+  /// The adorned predicate holding the query's answers (only tuples
+  /// matching the bound constants are derived).
+  std::string answer_pred;
+  /// The seed magic predicate (for inspection).
+  std::string seed_pred;
+};
+
+/// The classic magic-sets transformation (Bancilhon/Beeri/Ramakrishnan)
+/// with a left-to-right sideways-information-passing strategy, for
+/// *positive* programs (ordinary atoms and built-ins; negation, ID-
+/// literals and choice are Unsupported). Section 3.2's point that
+/// IDLOG "can make use of many existing evaluation strategies" is
+/// demonstrated by this module: the transform is source-to-source on
+/// our AST, and the transformed program runs on the unmodified engine.
+///
+/// The result restricts bottom-up evaluation to facts relevant to the
+/// query's bound constants: magic predicates carry the reachable
+/// binding sets, every original rule is guarded by its head's magic
+/// atom, and the query's constants seed the magic fixpoint.
+Result<MagicResult> MagicSetTransform(const Program& program,
+                                      const MagicQuery& query);
+
+}  // namespace idlog
+
+#endif  // IDLOG_OPT_MAGIC_SETS_H_

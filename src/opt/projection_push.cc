@@ -1,0 +1,79 @@
+#include "opt/projection_push.h"
+
+#include <set>
+#include <vector>
+
+#include "analysis/classification.h"
+#include "ast/program_builder.h"
+
+namespace idlog {
+
+Result<ProjectionResult> PushProjections(const Program& program,
+                                         const ExistentialAnalysis& analysis) {
+  PredicateClassification classes = ClassifyPredicates(program);
+
+  // Which IDB predicates lose which columns.
+  std::map<std::string, std::set<int>> dropped;
+  for (const auto& [pred, pos] : analysis.positions) {
+    if (classes.IsOutput(pred)) dropped[pred].insert(pos);
+  }
+
+  ProjectionResult result;
+  if (dropped.empty()) {
+    result.program = program;
+    return result;
+  }
+  for (const auto& [pred, cols] : dropped) {
+    (void)cols;
+    result.renamed[pred] = pred + "_x";
+  }
+
+  auto rewrite_atom = [&](const Atom& atom) -> Atom {
+    if (atom.kind != AtomKind::kOrdinary) return atom;
+    auto it = dropped.find(atom.predicate);
+    if (it == dropped.end()) return atom;
+    std::vector<Term> kept;
+    for (int j = 0; j < atom.arity(); ++j) {
+      if (it->second.count(j) == 0) {
+        kept.push_back(atom.terms[static_cast<size_t>(j)]);
+      }
+    }
+    return Atom::Ordinary(result.renamed[atom.predicate], std::move(kept));
+  };
+
+  Program& out = result.program;
+  for (const Clause& clause : program.clauses) {
+    Clause rewritten;
+    rewritten.head = rewrite_atom(clause.head);
+    for (const Literal& lit : clause.body) {
+      if (lit.atom.kind == AtomKind::kOrdinary &&
+          dropped.count(lit.atom.predicate) > 0 && lit.negated) {
+        // Dropping columns under negation is unsound; the adornment
+        // pass disqualifies negated predicates, so reaching this means
+        // an inconsistent analysis was supplied.
+        return Status::InvalidArgument(
+            "existential analysis marks a negated predicate '" +
+            lit.atom.predicate + "'");
+      }
+      rewritten.body.push_back(
+          Literal{rewrite_atom(lit.atom), lit.negated});
+    }
+    out.clauses.push_back(std::move(rewritten));
+  }
+
+  // Rebuild the predicate table from scratch.
+  for (const Clause& clause : out.clauses) {
+    out.GetOrAddPredicate(clause.head.predicate, clause.head.arity());
+    for (const Literal& lit : clause.body) {
+      if (lit.atom.kind == AtomKind::kOrdinary) {
+        out.GetOrAddPredicate(lit.atom.predicate, lit.atom.arity());
+      } else if (lit.atom.kind == AtomKind::kId) {
+        out.GetOrAddPredicate(lit.atom.predicate, lit.atom.base_arity());
+      }
+    }
+  }
+  IDLOG_RETURN_NOT_OK(InferPredicateTypes(&out));
+  return result;
+}
+
+}  // namespace idlog

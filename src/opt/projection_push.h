@@ -1,0 +1,34 @@
+#ifndef IDLOG_OPT_PROJECTION_PUSH_H_
+#define IDLOG_OPT_PROJECTION_PUSH_H_
+
+#include <map>
+#include <string>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "opt/adornment.h"
+
+namespace idlog {
+
+/// Result of pushing projections through the IDB (the RBK88 transform
+/// of Example 6): every intensional predicate with existential argument
+/// positions is replaced by a narrower predicate with those columns
+/// dropped, in heads and bodies alike.
+struct ProjectionResult {
+  Program program;
+  /// original IDB predicate -> projected replacement (only predicates
+  /// that actually lost columns appear).
+  std::map<std::string, std::string> renamed;
+};
+
+/// Applies the projection transform for `analysis` (computed w.r.t. its
+/// output predicate). Extensional predicates keep their schema — their
+/// redundant columns are handled by RewriteExistentialToId instead.
+/// Projected predicates are renamed `<name>_x` to keep the original
+/// visible for comparison runs.
+Result<ProjectionResult> PushProjections(const Program& program,
+                                         const ExistentialAnalysis& analysis);
+
+}  // namespace idlog
+
+#endif  // IDLOG_OPT_PROJECTION_PUSH_H_

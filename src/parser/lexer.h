@@ -1,0 +1,55 @@
+#ifndef IDLOG_PARSER_LEXER_H_
+#define IDLOG_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idlog {
+
+enum class TokenKind : uint8_t {
+  kIdent,      ///< lowercase-initial identifier (predicate / u-constant).
+  kVariable,   ///< uppercase- or '_'-initial identifier.
+  kNumber,     ///< non-negative integer literal.
+  kString,     ///< double-quoted u-constant.
+  kLParen,     ///< (
+  kRParen,     ///< )
+  kLBracket,   ///< [
+  kRBracket,   ///< ]
+  kComma,      ///< ,
+  kDot,        ///< .
+  kImplies,    ///< :-
+  kNot,        ///< not
+  kEq,         ///< =
+  kNe,         ///< !=
+  kLt,         ///< <
+  kLe,         ///< <=
+  kGt,         ///< >
+  kGe,         ///< >=
+  kPlus,       ///< +
+  kMinus,      ///< -
+  kStar,       ///< *
+  kSlash,      ///< /
+  kPipe,       ///< | (disjunctive heads; DATALOG^∨ front end only)
+  kDecl,       ///< .decl directive keyword
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   ///< Identifier / string / number spelling.
+  int64_t number = 0; ///< Valid for kNumber.
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenizes IDLOG program text. Comments run from '%' or "//" to end of
+/// line. Returns ParseError with line/column info on bad input.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace idlog
+
+#endif  // IDLOG_PARSER_LEXER_H_

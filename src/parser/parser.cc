@@ -1,0 +1,391 @@
+#include "parser/parser.h"
+
+#include <optional>
+
+#include "ast/program_builder.h"
+#include "parser/lexer.h"
+
+namespace idlog {
+
+namespace {
+
+// Builtin prefix spellings reserved as predicate names.
+std::optional<BuiltinKind> PrefixBuiltin(const std::string& name) {
+  if (name == "succ") return BuiltinKind::kSucc;
+  if (name == "add") return BuiltinKind::kAdd;
+  if (name == "sub") return BuiltinKind::kSub;
+  if (name == "mul") return BuiltinKind::kMul;
+  if (name == "div") return BuiltinKind::kDiv;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SymbolTable* symbols,
+         bool disjunctive = false)
+      : tokens_(std::move(tokens)), symbols_(symbols),
+        disjunctive_(disjunctive) {}
+
+  Result<Program> Parse() {
+    while (!At(TokenKind::kEof)) {
+      if (At(TokenKind::kDecl)) {
+        IDLOG_RETURN_NOT_OK(ParseDeclaration());
+      } else {
+        IDLOG_RETURN_NOT_OK(ParseClause());
+      }
+    }
+    IDLOG_RETURN_NOT_OK(InferPredicateTypes(&program_));
+    return std::move(program_);
+  }
+
+  Result<DisjunctiveProgram> ParseDisjunctive() {
+    while (!At(TokenKind::kEof)) {
+      if (At(TokenKind::kDecl)) {
+        IDLOG_RETURN_NOT_OK(ParseDeclaration());
+      } else {
+        IDLOG_RETURN_NOT_OK(ParseClause());
+      }
+    }
+    return std::move(disjunctive_program_);
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind k) const { return Cur().kind == k; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(Cur().line) +
+                              ", column " + std::to_string(Cur().column));
+  }
+
+  Status Expect(TokenKind k, const char* what) {
+    if (!At(k)) return Error(std::string("expected ") + what);
+    Next();
+    return Status::OK();
+  }
+
+  Status ParseDeclaration() {
+    Next();  // .decl
+    if (!At(TokenKind::kIdent)) return Error("expected predicate name");
+    std::string name = Next().text;
+    IDLOG_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    RelationType type;
+    while (true) {
+      if (!At(TokenKind::kIdent) ||
+          (Cur().text != "u" && Cur().text != "i")) {
+        return Error("expected sort 'u' or 'i'");
+      }
+      type.push_back(Next().text == "i" ? Sort::kI : Sort::kU);
+      if (At(TokenKind::kComma)) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    IDLOG_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    IDLOG_RETURN_NOT_OK(Expect(TokenKind::kDot, "'.'"));
+    IDLOG_RETURN_NOT_OK(
+        CheckArity(name, static_cast<int>(type.size())));
+    PredicateInfo& info =
+        program_.GetOrAddPredicate(name, static_cast<int>(type.size()));
+    info.type = type;
+    info.declared = true;
+    return Status::OK();
+  }
+
+  Status CheckArity(const std::string& pred, int arity) {
+    int idx = program_.FindPredicate(pred);
+    if (idx >= 0 &&
+        static_cast<int>(program_.predicates[idx].type.size()) != arity) {
+      return Error("predicate '" + pred + "' used with arity " +
+                   std::to_string(arity) + " but previously had arity " +
+                   std::to_string(program_.predicates[idx].type.size()));
+    }
+    return Status::OK();
+  }
+
+  Status ParseClause() {
+    anon_counter_ = 0;
+    IDLOG_ASSIGN_OR_RETURN(Atom head, ParseHeadAtom());
+    std::vector<Atom> extra_heads;
+    while (At(TokenKind::kPipe)) {
+      if (!disjunctive_) {
+        return Error(
+            "disjunctive heads need ParseDisjunctiveProgram (DATALOG^v)");
+      }
+      Next();
+      IDLOG_ASSIGN_OR_RETURN(Atom another, ParseHeadAtom());
+      extra_heads.push_back(std::move(another));
+    }
+    Clause clause;
+    clause.head = std::move(head);
+    if (At(TokenKind::kImplies)) {
+      Next();
+      while (true) {
+        IDLOG_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+        clause.body.push_back(std::move(lit));
+        if (At(TokenKind::kComma)) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    IDLOG_RETURN_NOT_OK(Expect(TokenKind::kDot, "'.'"));
+    if (clause.body.empty() && extra_heads.empty()) {
+      for (const Term& t : clause.head.terms) {
+        if (t.is_variable()) {
+          return Error("fact '" + clause.head.predicate +
+                       "' contains a variable");
+        }
+      }
+    }
+    if (disjunctive_) {
+      for (const Literal& lit : clause.body) {
+        if (lit.atom.kind == AtomKind::kId ||
+            lit.atom.kind == AtomKind::kChoice) {
+          return Error(
+              "ID-atoms and choice are not part of DATALOG^v");
+        }
+      }
+      DisjunctiveClause dc;
+      dc.head.push_back(std::move(clause.head));
+      for (Atom& a : extra_heads) dc.head.push_back(std::move(a));
+      dc.body = std::move(clause.body);
+      disjunctive_program_.clauses.push_back(std::move(dc));
+      return Status::OK();
+    }
+    program_.clauses.push_back(std::move(clause));
+    return Status::OK();
+  }
+
+  Result<Atom> ParseHeadAtom() {
+    if (!At(TokenKind::kIdent)) return Error("expected clause head");
+    if (PrefixBuiltin(Cur().text).has_value()) {
+      return Error("head predicate '" + Cur().text +
+                   "' is a reserved built-in");
+    }
+    if (Cur().text == "choice") {
+      return Error("'choice' cannot appear in a clause head");
+    }
+    std::string name = Next().text;
+    if (At(TokenKind::kLBracket)) {
+      return Error("ID-predicates cannot appear in a clause head");
+    }
+    IDLOG_ASSIGN_OR_RETURN(std::vector<Term> args, ParseOptionalArgs());
+    IDLOG_RETURN_NOT_OK(CheckArity(name, static_cast<int>(args.size())));
+    program_.GetOrAddPredicate(name, static_cast<int>(args.size()));
+    return Atom::Ordinary(std::move(name), std::move(args));
+  }
+
+  Result<Literal> ParseLiteral() {
+    bool negated = false;
+    if (At(TokenKind::kNot)) {
+      Next();
+      negated = true;
+    }
+    IDLOG_ASSIGN_OR_RETURN(Atom atom, ParseBodyAtom());
+    if (negated && atom.kind == AtomKind::kChoice) {
+      return Error("'choice' cannot be negated");
+    }
+    return Literal{std::move(atom), negated};
+  }
+
+  Result<Atom> ParseBodyAtom() {
+    // Identifier followed by '(' or '[' is a predicate atom (or builtin
+    // prefix form, or choice); anything else starts a builtin expression.
+    if (At(TokenKind::kIdent)) {
+      const Token& ident = Cur();
+      TokenKind after = tokens_[pos_ + 1].kind;
+      if (ident.text == "choice" && after == TokenKind::kLParen) {
+        return ParseChoiceAtom();
+      }
+      if (auto builtin = PrefixBuiltin(ident.text);
+          builtin.has_value() && after == TokenKind::kLParen) {
+        Next();
+        IDLOG_ASSIGN_OR_RETURN(std::vector<Term> args, ParseParenTerms());
+        if (static_cast<int>(args.size()) != BuiltinArity(*builtin)) {
+          return Error(std::string("builtin '") + BuiltinName(*builtin) +
+                       "' takes " + std::to_string(BuiltinArity(*builtin)) +
+                       " arguments");
+        }
+        return Atom::Builtin(*builtin, std::move(args));
+      }
+      if (after == TokenKind::kLParen || after == TokenKind::kLBracket) {
+        return ParsePredicateAtom();
+      }
+      // Arity-0 predicate or a u-constant starting a comparison. If the
+      // next token is a relational operator, treat as term.
+      if (IsRelop(after)) return ParseBuiltinExpr();
+      return ParsePredicateAtom();
+    }
+    return ParseBuiltinExpr();
+  }
+
+  static bool IsRelop(TokenKind k) {
+    switch (k) {
+      case TokenKind::kEq:
+      case TokenKind::kNe:
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGt:
+      case TokenKind::kGe:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<Atom> ParsePredicateAtom() {
+    std::string name = Next().text;
+    std::vector<int> group;
+    bool is_id = false;
+    if (At(TokenKind::kLBracket)) {
+      Next();
+      is_id = true;
+      while (!At(TokenKind::kRBracket)) {
+        if (!At(TokenKind::kNumber)) {
+          return Error("expected 1-based column number in grouping set");
+        }
+        int64_t v = Next().number;
+        if (v < 1) return Error("grouping columns are 1-based");
+        group.push_back(static_cast<int>(v - 1));
+        if (At(TokenKind::kComma)) Next();
+      }
+      Next();  // ]
+    }
+    IDLOG_ASSIGN_OR_RETURN(std::vector<Term> args, ParseOptionalArgs());
+    if (is_id) {
+      if (args.empty()) {
+        return Error("ID-atom '" + name + "' needs at least a tid argument");
+      }
+      int base_arity = static_cast<int>(args.size()) - 1;
+      IDLOG_RETURN_NOT_OK(CheckArity(name, base_arity));
+      program_.GetOrAddPredicate(name, base_arity);
+      for (int c : group) {
+        if (c >= base_arity) {
+          return Error("grouping column " + std::to_string(c + 1) +
+                       " exceeds arity of '" + name + "'");
+        }
+      }
+      return Atom::Id(std::move(name), std::move(group), std::move(args));
+    }
+    IDLOG_RETURN_NOT_OK(CheckArity(name, static_cast<int>(args.size())));
+    program_.GetOrAddPredicate(name, static_cast<int>(args.size()));
+    return Atom::Ordinary(std::move(name), std::move(args));
+  }
+
+  Result<Atom> ParseChoiceAtom() {
+    Next();  // choice
+    IDLOG_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    IDLOG_ASSIGN_OR_RETURN(std::vector<Term> domain, ParseParenTerms());
+    IDLOG_RETURN_NOT_OK(Expect(TokenKind::kComma, "','"));
+    IDLOG_ASSIGN_OR_RETURN(std::vector<Term> range, ParseParenTerms());
+    IDLOG_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    if (range.empty()) return Error("choice range must be non-empty");
+    return Atom::Choice(std::move(domain), std::move(range));
+  }
+
+  Result<Atom> ParseBuiltinExpr() {
+    IDLOG_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    if (!IsRelop(Cur().kind)) return Error("expected comparison operator");
+    TokenKind op = Next().kind;
+    IDLOG_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    // Sugar: `C = A + B` (and -, *, /) becomes add(A, B, C) etc.
+    if (op == TokenKind::kEq &&
+        (At(TokenKind::kPlus) || At(TokenKind::kMinus) ||
+         At(TokenKind::kStar) || At(TokenKind::kSlash))) {
+      TokenKind arith = Next().kind;
+      IDLOG_ASSIGN_OR_RETURN(Term rhs2, ParseTerm());
+      BuiltinKind kind;
+      switch (arith) {
+        case TokenKind::kPlus: kind = BuiltinKind::kAdd; break;
+        case TokenKind::kMinus: kind = BuiltinKind::kSub; break;
+        case TokenKind::kStar: kind = BuiltinKind::kMul; break;
+        default: kind = BuiltinKind::kDiv; break;
+      }
+      return Atom::Builtin(kind, {std::move(rhs), std::move(rhs2),
+                                  std::move(lhs)});
+    }
+    BuiltinKind kind;
+    switch (op) {
+      case TokenKind::kEq: kind = BuiltinKind::kEq; break;
+      case TokenKind::kNe: kind = BuiltinKind::kNe; break;
+      case TokenKind::kLt: kind = BuiltinKind::kLt; break;
+      case TokenKind::kLe: kind = BuiltinKind::kLe; break;
+      case TokenKind::kGt: kind = BuiltinKind::kGt; break;
+      default: kind = BuiltinKind::kGe; break;
+    }
+    return Atom::Builtin(kind, {std::move(lhs), std::move(rhs)});
+  }
+
+  Result<std::vector<Term>> ParseOptionalArgs() {
+    if (!At(TokenKind::kLParen)) return std::vector<Term>{};
+    return ParseParenTerms();
+  }
+
+  Result<std::vector<Term>> ParseParenTerms() {
+    IDLOG_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    std::vector<Term> terms;
+    if (At(TokenKind::kRParen)) {
+      Next();
+      return terms;
+    }
+    while (true) {
+      IDLOG_ASSIGN_OR_RETURN(Term t, ParseTerm());
+      terms.push_back(std::move(t));
+      if (At(TokenKind::kComma)) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    IDLOG_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    return terms;
+  }
+
+  Result<Term> ParseTerm() {
+    switch (Cur().kind) {
+      case TokenKind::kVariable: {
+        std::string name = Next().text;
+        if (name == "_") {
+          name = "_Anon" + std::to_string(anon_counter_++);
+        }
+        return Term::Var(std::move(name));
+      }
+      case TokenKind::kNumber:
+        return Term::Number(Next().number);
+      case TokenKind::kIdent:
+      case TokenKind::kString:
+        return Term::Symbol(symbols_->Intern(Next().text));
+      default:
+        return Error("expected a term");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  SymbolTable* symbols_;
+  bool disjunctive_ = false;
+  Program program_;
+  DisjunctiveProgram disjunctive_program_;
+  int anon_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view text, SymbolTable* symbols) {
+  IDLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), symbols);
+  return parser.Parse();
+}
+
+Result<DisjunctiveProgram> ParseDisjunctiveProgram(std::string_view text,
+                                                   SymbolTable* symbols) {
+  IDLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), symbols, /*disjunctive=*/true);
+  return parser.ParseDisjunctive();
+}
+
+}  // namespace idlog

@@ -1,0 +1,45 @@
+#ifndef IDLOG_PARSER_PARSER_H_
+#define IDLOG_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "common/symbol_table.h"
+
+namespace idlog {
+
+/// Parses IDLOG program text into a Program, interning sort-u constants
+/// into `symbols`. The accepted surface syntax:
+///
+///   % comment                          // comment
+///   .decl emp(u, u, i).                declares column sorts (optional)
+///   emp("ann", sales).                 fact (strings / lowercase = u-consts)
+///   all_depts(D) :- emp[2](N, D, 0).   ID-literal: emp grouped by column 2
+///   two(N) :- emp[2](N, D, T), T < 2.  comparisons are infix
+///   p(X, M) :- q(X, N), succ(N, M).    succ / add / sub / mul / div builtins
+///   r(X, S) :- q(X, N), S = N + 3.     infix arithmetic sugar for add(N,3,S)
+///   man(X) :- person(X), not woman(X). stratified negation
+///   one(N) :- emp(N, D), choice((D), (N)).   DATALOG^C choice extension
+///
+/// Variables start uppercase or '_' ('_' alone is an anonymous variable);
+/// predicates and u-constants start lowercase; arity-0 atoms may omit
+/// parentheses. Checks arity consistency and head-form restrictions
+/// (Section 2.2: heads are ordinary atoms, never succ/equality/ID) and
+/// runs sort inference before returning.
+Result<Program> ParseProgram(std::string_view text, SymbolTable* symbols);
+
+/// Parses the DATALOG^∨ fragment (Section 3.2): like ParseProgram but
+/// heads may be disjunctions joined with '|':
+///
+///   man(X) | woman(X) :- person(X).
+///
+/// ID-atoms and choice are rejected (they are not part of that
+/// language); facts and single-head rules are allowed. The result feeds
+/// GroundDisjunctive / MinimalModels / StableModels.
+Result<DisjunctiveProgram> ParseDisjunctiveProgram(std::string_view text,
+                                                   SymbolTable* symbols);
+
+}  // namespace idlog
+
+#endif  // IDLOG_PARSER_PARSER_H_

@@ -1,0 +1,106 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace idlog {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF endings.
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+namespace {
+
+Status LoadFromStream(Database* database, const std::string& name,
+                      std::istream& in, bool skip_header,
+                      const std::string& what) {
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (skip_header && line_no == 1) continue;
+    if (line.empty() || line == "\r") continue;
+    Status st = database->AddRow(name, SplitCsvLine(line));
+    if (!st.ok()) {
+      return Status(st.code(), what + " line " + std::to_string(line_no) +
+                                   ": " + st.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LoadCsvRelation(Database* database, const std::string& name,
+                       const std::string& path, bool skip_header) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file '" + path + "'");
+  }
+  return LoadFromStream(database, name, in, skip_header, path);
+}
+
+Status LoadCsvRelationFromString(Database* database, const std::string& name,
+                                 const std::string& content,
+                                 bool skip_header) {
+  std::istringstream in(content);
+  return LoadFromStream(database, name, in, skip_header, "<string>");
+}
+
+Status SaveRelationCsv(const Relation& rel, const SymbolTable& symbols,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot write CSV file '" + path + "'");
+  }
+  for (const Tuple& t : rel.SortedTuples()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out << ',';
+      std::string field = t[i].ToString(symbols);
+      if (field.find(',') != std::string::npos ||
+          field.find('"') != std::string::npos) {
+        std::string quoted = "\"";
+        for (char c : field) {
+          if (c == '"') quoted += '"';
+          quoted += c;
+        }
+        quoted += '"';
+        out << quoted;
+      } else {
+        out << field;
+      }
+    }
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+}  // namespace idlog

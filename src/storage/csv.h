@@ -1,0 +1,35 @@
+#ifndef IDLOG_STORAGE_CSV_H_
+#define IDLOG_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace idlog {
+
+/// Parses one CSV line into fields. Handles double-quoted fields with
+/// embedded commas and doubled quotes ("" escapes a quote). No embedded
+/// newlines.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Loads `path` into relation `name`: one tuple per non-empty line,
+/// fields comma-separated; all-digit fields become sort-i values, the
+/// rest are interned as sort-u constants (matching Database::AddRow).
+/// With `skip_header`, the first line is dropped.
+Status LoadCsvRelation(Database* database, const std::string& name,
+                       const std::string& path, bool skip_header = false);
+
+/// Writes `rel` to `path` as CSV (values in canonical sorted order),
+/// quoting fields that contain commas or quotes.
+Status SaveRelationCsv(const Relation& rel, const SymbolTable& symbols,
+                       const std::string& path);
+
+/// Parses CSV content from a string instead of a file (for tests).
+Status LoadCsvRelationFromString(Database* database, const std::string& name,
+                                 const std::string& content,
+                                 bool skip_header = false);
+
+}  // namespace idlog
+
+#endif  // IDLOG_STORAGE_CSV_H_

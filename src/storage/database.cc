@@ -1,0 +1,73 @@
+#include "storage/database.h"
+
+#include <cctype>
+
+namespace idlog {
+
+Status Database::CreateRelation(const std::string& name, RelationType type) {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    if (it->second.type() != type) {
+      return Status::TypeError("relation '" + name +
+                               "' already exists with a different type");
+    }
+    return Status::OK();
+  }
+  relations_.emplace(name, Relation(std::move(type)));
+  names_.push_back(name);
+  return Status::OK();
+}
+
+Result<const Relation*> Database::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation '" + name + "'");
+  }
+  return static_cast<const Relation*>(&it->second);
+}
+
+Result<Relation*> Database::GetMutable(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status Database::AddTuple(const std::string& name, Tuple t) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    RelationType type;
+    type.reserve(t.size());
+    for (const Value& v : t) type.push_back(v.sort());
+    IDLOG_RETURN_NOT_OK(CreateRelation(name, std::move(type)));
+    it = relations_.find(name);
+  }
+  for (const Value& v : t) {
+    if (v.is_symbol()) u_domain_.insert(v.symbol());
+  }
+  return it->second.InsertChecked(std::move(t));
+}
+
+Status Database::AddRow(const std::string& name,
+                        const std::vector<std::string>& fields) {
+  Tuple t;
+  t.reserve(fields.size());
+  for (const std::string& f : fields) {
+    bool numeric = !f.empty();
+    for (char c : f) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) {
+      t.push_back(Value::Number(std::stoll(f)));
+    } else {
+      t.push_back(Value::Symbol(symbols_->Intern(f)));
+    }
+  }
+  return AddTuple(name, std::move(t));
+}
+
+}  // namespace idlog

@@ -1,0 +1,92 @@
+#include "storage/id_relation.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace idlog {
+
+Result<Relation> BuildIdRelation(const std::string& predicate,
+                                 const Relation& rel,
+                                 const std::vector<int>& group,
+                                 TidAssigner* assigner, int64_t max_tid,
+                                 size_t* num_groups) {
+  for (int c : group) {
+    if (c < 0 || c >= rel.arity()) {
+      return Status::InvalidArgument(
+          "grouping column " + std::to_string(c + 1) +
+          " out of range for '" + predicate + "' of arity " +
+          std::to_string(rel.arity()));
+    }
+  }
+
+  // Partition rows by group key, preserving first-seen group order and
+  // canonical in-group order.
+  std::vector<Tuple> keys;
+  std::vector<std::vector<size_t>> members;
+  std::unordered_map<Tuple, size_t, TupleHash> key_index;
+  const auto& rows = rel.tuples();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Tuple key = ProjectTuple(rows[i], group);
+    auto [it, inserted] = key_index.emplace(std::move(key), keys.size());
+    if (inserted) {
+      keys.push_back(ProjectTuple(rows[i], group));
+      members.emplace_back();
+    }
+    members[it->second].push_back(i);
+  }
+
+  RelationType out_type = rel.type();
+  out_type.push_back(Sort::kI);
+  Relation out(std::move(out_type));
+  if (num_groups != nullptr) *num_groups = keys.size();
+
+  std::vector<uint32_t> tids;
+  for (size_t g = 0; g < keys.size(); ++g) {
+    GroupContext ctx{predicate, group, keys[g]};
+    assigner->AssignGroup(ctx, members[g].size(), &tids);
+    if (tids.size() != members[g].size()) {
+      return Status::Internal("tid assigner returned wrong-size permutation");
+    }
+    for (size_t i = 0; i < members[g].size(); ++i) {
+      if (max_tid >= 0 && static_cast<int64_t>(tids[i]) >= max_tid) {
+        continue;
+      }
+      Tuple t = rows[members[g][i]];
+      t.push_back(Value::Number(tids[i]));
+      out.Insert(std::move(t));
+    }
+  }
+  return out;
+}
+
+Status ValidateIdRelation(const Relation& base, const Relation& id_rel,
+                          const std::vector<int>& group) {
+  if (id_rel.arity() != base.arity() + 1) {
+    return Status::Internal("ID-relation arity mismatch");
+  }
+  if (id_rel.size() != base.size()) {
+    return Status::Internal("ID-relation cardinality mismatch");
+  }
+  // Per-group tid multiset must be exactly {0..k-1}; the projection must
+  // land in the base relation.
+  std::map<Tuple, std::vector<int64_t>> group_tids;
+  for (const Tuple& t : id_rel.tuples()) {
+    Tuple bare(t.begin(), t.end() - 1);
+    if (!base.Contains(bare)) {
+      return Status::Internal("ID-relation tuple not present in base");
+    }
+    Tuple key = ProjectTuple(bare, group);
+    group_tids[key].push_back(t.back().number());
+  }
+  for (auto& [key, tids] : group_tids) {
+    std::sort(tids.begin(), tids.end());
+    for (size_t i = 0; i < tids.size(); ++i) {
+      if (tids[i] != static_cast<int64_t>(i)) {
+        return Status::Internal("tids of a group are not {0..k-1}");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace idlog

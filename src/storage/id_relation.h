@@ -1,0 +1,47 @@
+#ifndef IDLOG_STORAGE_ID_RELATION_H_
+#define IDLOG_STORAGE_ID_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+#include "storage/tid_assigner.h"
+
+namespace idlog {
+
+/// Materializes an ID-relation of `rel` on grouping columns `group`
+/// (Section 2.1): partitions `rel` into sub-relations sharing the group
+/// key, asks `assigner` for an ID-function (a bijection onto {0..k-1})
+/// per sub-relation, and returns the (n+1)-ary relation of type
+/// `type(rel) . 1` whose tuples are `t . tid`.
+///
+/// `group` must hold distinct 0-based column positions of `rel`; the
+/// empty group makes the whole relation a single sub-relation (the
+/// "most primitive" p[] form of footnote 5).
+///
+/// Groups are visited in first-seen order over `rel`'s canonical tuple
+/// order, so a deterministic assigner yields a deterministic result.
+///
+/// `max_tid >= 0` materializes only the tuples whose tid is below the
+/// bound — the paper's footnote 6/7 optimization: a program that only
+/// ever constrains the tid (`emp[2](N,D,T), T < 2` or a constant tid)
+/// never observes the truncated rest. The ID-functions are still drawn
+/// over the full groups, so the result is a prefix of a legal
+/// ID-relation.
+Result<Relation> BuildIdRelation(const std::string& predicate,
+                                 const Relation& rel,
+                                 const std::vector<int>& group,
+                                 TidAssigner* assigner,
+                                 int64_t max_tid = -1,
+                                 size_t* num_groups = nullptr);
+
+/// Checks the defining invariant of an ID-relation: projecting away the
+/// tid recovers `base` exactly, and within every group the tids are a
+/// bijection onto {0..k-1}. Used by tests and the engine's self-checks.
+Status ValidateIdRelation(const Relation& base, const Relation& id_rel,
+                          const std::vector<int>& group);
+
+}  // namespace idlog
+
+#endif  // IDLOG_STORAGE_ID_RELATION_H_

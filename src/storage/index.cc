@@ -1,0 +1,58 @@
+#include "storage/index.h"
+
+namespace idlog {
+
+ColumnIndex::ColumnIndex(const Relation* relation, std::vector<int> cols)
+    : relation_(relation), cols_(std::move(cols)) {
+  Build();
+}
+
+void ColumnIndex::Build() {
+  buckets_.clear();
+  const auto& rows = relation_->tuples();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    buckets_[ProjectTuple(rows[i], cols_)].push_back(i);
+  }
+  built_version_ = relation_->version();
+  built_uid_ = relation_->uid();
+  built_rows_ = rows.size();
+}
+
+void ColumnIndex::Refresh() {
+  if (built_version_ == relation_->version() &&
+      built_uid_ == relation_->uid()) {
+    return;
+  }
+  // Within one identity (uid), relations only grow except for Clear;
+  // extend incrementally when possible, rebuild otherwise.
+  const auto& rows = relation_->tuples();
+  if (built_uid_ == relation_->uid() && rows.size() >= built_rows_) {
+    for (size_t i = built_rows_; i < rows.size(); ++i) {
+      buckets_[ProjectTuple(rows[i], cols_)].push_back(i);
+    }
+    built_rows_ = rows.size();
+    built_version_ = relation_->version();
+  } else {
+    Build();
+  }
+}
+
+// Clear() keeps the uid but shrinks rows; the rebuild branch covers it.
+
+const std::vector<size_t>* ColumnIndex::Lookup(const Tuple& key) const {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return nullptr;
+  return &it->second;
+}
+
+const ColumnIndex& IndexCache::Get(const std::vector<int>& cols) {
+  auto it = indexes_.find(cols);
+  if (it == indexes_.end()) {
+    it = indexes_.emplace(cols, ColumnIndex(relation_, cols)).first;
+  } else {
+    it->second.Refresh();
+  }
+  return it->second;
+}
+
+}  // namespace idlog

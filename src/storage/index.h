@@ -1,0 +1,57 @@
+#ifndef IDLOG_STORAGE_INDEX_H_
+#define IDLOG_STORAGE_INDEX_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/relation.h"
+
+namespace idlog {
+
+/// A hash index over a column subset of a Relation. Maps a key (the
+/// projection of a tuple onto `cols`) to the row positions holding it.
+class ColumnIndex {
+ public:
+  ColumnIndex(const Relation* relation, std::vector<int> cols);
+
+  /// Rebuilds if the relation changed since construction/last refresh.
+  void Refresh();
+
+  /// Returns row positions matching `key` (projected values in `cols`
+  /// order), or nullptr if none.
+  const std::vector<size_t>* Lookup(const Tuple& key) const;
+
+  const std::vector<int>& cols() const { return cols_; }
+
+ private:
+  void Build();
+
+  const Relation* relation_;
+  std::vector<int> cols_;
+  uint64_t built_version_ = 0;
+  uint64_t built_uid_ = 0;
+  size_t built_rows_ = 0;
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> buckets_;
+};
+
+/// Caches ColumnIndexes per column subset for one Relation.
+class IndexCache {
+ public:
+  explicit IndexCache(const Relation* relation) : relation_(relation) {}
+
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  /// Returns a fresh index on `cols` (built or refreshed on demand).
+  const ColumnIndex& Get(const std::vector<int>& cols);
+
+ private:
+  const Relation* relation_;
+  std::map<std::vector<int>, ColumnIndex> indexes_;
+};
+
+}  // namespace idlog
+
+#endif  // IDLOG_STORAGE_INDEX_H_

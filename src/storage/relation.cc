@@ -1,0 +1,66 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace idlog {
+
+uint64_t Relation::NextUid() {
+  static std::atomic<uint64_t> counter{0};
+  return ++counter;
+}
+
+bool Relation::Insert(Tuple t) {
+  if (t.size() != type_.size()) return false;
+  auto [it, inserted] = set_.insert(std::move(t));
+  if (inserted) {
+    rows_.push_back(*it);
+    ++version_;
+  }
+  return inserted;
+}
+
+Status Relation::InsertChecked(Tuple t) {
+  if (t.size() != type_.size()) {
+    return Status::TypeError("tuple arity " + std::to_string(t.size()) +
+                             " does not match relation arity " +
+                             std::to_string(type_.size()));
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].sort() != type_[i]) {
+      return Status::TypeError("column " + std::to_string(i) +
+                               " expects sort " + SortName(type_[i]));
+    }
+  }
+  Insert(std::move(t));
+  return Status::OK();
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  set_.clear();
+  ++version_;
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out = rows_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Relation::SetEquals(const Relation& other) const {
+  if (size() != other.size()) return false;
+  for (const Tuple& t : rows_) {
+    if (!other.Contains(t)) return false;
+  }
+  return true;
+}
+
+Tuple ProjectTuple(const Tuple& t, const std::vector<int>& cols) {
+  Tuple out;
+  out.reserve(cols.size());
+  for (int c : cols) out.push_back(t[static_cast<size_t>(c)]);
+  return out;
+}
+
+}  // namespace idlog

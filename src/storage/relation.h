@@ -1,0 +1,101 @@
+#ifndef IDLOG_STORAGE_RELATION_H_
+#define IDLOG_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace idlog {
+
+/// A finite, typed, duplicate-free set of tuples.
+///
+/// Iteration order is insertion order, which makes runs repeatable: the
+/// "canonical" tid assignment (IdentityTidAssigner) enumerates group
+/// members in this order. No semantic meaning attaches to it — IDLOG
+/// queries are generic, so any order yields *a* legal ID-function.
+class Relation {
+ public:
+  Relation() : uid_(NextUid()) {}
+  explicit Relation(RelationType type)
+      : type_(std::move(type)), uid_(NextUid()) {}
+
+  Relation(const Relation& o)
+      : type_(o.type_), rows_(o.rows_), set_(o.set_), version_(o.version_),
+        uid_(NextUid()) {}
+  Relation& operator=(const Relation& o) {
+    type_ = o.type_;
+    rows_ = o.rows_;
+    set_ = o.set_;
+    version_ = o.version_;
+    uid_ = NextUid();  // contents replaced wholesale: new identity
+    return *this;
+  }
+  Relation(Relation&& o) noexcept
+      : type_(std::move(o.type_)), rows_(std::move(o.rows_)),
+        set_(std::move(o.set_)), version_(o.version_), uid_(NextUid()) {}
+  Relation& operator=(Relation&& o) noexcept {
+    type_ = std::move(o.type_);
+    rows_ = std::move(o.rows_);
+    set_ = std::move(o.set_);
+    version_ = o.version_;
+    uid_ = NextUid();
+    return *this;
+  }
+
+  /// Inserts `t`; returns true if the tuple was new. The tuple arity
+  /// must match the relation type (checked; mismatches are dropped and
+  /// reported via last_error()).
+  bool Insert(Tuple t);
+
+  /// Inserts with sort checking against the relation type.
+  Status InsertChecked(Tuple t);
+
+  bool Contains(const Tuple& t) const { return set_.count(t) > 0; }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Tuples in insertion order.
+  const std::vector<Tuple>& tuples() const { return rows_; }
+
+  const RelationType& type() const { return type_; }
+  int arity() const { return static_cast<int>(type_.size()); }
+
+  /// Monotonically increasing change counter (for index invalidation).
+  uint64_t version() const { return version_; }
+
+  /// Identity token: unique per logical relation instance; changes when
+  /// the relation is wholesale replaced by assignment, so pointer-keyed
+  /// index caches can detect that incremental refresh is invalid.
+  uint64_t uid() const { return uid_; }
+
+  /// Removes all tuples.
+  void Clear();
+
+  /// Returns the tuples as a sorted vector (value order) — a canonical
+  /// form for set comparison in tests.
+  std::vector<Tuple> SortedTuples() const;
+
+  /// Set equality regardless of insertion order.
+  bool SetEquals(const Relation& other) const;
+
+ private:
+  static uint64_t NextUid();
+
+  RelationType type_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> set_;
+  uint64_t version_ = 0;
+  uint64_t uid_ = 0;
+};
+
+/// Projects `t` onto `cols` (0-based), preserving the column order given.
+Tuple ProjectTuple(const Tuple& t, const std::vector<int>& cols);
+
+}  // namespace idlog
+
+#endif  // IDLOG_STORAGE_RELATION_H_

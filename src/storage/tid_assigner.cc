@@ -1,0 +1,71 @@
+#include "storage/tid_assigner.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace idlog {
+
+void IdentityTidAssigner::AssignGroup(const GroupContext& ctx, size_t n,
+                                      std::vector<uint32_t>* tids) {
+  (void)ctx;
+  tids->resize(n);
+  std::iota(tids->begin(), tids->end(), 0u);
+}
+
+void RandomTidAssigner::AssignGroup(const GroupContext& ctx, size_t n,
+                                    std::vector<uint32_t>* tids) {
+  (void)ctx;
+  tids->resize(n);
+  std::iota(tids->begin(), tids->end(), 0u);
+  std::shuffle(tids->begin(), tids->end(), rng_);
+}
+
+void ScriptedTidAssigner::SetScript(std::vector<uint64_t> ranks) {
+  script_ = std::move(ranks);
+  pos_ = 0;
+}
+
+void ScriptedTidAssigner::AssignGroup(const GroupContext& ctx, size_t n,
+                                      std::vector<uint32_t>* tids) {
+  (void)ctx;
+  uint64_t rank = 0;
+  if (pos_ < script_.size()) {
+    rank = script_[pos_];
+  } else {
+    radices_.push_back(SaturatingFactorial(n));
+  }
+  ++pos_;
+  UnrankPermutation(rank, n, tids);
+}
+
+uint64_t SaturatingFactorial(size_t n) {
+  uint64_t f = 1;
+  for (size_t i = 2; i <= n; ++i) {
+    if (f > UINT64_MAX / i) return UINT64_MAX;
+    f *= i;
+  }
+  return f;
+}
+
+void UnrankPermutation(uint64_t rank, size_t n, std::vector<uint32_t>* perm) {
+  perm->resize(n);
+  // Factorial number system: digit i (from the most significant) selects
+  // among the remaining elements.
+  std::vector<uint32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0u);
+  std::vector<uint64_t> fact(n, 1);
+  for (size_t i = 1; i < n; ++i) {
+    uint64_t prev = fact[i - 1];
+    fact[i] = (prev > UINT64_MAX / i) ? UINT64_MAX : prev * i;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t f = fact[n - 1 - i];
+    uint64_t digit = (f == 0 || f == UINT64_MAX) ? 0 : rank / f;
+    if (digit >= pool.size()) digit = pool.size() - 1;
+    if (f != 0 && f != UINT64_MAX) rank %= f;
+    (*perm)[i] = pool[static_cast<size_t>(digit)];
+    pool.erase(pool.begin() + static_cast<long>(digit));
+  }
+}
+
+}  // namespace idlog

@@ -1,0 +1,99 @@
+#ifndef IDLOG_STORAGE_TID_ASSIGNER_H_
+#define IDLOG_STORAGE_TID_ASSIGNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace idlog {
+
+/// Identifies one grouping request during ID-relation materialization,
+/// for assigners that want to key decisions on it.
+struct GroupContext {
+  const std::string& predicate;      ///< Base predicate name.
+  const std::vector<int>& group;     ///< Grouping columns (0-based, sorted).
+  const Tuple& key;                  ///< This group's key values.
+};
+
+/// Policy object deciding the ID-function of each sub-relation: given
+/// the `n` tuples of one group (in canonical relation order), produces a
+/// permutation `tids` of {0..n-1}; tuple `i` receives tid `tids[i]`.
+///
+/// This is the *entire* source of non-determinism in IDLOG: each choice
+/// of ID-functions picks one perfect model of the program (Theorem 1).
+class TidAssigner {
+ public:
+  virtual ~TidAssigner() = default;
+
+  virtual void AssignGroup(const GroupContext& ctx, size_t n,
+                           std::vector<uint32_t>* tids) = 0;
+};
+
+/// Canonical assignment: tuple i gets tid i. Deterministic and
+/// repeatable; the engine's default.
+class IdentityTidAssigner : public TidAssigner {
+ public:
+  void AssignGroup(const GroupContext& ctx, size_t n,
+                   std::vector<uint32_t>* tids) override;
+};
+
+/// Uniformly random permutation per group, seeded once. Because groups
+/// are visited in deterministic order, a fixed seed reproduces a run.
+/// This is the policy behind sampling queries (Section 3.3): random
+/// tids make `T < k` select a uniform k-subset per group.
+class RandomTidAssigner : public TidAssigner {
+ public:
+  explicit RandomTidAssigner(uint64_t seed) : rng_(seed) {}
+
+  void AssignGroup(const GroupContext& ctx, size_t n,
+                   std::vector<uint32_t>* tids) override;
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Replays a script of permutation ranks (factorial number system) and
+/// records the group sizes it encounters, enabling exhaustive
+/// enumeration of all ID-function combinations (AnswerEnumerator).
+///
+/// When the script runs out, rank 0 (the identity permutation) is used
+/// and the group's permutation count n! is appended to `radices` so the
+/// driver can extend its odometer.
+class ScriptedTidAssigner : public TidAssigner {
+ public:
+  ScriptedTidAssigner() = default;
+
+  /// Sets the ranks to replay on the next run and rewinds.
+  void SetScript(std::vector<uint64_t> ranks);
+
+  void AssignGroup(const GroupContext& ctx, size_t n,
+                   std::vector<uint32_t>* tids) override;
+
+  /// Number of permutations (n!) of each group encountered, in
+  /// encounter order. Stable across runs for stratified programs with a
+  /// fixed database, because group discovery order is deterministic.
+  const std::vector<uint64_t>& radices() const { return radices_; }
+
+  /// Clears recorded radices (call before the first discovery run).
+  void ResetRadices() { radices_.clear(); }
+
+ private:
+  std::vector<uint64_t> script_;
+  size_t pos_ = 0;
+  std::vector<uint64_t> radices_;
+};
+
+/// Writes the permutation of {0..n-1} with the given rank in the
+/// factorial number system (rank 0 = identity) into `perm`.
+void UnrankPermutation(uint64_t rank, size_t n, std::vector<uint32_t>* perm);
+
+/// n! with saturation at UINT64_MAX (n >= 21 saturates).
+uint64_t SaturatingFactorial(size_t n);
+
+}  // namespace idlog
+
+#endif  // IDLOG_STORAGE_TID_ASSIGNER_H_

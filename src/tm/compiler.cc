@@ -1,0 +1,169 @@
+#include "tm/compiler.h"
+
+#include "ast/program_builder.h"
+
+namespace idlog {
+
+namespace {
+
+Term V(const char* name) { return Term::Var(name); }
+Term N(int64_t n) { return Term::Number(n); }
+
+Atom A(const char* pred, std::vector<Term> args) {
+  return Atom::Ordinary(pred, std::move(args));
+}
+Literal P(Atom a) { return Literal::Pos(std::move(a)); }
+Literal Neg(Atom a) { return Literal::Neg(std::move(a)); }
+Literal Succ(Term a, Term b) {
+  return Literal::Pos(
+      Atom::Builtin(BuiltinKind::kSucc, {std::move(a), std::move(b)}));
+}
+Literal Lt(Term a, Term b) {
+  return Literal::Pos(
+      Atom::Builtin(BuiltinKind::kLt, {std::move(a), std::move(b)}));
+}
+
+}  // namespace
+
+Status CompiledTm::PopulateDatabase(Database* database) const {
+  for (const auto& [pred, tuple] : facts) {
+    IDLOG_RETURN_NOT_OK(database->AddTuple(pred, tuple));
+  }
+  return Status::OK();
+}
+
+Result<CompiledTm> CompileTm(const TuringMachine& tm,
+                             const std::vector<int>& input_tape,
+                             uint64_t step_bound) {
+  IDLOG_RETURN_NOT_OK(tm.Validate());
+  for (int s : input_tape) {
+    if (s < 0 || s >= tm.num_symbols) {
+      return Status::InvalidArgument("input symbol out of range");
+    }
+  }
+
+  CompiledTm out;
+  out.step_bound = static_cast<int64_t>(step_bound);
+  // The head starts at 0 and can move one cell right per step.
+  out.max_pos =
+      static_cast<int64_t>(input_tape.size()) + out.step_bound + 1;
+  const int branching = tm.MaxBranching();
+
+  // ----- EDB facts ------------------------------------------------------
+  auto fact = [&](const char* pred, Tuple t) {
+    out.facts.emplace_back(pred, std::move(t));
+  };
+  fact("steps", {Value::Number(out.step_bound)});
+  fact("start", {Value::Number(tm.start_state)});
+  fact("head0", {Value::Number(0)});
+  for (int q : tm.accepting) fact("accept_state", {Value::Number(q)});
+  for (int c = 0; c < branching; ++c) fact("cand", {Value::Number(c)});
+
+  // Full initial tape 0..max_pos, blanks explicit — the simulation then
+  // needs no negation over recursive predicates.
+  for (int64_t p = 0; p <= out.max_pos; ++p) {
+    int sym =
+        p < static_cast<int64_t>(input_tape.size())
+            ? input_tape[static_cast<size_t>(p)]
+            : 0;
+    fact("tape0", {Value::Number(p), Value::Number(sym)});
+  }
+
+  // Padded transition table: trans(Q, S, C, Q2, S2, D).
+  for (const auto& [key, alts] : tm.delta) {
+    auto [q, s] = key;
+    for (int c = 0; c < branching; ++c) {
+      const TmTransition& t = alts[static_cast<size_t>(c) % alts.size()];
+      fact("trans",
+           {Value::Number(q), Value::Number(s), Value::Number(c),
+            Value::Number(t.next_state), Value::Number(t.write_symbol),
+            Value::Number(static_cast<int>(t.move))});
+    }
+  }
+
+  // ----- Program --------------------------------------------------------
+  Program& prog = out.program;
+  auto rule = [&](Atom head, std::vector<Literal> body) {
+    prog.GetOrAddPredicate(head.predicate, head.arity());
+    for (const Literal& lit : body) {
+      if (lit.atom.kind == AtomKind::kOrdinary) {
+        prog.GetOrAddPredicate(lit.atom.predicate, lit.atom.arity());
+      } else if (lit.atom.kind == AtomKind::kId) {
+        prog.GetOrAddPredicate(lit.atom.predicate, lit.atom.base_arity());
+      }
+    }
+    prog.clauses.push_back(Clause{std::move(head), std::move(body)});
+  };
+
+  // time(0..N).
+  rule(A("time", {N(0)}), {P(A("steps", {V("B")}))});
+  rule(A("time", {V("T2")}),
+       {P(A("time", {V("T")})), P(A("steps", {V("B")})),
+        Lt(V("T"), V("B")), Succ(V("T"), V("T2"))});
+
+  // One guessed choice index per step.
+  rule(A("guess", {V("T"), V("C")}),
+       {P(A("time", {V("T")})), P(A("cand", {V("C")}))});
+  rule(A("pick", {V("T"), V("C")}),
+       {P(Atom::Id("guess", {0}, {V("T"), V("C"), N(0)}))});
+
+  // Initial configuration.
+  rule(A("conf", {N(0), V("H"), V("Q")}),
+       {P(A("head0", {V("H")})), P(A("start", {V("Q")}))});
+  rule(A("tape", {N(0), V("P"), V("S")}),
+       {P(A("tape0", {V("P"), V("S")}))});
+
+  // One machine step: fires only below the bound and outside accepting
+  // states; accepting states absorb (rewrite same symbol, stay).
+  rule(A("step",
+         {V("T"), V("P"), V("Q"), V("Q2"), V("S2"), V("D")}),
+       {P(A("conf", {V("T"), V("P"), V("Q")})),
+        P(A("tape", {V("T"), V("P"), V("S")})),
+        P(A("pick", {V("T"), V("C")})),
+        P(A("trans",
+            {V("Q"), V("S"), V("C"), V("Q2"), V("S2"), V("D")})),
+        P(A("steps", {V("B")})), Lt(V("T"), V("B")),
+        Neg(A("accept_state", {V("Q")}))});
+  rule(A("step", {V("T"), V("P"), V("Q"), V("Q"), V("S"), N(1)}),
+       {P(A("conf", {V("T"), V("P"), V("Q")})),
+        P(A("tape", {V("T"), V("P"), V("S")})),
+        P(A("accept_state", {V("Q")})),
+        P(A("steps", {V("B")})), Lt(V("T"), V("B"))});
+
+  // Head movement (left clamps at cell 0).
+  rule(A("conf", {V("T2"), V("P2"), V("Q2")}),
+       {P(A("step", {V("T"), V("P"), V("Q"), V("Q2"), V("S2"), N(0)})),
+        Succ(V("T"), V("T2")), Succ(V("P2"), V("P"))});
+  rule(A("conf", {V("T2"), N(0), V("Q2")}),
+       {P(A("step", {V("T"), N(0), V("Q"), V("Q2"), V("S2"), N(0)})),
+        Succ(V("T"), V("T2"))});
+  rule(A("conf", {V("T2"), V("P"), V("Q2")}),
+       {P(A("step", {V("T"), V("P"), V("Q"), V("Q2"), V("S2"), N(1)})),
+        Succ(V("T"), V("T2"))});
+  rule(A("conf", {V("T2"), V("P2"), V("Q2")}),
+       {P(A("step", {V("T"), V("P"), V("Q"), V("Q2"), V("S2"), N(2)})),
+        Succ(V("T"), V("T2")), Succ(V("P"), V("P2"))});
+
+  // Tape update: the written cell changes, everything else carries over.
+  rule(A("tape", {V("T2"), V("P"), V("S2")}),
+       {P(A("step", {V("T"), V("P"), V("Q"), V("Q2"), V("S2"), V("D")})),
+        Succ(V("T"), V("T2"))});
+  rule(A("tape", {V("T2"), V("P2"), V("S")}),
+       {P(A("tape", {V("T"), V("P2"), V("S")})),
+        P(A("step", {V("T"), V("P"), V("Q"), V("Q2"), V("S2"), V("D")})),
+        Literal::Pos(Atom::Builtin(BuiltinKind::kNe, {V("P2"), V("P")})),
+        Succ(V("T"), V("T2"))});
+
+  // Acceptance and final tape at exactly time N.
+  rule(A("accepts", {}),
+       {P(A("conf", {V("T"), V("P"), V("Q")})),
+        P(A("steps", {V("T")})), P(A("accept_state", {V("Q")}))});
+  rule(A("out_tape", {V("P"), V("S")}),
+       {P(A("tape", {V("T"), V("P"), V("S")})),
+        P(A("steps", {V("T")}))});
+
+  IDLOG_RETURN_NOT_OK(InferPredicateTypes(&prog));
+  return out;
+}
+
+}  // namespace idlog

@@ -1,0 +1,126 @@
+#include "tm/encoder.h"
+
+#include <algorithm>
+#include <map>
+
+namespace idlog {
+
+namespace {
+
+void AppendBinary(int64_t value, std::vector<int>* tape) {
+  if (value == 0) {
+    tape->push_back(kZero);
+    return;
+  }
+  std::vector<int> bits;
+  while (value > 0) {
+    bits.push_back((value & 1) != 0 ? kOne : kZero);
+    value >>= 1;
+  }
+  std::reverse(bits.begin(), bits.end());
+  tape->insert(tape->end(), bits.begin(), bits.end());
+}
+
+}  // namespace
+
+Result<std::vector<int>> EncodeDatabaseToTape(
+    const Database& database,
+    const std::vector<std::string>& relation_order) {
+  // Enumerate the u-domain: index of each symbol in sorted id order.
+  std::map<SymbolId, int64_t> domain_index;
+  for (SymbolId id : database.u_domain()) {
+    int64_t idx = static_cast<int64_t>(domain_index.size());
+    domain_index[id] = idx;
+  }
+
+  std::vector<int> tape;
+  for (const std::string& name : relation_order) {
+    IDLOG_ASSIGN_OR_RETURN(const Relation* rel, database.Get(name));
+    tape.push_back(kLBrackSym);
+    for (const Tuple& t : rel->SortedTuples()) {
+      tape.push_back(kLParenSym);
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) tape.push_back(kComma);
+        if (t[i].is_number()) {
+          AppendBinary(t[i].number(), &tape);
+        } else {
+          auto it = domain_index.find(t[i].symbol());
+          if (it == domain_index.end()) {
+            return Status::Internal("symbol missing from u-domain");
+          }
+          AppendBinary(it->second, &tape);
+        }
+      }
+      tape.push_back(kRParenSym);
+    }
+    tape.push_back(kRBrackSym);
+  }
+  return tape;
+}
+
+Result<std::vector<std::vector<int64_t>>> DecodeRelationFromTape(
+    const std::vector<int>& tape, size_t* cursor) {
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument(msg + " at tape position " +
+                                   std::to_string(*cursor));
+  };
+  if (*cursor >= tape.size() || tape[*cursor] != kLBrackSym) {
+    return error("expected '['");
+  }
+  ++*cursor;
+
+  std::vector<std::vector<int64_t>> rows;
+  while (*cursor < tape.size() && tape[*cursor] == kLParenSym) {
+    ++*cursor;
+    std::vector<int64_t> row;
+    int64_t value = 0;
+    bool saw_digit = false;
+    while (*cursor < tape.size()) {
+      int sym = tape[*cursor];
+      if (sym == kZero || sym == kOne) {
+        value = value * 2 + (sym == kOne ? 1 : 0);
+        saw_digit = true;
+        ++*cursor;
+      } else if (sym == kComma) {
+        if (!saw_digit) return error("empty field");
+        row.push_back(value);
+        value = 0;
+        saw_digit = false;
+        ++*cursor;
+      } else if (sym == kRParenSym) {
+        if (!saw_digit) return error("empty field");
+        row.push_back(value);
+        ++*cursor;
+        break;
+      } else {
+        return error("unexpected symbol inside tuple");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  if (*cursor >= tape.size() || tape[*cursor] != kRBrackSym) {
+    return error("expected ']'");
+  }
+  ++*cursor;
+  return rows;
+}
+
+std::string TapeToString(const std::vector<int>& tape) {
+  std::string out;
+  for (int sym : tape) {
+    switch (sym) {
+      case kBlank: out += '_'; break;
+      case kZero: out += '0'; break;
+      case kOne: out += '1'; break;
+      case kComma: out += ','; break;
+      case kLParenSym: out += '('; break;
+      case kRParenSym: out += ')'; break;
+      case kLBrackSym: out += '['; break;
+      case kRBrackSym: out += ']'; break;
+      default: out += '?'; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace idlog

@@ -1,0 +1,51 @@
+#ifndef IDLOG_TM_ENCODER_H_
+#define IDLOG_TM_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/database.h"
+
+namespace idlog {
+
+/// Tape alphabet used by the Section 3.1 database encoding. Symbol 0 is
+/// the blank; the distinguished symbols the paper lists are mapped to
+/// small integers.
+enum TapeSymbol : int {
+  kBlank = 0,
+  kZero = 1,      ///< '0'
+  kOne = 2,       ///< '1'
+  kComma = 3,     ///< ','
+  kLParenSym = 4, ///< '('
+  kRParenSym = 5, ///< ')'
+  kLBrackSym = 6, ///< '['
+  kRBrackSym = 7, ///< ']'
+};
+constexpr int kTapeAlphabetSize = 8;
+
+/// Encodes a database as the ordered-list tape encoding of Section 3.1:
+/// relations (in `relation_order`) become bracketed tuple lists
+///   [ (c,c) (c,c) ... ] [ ... ]
+/// where each uninterpreted constant is the binary spelling of its
+/// index in the u-domain enumeration order and each natural number its
+/// binary spelling. The machine's genericity requirement — operate
+/// independently of the encoding of the constants — corresponds to
+/// independence from the chosen enumeration order.
+Result<std::vector<int>> EncodeDatabaseToTape(
+    const Database& database, const std::vector<std::string>& relation_order);
+
+/// Decodes one bracketed tuple list (as produced above) back into rows
+/// of binary-encoded values; each value is returned as its numeric
+/// index. Inverse of the encoder for a single relation.
+Result<std::vector<std::vector<int64_t>>> DecodeRelationFromTape(
+    const std::vector<int>& tape, size_t* cursor);
+
+/// Renders a tape as a printable string ("(10,11)" style) for tests and
+/// demos.
+std::string TapeToString(const std::vector<int>& tape);
+
+}  // namespace idlog
+
+#endif  // IDLOG_TM_ENCODER_H_

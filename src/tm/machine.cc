@@ -1,0 +1,157 @@
+#include "tm/machine.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace idlog {
+
+namespace {
+
+struct Config {
+  int state;
+  int64_t head;
+  std::vector<int> tape;
+
+  bool operator<(const Config& o) const {
+    if (state != o.state) return state < o.state;
+    if (head != o.head) return head < o.head;
+    return tape < o.tape;
+  }
+};
+
+int ReadCell(const std::vector<int>& tape, int64_t pos) {
+  if (pos < 0 || static_cast<size_t>(pos) >= tape.size()) return 0;
+  return tape[static_cast<size_t>(pos)];
+}
+
+void WriteCell(std::vector<int>* tape, int64_t pos, int sym) {
+  if (static_cast<size_t>(pos) >= tape->size()) {
+    tape->resize(static_cast<size_t>(pos) + 1, 0);
+  }
+  (*tape)[static_cast<size_t>(pos)] = sym;
+}
+
+int64_t MovedHead(int64_t head, TmMove move) {
+  switch (move) {
+    case TmMove::kLeft: return head > 0 ? head - 1 : 0;
+    case TmMove::kStay: return head;
+    case TmMove::kRight: return head + 1;
+  }
+  return head;
+}
+
+}  // namespace
+
+int TuringMachine::MaxBranching() const {
+  int max_branch = 1;
+  for (const auto& [key, alts] : delta) {
+    (void)key;
+    max_branch = std::max(max_branch, static_cast<int>(alts.size()));
+  }
+  return max_branch;
+}
+
+Status TuringMachine::Validate() const {
+  if (num_states <= 0) return Status::InvalidArgument("no states");
+  if (num_symbols <= 0) return Status::InvalidArgument("no symbols");
+  if (start_state < 0 || start_state >= num_states) {
+    return Status::InvalidArgument("start state out of range");
+  }
+  for (int q : accepting) {
+    if (q < 0 || q >= num_states) {
+      return Status::InvalidArgument("accepting state out of range");
+    }
+  }
+  for (const auto& [key, alts] : delta) {
+    auto [q, s] = key;
+    if (q < 0 || q >= num_states || s < 0 || s >= num_symbols) {
+      return Status::InvalidArgument("transition key out of range");
+    }
+    if (alts.empty()) {
+      return Status::InvalidArgument("empty alternative list");
+    }
+    for (const TmTransition& t : alts) {
+      if (t.next_state < 0 || t.next_state >= num_states ||
+          t.write_symbol < 0 || t.write_symbol >= num_symbols) {
+        return Status::InvalidArgument("transition target out of range");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<TmRunResult> RunMachine(const TuringMachine& tm,
+                               const std::vector<int>& input_tape,
+                               uint64_t max_steps,
+                               const std::vector<uint32_t>& choice_script) {
+  IDLOG_RETURN_NOT_OK(tm.Validate());
+  for (int s : input_tape) {
+    if (s < 0 || s >= tm.num_symbols) {
+      return Status::InvalidArgument("input symbol out of range");
+    }
+  }
+
+  TmRunResult result;
+  Config c{tm.start_state, 0, input_tape};
+  for (uint64_t step = 0; step < max_steps; ++step) {
+    if (tm.accepting.count(c.state) > 0) {
+      result.accepted = true;
+      result.halted = true;
+      break;
+    }
+    auto it = tm.delta.find({c.state, ReadCell(c.tape, c.head)});
+    if (it == tm.delta.end()) {
+      result.halted = true;
+      break;
+    }
+    uint32_t choice =
+        step < choice_script.size() ? choice_script[step] : 0u;
+    const TmTransition& t =
+        it->second[choice % it->second.size()];
+    WriteCell(&c.tape, c.head, t.write_symbol);
+    c.head = MovedHead(c.head, t.move);
+    c.state = t.next_state;
+    ++result.steps_taken;
+  }
+  if (!result.halted && tm.accepting.count(c.state) > 0) {
+    // Accepting exactly at the bound still counts.
+    result.accepted = true;
+    result.halted = true;
+  }
+  result.final_state = c.state;
+  result.head = c.head;
+  result.final_tape = std::move(c.tape);
+  return result;
+}
+
+Result<bool> AcceptsWithinBound(const TuringMachine& tm,
+                                const std::vector<int>& input_tape,
+                                uint64_t max_steps, uint64_t max_configs) {
+  IDLOG_RETURN_NOT_OK(tm.Validate());
+  std::set<Config> seen;
+  std::queue<std::pair<Config, uint64_t>> frontier;
+  frontier.push({Config{tm.start_state, 0, input_tape}, 0});
+
+  while (!frontier.empty()) {
+    auto [c, depth] = frontier.front();
+    frontier.pop();
+    if (tm.accepting.count(c.state) > 0) return true;
+    if (depth >= max_steps) continue;
+    if (!seen.insert(c).second) continue;
+    if (seen.size() > max_configs) {
+      return Status::ResourceExhausted("configuration budget exhausted");
+    }
+    auto it = tm.delta.find({c.state, ReadCell(c.tape, c.head)});
+    if (it == tm.delta.end()) continue;
+    for (const TmTransition& t : it->second) {
+      Config next = c;
+      WriteCell(&next.tape, next.head, t.write_symbol);
+      next.head = MovedHead(next.head, t.move);
+      next.state = t.next_state;
+      frontier.push({std::move(next), depth + 1});
+    }
+  }
+  return false;
+}
+
+}  // namespace idlog

@@ -1,0 +1,72 @@
+#ifndef IDLOG_TM_MACHINE_H_
+#define IDLOG_TM_MACHINE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idlog {
+
+/// Head movement of a transition.
+enum class TmMove : int { kLeft = 0, kStay = 1, kRight = 2 };
+
+struct TmTransition {
+  int next_state = 0;
+  int write_symbol = 0;
+  TmMove move = TmMove::kStay;
+};
+
+/// A non-deterministic Turing machine over a semi-infinite tape
+/// [0, inf); symbol 0 is the blank. Moving left at cell 0 stays put.
+/// A configuration whose state is accepting halts and accepts; a
+/// configuration with no applicable transition halts and rejects.
+///
+/// This is the concrete stand-in for the paper's generic (domain)
+/// Turing machines [HS89]: genericity is obtained by feeding it
+/// encodings produced by EncodeDatabaseToTape, which depend only on the
+/// *order* assigned to the domain, never on the constants themselves.
+struct TuringMachine {
+  int num_states = 0;
+  int num_symbols = 1;  ///< Tape alphabet size; symbols are 0..n-1.
+  int start_state = 0;
+  std::set<int> accepting;
+  /// (state, read symbol) -> alternatives. Missing key = stuck.
+  std::map<std::pair<int, int>, std::vector<TmTransition>> delta;
+
+  /// Largest number of alternatives of any (state, symbol) pair.
+  int MaxBranching() const;
+
+  Status Validate() const;
+};
+
+struct TmRunResult {
+  bool accepted = false;
+  bool halted = false;      ///< False if the step bound cut the run.
+  uint64_t steps_taken = 0;
+  int final_state = 0;
+  int64_t head = 0;
+  std::vector<int> final_tape;  ///< Cells 0..max written position.
+};
+
+/// Runs one branch of the machine for at most `max_steps` steps. At a
+/// branching point with k alternatives and script entry c, alternative
+/// c % k is taken (the same padding convention the IDLOG compiler
+/// uses); an exhausted script takes alternative 0.
+Result<TmRunResult> RunMachine(const TuringMachine& tm,
+                               const std::vector<int>& input_tape,
+                               uint64_t max_steps,
+                               const std::vector<uint32_t>& choice_script = {});
+
+/// True iff some branch accepts within `max_steps` steps (breadth-first
+/// search over configurations, capped at `max_configs` distinct ones).
+Result<bool> AcceptsWithinBound(const TuringMachine& tm,
+                                const std::vector<int>& input_tape,
+                                uint64_t max_steps,
+                                uint64_t max_configs = 1000000);
+
+}  // namespace idlog
+
+#endif  // IDLOG_TM_MACHINE_H_

@@ -1,0 +1,78 @@
+#include "tm/machines.h"
+
+namespace idlog {
+namespace machines {
+
+TuringMachine Flip() {
+  TuringMachine tm;
+  tm.num_states = 2;
+  tm.num_symbols = 3;
+  tm.start_state = 0;
+  tm.accepting = {1};
+  tm.delta[{0, 1}] = {{0, 2, TmMove::kRight}};
+  tm.delta[{0, 2}] = {{0, 1, TmMove::kRight}};
+  tm.delta[{0, 0}] = {{1, 0, TmMove::kStay}};
+  return tm;
+}
+
+TuringMachine EvenParity() {
+  TuringMachine tm;
+  tm.num_states = 3;
+  tm.num_symbols = 3;
+  tm.start_state = 0;
+  tm.accepting = {2};
+  tm.delta[{0, 1}] = {{0, 1, TmMove::kRight}};
+  tm.delta[{0, 2}] = {{1, 2, TmMove::kRight}};
+  tm.delta[{1, 1}] = {{1, 1, TmMove::kRight}};
+  tm.delta[{1, 2}] = {{0, 2, TmMove::kRight}};
+  tm.delta[{0, 0}] = {{2, 0, TmMove::kStay}};
+  return tm;
+}
+
+TuringMachine BinaryIncrement() {
+  TuringMachine tm;
+  tm.num_states = 3;
+  tm.num_symbols = 3;
+  tm.start_state = 0;
+  tm.accepting = {2};
+  // Seek the end of the number.
+  tm.delta[{0, 1}] = {{0, 1, TmMove::kRight}};
+  tm.delta[{0, 2}] = {{0, 2, TmMove::kRight}};
+  tm.delta[{0, 0}] = {{1, 0, TmMove::kLeft}};
+  // Carry: 1 ('0') -> 2 ('1') done; 2 ('1') -> 1 ('0') keep carrying.
+  tm.delta[{1, 1}] = {{2, 2, TmMove::kStay}};
+  tm.delta[{1, 2}] = {{1, 1, TmMove::kLeft}};
+  // Carrying past the left end onto blank: write '1'.
+  tm.delta[{1, 0}] = {{2, 2, TmMove::kStay}};
+  return tm;
+}
+
+TuringMachine GuessDoubleOne() {
+  TuringMachine tm;
+  tm.num_states = 3;
+  tm.num_symbols = 3;
+  tm.start_state = 0;
+  tm.accepting = {2};
+  // Scanning: on '1' keep going; on '2' either keep going or commit.
+  tm.delta[{0, 1}] = {{0, 1, TmMove::kRight}};
+  tm.delta[{0, 2}] = {{0, 2, TmMove::kRight}, {1, 2, TmMove::kRight}};
+  // Committed: the very next cell must be '2'.
+  tm.delta[{1, 2}] = {{2, 2, TmMove::kStay}};
+  // 1 on '1' or blank: stuck (this guess fails). 0 on blank: stuck.
+  return tm;
+}
+
+TuringMachine GuessLaneSwitch() {
+  TuringMachine tm;
+  tm.num_states = 3;
+  tm.num_symbols = 2;
+  tm.start_state = 0;
+  tm.accepting = {2};
+  tm.delta[{0, 1}] = {{0, 1, TmMove::kRight}, {1, 1, TmMove::kRight}};
+  tm.delta[{1, 1}] = {{1, 1, TmMove::kRight}};
+  tm.delta[{1, 0}] = {{2, 0, TmMove::kStay}};
+  return tm;
+}
+
+}  // namespace machines
+}  // namespace idlog

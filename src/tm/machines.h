@@ -1,0 +1,46 @@
+#ifndef IDLOG_TM_MACHINES_H_
+#define IDLOG_TM_MACHINES_H_
+
+#include "tm/machine.h"
+
+namespace idlog {
+namespace machines {
+
+/// A small zoo of machines used by tests, benches and examples.
+/// Symbol conventions: 0 = blank; for binary-alphabet machines symbol 1
+/// encodes '0' and symbol 2 encodes '1' (matching the tape encoder's
+/// kZero/kOne).
+
+/// Deterministic: flips 1<->2 across the input and accepts at the first
+/// blank. States: 0 scan, 1 accept.
+TuringMachine Flip();
+
+/// Deterministic: accepts iff the number of 2s is even (rejects by
+/// sticking on odd parity at the blank). States: 0 even, 1 odd,
+/// 2 accept.
+TuringMachine EvenParity();
+
+/// Deterministic: binary increment of a most-significant-bit-first
+/// number. The head runs to the end of the input, then carries back:
+/// trailing 2s ('1') become 1s ('0') until a 1 ('0') or the left wall
+/// absorbs the carry. Accepts when the carry resolves; the final tape
+/// holds the incremented number (a shifted result 10..0 overflows into
+/// cell 0 only when the input is all ones — callers should leave a
+/// leading '0'). States: 0 seek-end, 1 carry, 2 accept.
+TuringMachine BinaryIncrement();
+
+/// Non-deterministic: accepts iff the input (over {1,2}) contains "2 2"
+/// somewhere — by *guessing* the position: in state 0 it may either
+/// keep scanning or commit to "the pair starts here". States: 0 scan,
+/// 1 expect-second-2, 2 accept.
+TuringMachine GuessDoubleOne();
+
+/// Non-deterministic: the branch-at-every-cell machine used by the
+/// compiler tests: accepts iff it ever guesses to switch lanes before
+/// the blank. States: 0 lane A, 1 lane B, 2 accept.
+TuringMachine GuessLaneSwitch();
+
+}  // namespace machines
+}  // namespace idlog
+
+#endif  // IDLOG_TM_MACHINES_H_

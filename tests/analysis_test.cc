@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "analysis/classification.h"
+#include "analysis/dependency_graph.h"
+#include "analysis/stratifier.h"
+#include "parser/parser.h"
+
+namespace idlog {
+namespace {
+
+Program MustParse(const std::string& text, SymbolTable* s) {
+  auto p = ParseProgram(text, s);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).ValueOrDie();
+}
+
+TEST(DependencyGraph, EdgesAndKinds) {
+  SymbolTable s;
+  Program p = MustParse(
+      "a(X) :- b(X), not c(X)."
+      "d(X) :- b[1](X, T).",
+      &s);
+  DependencyGraph g(p);
+  bool saw_pos = false;
+  bool saw_neg = false;
+  bool saw_id = false;
+  for (const DepEdge& e : g.edges()) {
+    if (e.from == "b" && e.to == "a" && e.kind == DepKind::kPositive) {
+      saw_pos = true;
+    }
+    if (e.from == "c" && e.to == "a" && e.kind == DepKind::kNegative) {
+      saw_neg = true;
+    }
+    if (e.from == "b" && e.to == "d" && e.kind == DepKind::kId) {
+      saw_id = true;
+    }
+  }
+  EXPECT_TRUE(saw_pos);
+  EXPECT_TRUE(saw_neg);
+  EXPECT_TRUE(saw_id);
+}
+
+TEST(DependencyGraph, ReachableFromIsTransitive) {
+  SymbolTable s;
+  Program p = MustParse(
+      "a(X) :- b(X). b(X) :- c(X). unrelated(X) :- other(X).", &s);
+  DependencyGraph g(p);
+  auto reachable = g.ReachableFrom("a");
+  EXPECT_TRUE(reachable.count("a"));
+  EXPECT_TRUE(reachable.count("b"));
+  EXPECT_TRUE(reachable.count("c"));
+  EXPECT_FALSE(reachable.count("unrelated"));
+  EXPECT_FALSE(reachable.count("other"));
+}
+
+TEST(DependencyGraph, ProgramPortionMatchesPaper) {
+  // P/q contains exactly the clauses related to q.
+  SymbolTable s;
+  Program p = MustParse(
+      "q(X) :- mid(X)."
+      "mid(X) :- base(X)."
+      "noise(X) :- base(X).",
+      &s);
+  auto portion = ProgramPortion(p, "q");
+  ASSERT_EQ(portion.size(), 2u);
+  EXPECT_EQ(portion[0].head.predicate, "q");
+  EXPECT_EQ(portion[1].head.predicate, "mid");
+}
+
+TEST(Stratifier, PositiveRecursionSingleStratum) {
+  SymbolTable s;
+  Program p = MustParse(
+      "path(X, Y) :- edge(X, Y)."
+      "path(X, Z) :- path(X, Y), edge(Y, Z).",
+      &s);
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_EQ(strat->StratumOf("edge"), 0);
+  EXPECT_EQ(strat->StratumOf("path"), 0);
+  EXPECT_EQ(strat->num_strata, 1);
+}
+
+TEST(Stratifier, NegationForcesHigherStratum) {
+  SymbolTable s;
+  Program p = MustParse(
+      "reach(X) :- src(X)."
+      "reach(Y) :- reach(X), edge(X, Y)."
+      "unreach(X) :- node(X), not reach(X).",
+      &s);
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_LT(strat->StratumOf("reach"), strat->StratumOf("unreach"));
+}
+
+TEST(Stratifier, IdEdgeForcesHigherStratum) {
+  SymbolTable s;
+  Program p = MustParse(
+      "guess(X, m) :- person(X)."
+      "guess(X, f) :- person(X)."
+      "picked(X, S) :- guess[1](X, S, 0).",
+      &s);
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_LT(strat->StratumOf("guess"), strat->StratumOf("picked"));
+}
+
+TEST(Stratifier, RecursionThroughNegationRejected) {
+  SymbolTable s;
+  Program p = MustParse(
+      "win(X) :- move(X, Y), not win(Y).", &s);
+  auto strat = Stratify(p);
+  EXPECT_EQ(strat.status().code(), StatusCode::kNotStratified);
+}
+
+TEST(Stratifier, RecursionThroughIdRejected) {
+  SymbolTable s;
+  // p's ID-relation feeds p itself: not stratifiable.
+  Program p = MustParse("p(X) :- p[1](X, 0). p(a).", &s);
+  auto strat = Stratify(p);
+  EXPECT_EQ(strat.status().code(), StatusCode::kNotStratified);
+}
+
+TEST(Stratifier, MutualNegativeRecursionRejected) {
+  SymbolTable s;
+  Program p = MustParse(
+      "a(X) :- u(X), not b(X)."
+      "b(X) :- u(X), not a(X).",
+      &s);
+  EXPECT_EQ(Stratify(p).status().code(), StatusCode::kNotStratified);
+}
+
+TEST(Stratifier, FourStratumChain) {
+  SymbolTable s;
+  Program p = MustParse(
+      "s1(X) :- in(X)."
+      "s2(X) :- in(X), not s1(X)."
+      "s3(X) :- s2[1](X, 0)."
+      "s4(X) :- in(X), not s3(X).",
+      &s);
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_EQ(strat->num_strata, 4);
+  EXPECT_EQ(strat->StratumOf("s1"), 0);
+  EXPECT_EQ(strat->StratumOf("s2"), 1);
+  EXPECT_EQ(strat->StratumOf("s3"), 2);
+  EXPECT_EQ(strat->StratumOf("s4"), 3);
+}
+
+TEST(Stratifier, ClausesGroupedByStratum) {
+  SymbolTable s;
+  Program p = MustParse(
+      "low(X) :- in(X)."
+      "high(X) :- in(X), not low(X).",
+      &s);
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok());
+  ASSERT_EQ(strat->clauses_by_stratum.size(), 2u);
+  EXPECT_EQ(strat->clauses_by_stratum[0], std::vector<int>{0});
+  EXPECT_EQ(strat->clauses_by_stratum[1], std::vector<int>{1});
+}
+
+TEST(Classification, InputOutputSplit) {
+  SymbolTable s;
+  Program p = MustParse(
+      "out1(X) :- in1(X), not in2(X)."
+      "out2(X) :- out1(X), in3[1](X, 0).",
+      &s);
+  PredicateClassification c = ClassifyPredicates(p);
+  EXPECT_TRUE(c.IsInput("in1"));
+  EXPECT_TRUE(c.IsInput("in2"));
+  EXPECT_TRUE(c.IsInput("in3"));  // via its ID-version
+  EXPECT_TRUE(c.IsOutput("out1"));
+  EXPECT_TRUE(c.IsOutput("out2"));
+  EXPECT_FALSE(c.IsInput("out1"));
+}
+
+TEST(Classification, FactsMakeOutputs) {
+  SymbolTable s;
+  Program p = MustParse("r(a). q(X) :- r(X).", &s);
+  PredicateClassification c = ClassifyPredicates(p);
+  EXPECT_TRUE(c.IsOutput("r"));
+  EXPECT_FALSE(c.IsInput("r"));
+}
+
+}  // namespace
+}  // namespace idlog

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "ast/ast.h"
+#include "ast/printer.h"
+#include "ast/program_builder.h"
+
+namespace idlog {
+namespace {
+
+TEST(Term, Constructors) {
+  Term v = Term::Var("X");
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_EQ(v.var_name(), "X");
+  Term n = Term::Number(7);
+  EXPECT_TRUE(n.is_constant());
+  EXPECT_EQ(n.value().number(), 7);
+  SymbolTable s;
+  Term sym = Term::Symbol(s.Intern("a"));
+  EXPECT_TRUE(sym.value().is_symbol());
+  EXPECT_EQ(v, Term::Var("X"));
+  EXPECT_NE(v, Term::Var("Y"));
+  EXPECT_NE(v, n);
+}
+
+TEST(Builtin, NamesAndArities) {
+  EXPECT_STREQ(BuiltinName(BuiltinKind::kSucc), "succ");
+  EXPECT_STREQ(BuiltinName(BuiltinKind::kAdd), "+");
+  EXPECT_STREQ(BuiltinName(BuiltinKind::kLe), "<=");
+  EXPECT_EQ(BuiltinArity(BuiltinKind::kSucc), 2);
+  EXPECT_EQ(BuiltinArity(BuiltinKind::kAdd), 3);
+  EXPECT_EQ(BuiltinArity(BuiltinKind::kNe), 2);
+}
+
+TEST(Atom, IdGroupsAreSortedAndDeduplicated) {
+  Atom a = Atom::Id("p", {2, 0, 2},
+                    {Term::Var("A"), Term::Var("B"), Term::Var("C"),
+                     Term::Var("T")});
+  EXPECT_EQ(a.group, (std::vector<int>{0, 2}));
+  EXPECT_EQ(a.base_arity(), 3);
+}
+
+TEST(Atom, ChoiceSplit) {
+  Atom c = Atom::Choice({Term::Var("D")}, {Term::Var("N"), Term::Var("M")});
+  EXPECT_EQ(c.kind, AtomKind::kChoice);
+  EXPECT_EQ(c.choice_split, 1);
+  EXPECT_EQ(c.arity(), 3);
+}
+
+TEST(Atom, EqualityCoversKindAndPayload) {
+  Atom p1 = Atom::Ordinary("p", {Term::Var("X")});
+  Atom p2 = Atom::Ordinary("p", {Term::Var("X")});
+  Atom p3 = Atom::Ordinary("p", {Term::Var("Y")});
+  Atom id = Atom::Id("p", {}, {Term::Var("X"), Term::Var("T")});
+  EXPECT_EQ(p1, p2);
+  EXPECT_FALSE(p1 == p3);
+  EXPECT_FALSE(p1 == id);
+}
+
+TEST(Program, FindAndRegisterPredicates) {
+  Program p;
+  EXPECT_EQ(p.FindPredicate("q"), -1);
+  PredicateInfo& info = p.GetOrAddPredicate("q", 2);
+  EXPECT_EQ(info.type.size(), 2u);
+  EXPECT_EQ(p.FindPredicate("q"), 0);
+  // Re-fetching keeps the same entry.
+  p.GetOrAddPredicate("q", 2);
+  EXPECT_EQ(p.predicates.size(), 1u);
+}
+
+TEST(Program, UsageFlags) {
+  SymbolTable s;
+  ProgramBuilder b(&s);
+  b.AddRule(Atom::Ordinary("q", {b.V("X")}),
+            {Literal::Pos(Atom::Ordinary("r", {b.V("X")}))});
+  EXPECT_FALSE(b.program().UsesChoice());
+  EXPECT_FALSE(b.program().UsesIdPredicates());
+  b.AddRule(Atom::Ordinary("w", {b.V("X")}),
+            {Literal::Pos(Atom::Id("r", {}, {b.V("X"), b.N(0)}))});
+  EXPECT_TRUE(b.program().UsesIdPredicates());
+}
+
+TEST(ProgramBuilder, BuildsAndInfersTypes) {
+  SymbolTable s;
+  ProgramBuilder b(&s);
+  b.AddFact("v", {b.S("x"), b.N(3)});
+  b.AddRule(Atom::Ordinary("q", {b.V("X"), b.V("M")}),
+            {Literal::Pos(Atom::Ordinary("v", {b.V("X"), b.V("N")})),
+             Literal::Pos(Atom::Builtin(
+                 BuiltinKind::kAdd, {b.V("N"), b.N(1), b.V("M")}))});
+  auto program = b.Build();
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  int v = program->FindPredicate("v");
+  int q = program->FindPredicate("q");
+  ASSERT_GE(v, 0);
+  ASSERT_GE(q, 0);
+  EXPECT_EQ(TypeToString(program->predicates[static_cast<size_t>(v)].type),
+            "01");
+  EXPECT_EQ(TypeToString(program->predicates[static_cast<size_t>(q)].type),
+            "01");
+}
+
+TEST(ProgramBuilder, DeclareOverridesInference) {
+  SymbolTable s;
+  ProgramBuilder b(&s);
+  b.Declare("mystery", TypeFromString("11"));
+  b.AddRule(Atom::Ordinary("q", {b.V("A")}),
+            {Literal::Pos(Atom::Ordinary("mystery", {b.V("A"), b.V("B")}))});
+  auto program = b.Build();
+  ASSERT_TRUE(program.ok());
+  int q = program->FindPredicate("q");
+  EXPECT_EQ(TypeToString(program->predicates[static_cast<size_t>(q)].type),
+            "1");
+}
+
+TEST(ProgramBuilder, TypeConflictFailsBuild) {
+  SymbolTable s;
+  ProgramBuilder b(&s);
+  b.AddFact("v", {b.N(1)});
+  b.AddFact("v", {b.S("oops")});
+  auto program = b.Build();
+  EXPECT_EQ(program.status().code(), StatusCode::kTypeError);
+}
+
+TEST(Printer, TermForms) {
+  SymbolTable s;
+  EXPECT_EQ(TermToString(Term::Var("X"), s), "X");
+  EXPECT_EQ(TermToString(Term::Number(12), s), "12");
+  EXPECT_EQ(TermToString(Term::Symbol(s.Intern("abc")), s), "abc");
+  // Constants needing quoting get quoted.
+  EXPECT_EQ(TermToString(Term::Symbol(s.Intern("Has Space")), s),
+            "\"Has Space\"");
+  EXPECT_EQ(TermToString(Term::Symbol(s.Intern("x-1")), s), "\"x-1\"");
+}
+
+TEST(Printer, AtomForms) {
+  SymbolTable s;
+  EXPECT_EQ(AtomToString(Atom::Ordinary("p", {Term::Var("X")}), s),
+            "p(X)");
+  EXPECT_EQ(AtomToString(
+                Atom::Id("p", {1}, {Term::Var("X"), Term::Var("Y"),
+                                    Term::Number(0)}),
+                s),
+            "p[2](X, Y, 0)");
+  EXPECT_EQ(AtomToString(Atom::Builtin(BuiltinKind::kSucc,
+                                       {Term::Var("A"), Term::Var("B")}),
+                         s),
+            "succ(A, B)");
+  EXPECT_EQ(AtomToString(Atom::Builtin(BuiltinKind::kAdd,
+                                       {Term::Var("A"), Term::Number(1),
+                                        Term::Var("C")}),
+                         s),
+            "C = A + 1");
+  EXPECT_EQ(AtomToString(Atom::Builtin(BuiltinKind::kLt,
+                                       {Term::Var("T"), Term::Number(2)}),
+                         s),
+            "T < 2");
+  EXPECT_EQ(
+      AtomToString(Atom::Choice({Term::Var("D")}, {Term::Var("N")}), s),
+      "choice((D), (N))");
+}
+
+TEST(Printer, ClauseAndProgram) {
+  SymbolTable s;
+  Clause c;
+  c.head = Atom::Ordinary("q", {Term::Var("X")});
+  c.body.push_back(Literal::Pos(Atom::Ordinary("r", {Term::Var("X")})));
+  c.body.push_back(Literal::Neg(Atom::Ordinary("t", {Term::Var("X")})));
+  EXPECT_EQ(ClauseToString(c, s), "q(X) :- r(X), not t(X).");
+
+  Clause fact;
+  fact.head = Atom::Ordinary("r", {Term::Symbol(s.Intern("a"))});
+  EXPECT_EQ(ClauseToString(fact, s), "r(a).");
+
+  Program p;
+  p.clauses = {fact, c};
+  EXPECT_EQ(ProgramToString(p, s), "r(a).\nq(X) :- r(X), not t(X).\n");
+}
+
+}  // namespace
+}  // namespace idlog

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/answer_enumerator.h"
+#include "opt/cleanup.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace idlog {
+namespace {
+
+Program MustParse(const std::string& text, SymbolTable* s) {
+  auto p = ParseProgram(text, s);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).ValueOrDie();
+}
+
+TEST(Cleanup, DuplicateLiteralsCollapse) {
+  SymbolTable s;
+  Program p = MustParse("q(X) :- r(X), r(X), t(X).", &s);
+  CleanupStats stats;
+  Program out = CleanupProgram(p, "", &stats);
+  EXPECT_EQ(stats.duplicate_literals_removed, 1);
+  EXPECT_EQ(out.clauses[0].body.size(), 2u);
+}
+
+TEST(Cleanup, ContradictoryBodyDropsClause) {
+  SymbolTable s;
+  Program p = MustParse(
+      "q(X) :- r(X), not r(X)."
+      "q(X) :- t(X).",
+      &s);
+  CleanupStats stats;
+  Program out = CleanupProgram(p, "", &stats);
+  EXPECT_EQ(stats.contradictory_clauses_removed, 1);
+  EXPECT_EQ(out.clauses.size(), 1u);
+}
+
+TEST(Cleanup, DuplicateClausesDrop) {
+  SymbolTable s;
+  Program p = MustParse(
+      "q(X) :- r(X), t(X)."
+      "q(X) :- t(X), r(X).",  // same clause, different literal order
+      &s);
+  CleanupStats stats;
+  Program out = CleanupProgram(p, "", &stats);
+  EXPECT_EQ(stats.duplicate_clauses_removed, 1);
+  EXPECT_EQ(out.clauses.size(), 1u);
+}
+
+TEST(Cleanup, SubsumedClauseDrops) {
+  SymbolTable s;
+  // The second clause demands strictly more than the first for the
+  // same head: it can never contribute a new fact.
+  Program p = MustParse(
+      "q(X) :- r(X)."
+      "q(X) :- r(X), t(X).",
+      &s);
+  CleanupStats stats;
+  Program out = CleanupProgram(p, "", &stats);
+  EXPECT_EQ(stats.subsumed_clauses_removed, 1);
+  EXPECT_EQ(out.clauses.size(), 1u);
+}
+
+TEST(Cleanup, DifferentHeadsNotSubsumed) {
+  SymbolTable s;
+  Program p = MustParse(
+      "a(X) :- r(X)."
+      "b(X) :- r(X), t(X).",
+      &s);
+  CleanupStats stats;
+  Program out = CleanupProgram(p, "", &stats);
+  EXPECT_EQ(stats.subsumed_clauses_removed, 0);
+  EXPECT_EQ(out.clauses.size(), 2u);
+}
+
+TEST(Cleanup, UnreachableClausesDropWithOutput) {
+  SymbolTable s;
+  Program p = MustParse(
+      "q(X) :- mid(X)."
+      "mid(X) :- base(X)."
+      "noise(X) :- base(X).",
+      &s);
+  CleanupStats stats;
+  Program out = CleanupProgram(p, "q", &stats);
+  EXPECT_EQ(stats.unreachable_clauses_removed, 1);
+  EXPECT_EQ(out.clauses.size(), 2u);
+}
+
+TEST(Cleanup, PreservesQueryAnswers) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("r", {"a"}).ok());
+  ASSERT_TRUE(db.AddRow("r", {"b"}).ok());
+  ASSERT_TRUE(db.AddRow("t", {"a"}).ok());
+  Program p = MustParse(
+      "q(X) :- r(X), r(X)."
+      "q(X) :- r(X), t(X)."
+      "w(X) :- r(X), not r(X).",
+      &s);
+  Program cleaned = CleanupProgram(p, "q");
+
+  auto before = EnumerateAnswers(p, db, "q");
+  auto after = EnumerateAnswers(cleaned, db, "q");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->answers, after->answers);
+}
+
+TEST(Cleanup, IdLiteralsKeyedByGroup) {
+  SymbolTable s;
+  // Same base predicate, different grouping sets: distinct literals.
+  Program p = MustParse("q(N) :- e[1](N, 0), e[](N, 0).", &s);
+  CleanupStats stats;
+  Program out = CleanupProgram(p, "", &stats);
+  EXPECT_EQ(stats.duplicate_literals_removed, 0);
+  EXPECT_EQ(out.clauses[0].body.size(), 2u);
+}
+
+TEST(Cleanup, NoOpOnCleanProgram) {
+  SymbolTable s;
+  Program p = MustParse(
+      "path(X, Y) :- edge(X, Y)."
+      "path(X, Z) :- path(X, Y), edge(Y, Z).",
+      &s);
+  CleanupStats stats;
+  Program out = CleanupProgram(p, "path", &stats);
+  EXPECT_EQ(stats.total(), 0);
+  EXPECT_EQ(out.clauses.size(), 2u);
+}
+
+}  // namespace
+}  // namespace idlog

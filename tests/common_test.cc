@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/symbol_table.h"
+#include "common/value.h"
+
+namespace idlog {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status st = Status::ParseError("bad token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.message(), "bad token");
+  EXPECT_EQ(st.ToString(), "ParseError: bad token");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kParseError, StatusCode::kTypeError,
+        StatusCode::kUnsafeProgram, StatusCode::kNotStratified,
+        StatusCode::kUnsupported, StatusCode::kNotFound,
+        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, MacroPropagation) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("boom");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    IDLOG_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kInternal);
+}
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable t;
+  SymbolId a = t.Intern("alpha");
+  SymbolId b = t.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.Intern("alpha"), a);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.NameOf(a), "alpha");
+  EXPECT_EQ(t.NameOf(b), "beta");
+}
+
+TEST(SymbolTable, LookupMissing) {
+  SymbolTable t;
+  EXPECT_EQ(t.Lookup("ghost"), SymbolTable::kNoSymbol);
+  t.Intern("ghost");
+  EXPECT_NE(t.Lookup("ghost"), SymbolTable::kNoSymbol);
+}
+
+TEST(Value, SortsAndPayloads) {
+  SymbolTable t;
+  Value sym = Value::Symbol(t.Intern("x"));
+  Value num = Value::Number(12);
+  EXPECT_TRUE(sym.is_symbol());
+  EXPECT_FALSE(sym.is_number());
+  EXPECT_TRUE(num.is_number());
+  EXPECT_EQ(num.number(), 12);
+  EXPECT_EQ(sym.ToString(t), "x");
+  EXPECT_EQ(num.ToString(t), "12");
+}
+
+TEST(Value, EqualityDistinguishesSorts) {
+  // The symbol with id 3 and the number 3 are different values.
+  Value sym = Value::Symbol(3);
+  Value num = Value::Number(3);
+  EXPECT_NE(sym, num);
+  EXPECT_NE(sym.Hash(), num.Hash());
+}
+
+TEST(Value, OrderingIsTotalWithinSort) {
+  EXPECT_LT(Value::Number(1), Value::Number(2));
+  EXPECT_LT(Value::Symbol(0), Value::Symbol(1));
+  // u sorts before i by convention.
+  EXPECT_LT(Value::Symbol(99), Value::Number(0));
+}
+
+TEST(Tuple, HashTreatsContentNotIdentity) {
+  TupleHash h;
+  Tuple a = {Value::Number(1), Value::Symbol(2)};
+  Tuple b = {Value::Number(1), Value::Symbol(2)};
+  Tuple c = {Value::Symbol(2), Value::Number(1)};
+  EXPECT_EQ(h(a), h(b));
+  EXPECT_NE(h(a), h(c));  // order matters
+}
+
+TEST(RelationType, RoundTripsThroughString) {
+  RelationType t = TypeFromString("0110");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], Sort::kU);
+  EXPECT_EQ(t[1], Sort::kI);
+  EXPECT_EQ(TypeToString(t), "0110");
+}
+
+TEST(RelationType, TupleToStringFormat) {
+  SymbolTable t;
+  Tuple tup = {Value::Symbol(t.Intern("a")), Value::Number(5)};
+  EXPECT_EQ(TupleToString(tup, t), "(a, 5)");
+  EXPECT_EQ(TupleToString({}, t), "()");
+}
+
+}  // namespace
+}  // namespace idlog

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "storage/csv.h"
+#include "test_util.h"
+
+namespace idlog {
+namespace {
+
+using testing_util::T;
+
+TEST(Csv, SplitPlainFields) {
+  EXPECT_EQ(SplitCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsvLine("one"), std::vector<std::string>{"one"});
+  EXPECT_EQ(SplitCsvLine("a,,c"),
+            (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(Csv, SplitQuotedFields) {
+  EXPECT_EQ(SplitCsvLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(SplitCsvLine("\"say \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(Csv, SplitToleratesCrlf) {
+  EXPECT_EQ(SplitCsvLine("a,b\r"),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Csv, LoadFromString) {
+  SymbolTable s;
+  Database db(&s);
+  Status st = LoadCsvRelationFromString(&db, "emp",
+                                        "ann,sales\nbob,dev\n\n");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const Relation* rel = *db.Get("emp");
+  EXPECT_EQ(rel->size(), 2u);
+  EXPECT_TRUE(rel->Contains(T(&s, {"ann", "sales"})));
+}
+
+TEST(Csv, LoadSkipsHeader) {
+  SymbolTable s;
+  Database db(&s);
+  Status st = LoadCsvRelationFromString(&db, "emp",
+                                        "name,dept\nann,sales\n",
+                                        /*skip_header=*/true);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ((*db.Get("emp"))->size(), 1u);
+}
+
+TEST(Csv, NumericFieldsBecomeSortI) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(
+      LoadCsvRelationFromString(&db, "score", "ann,42\n").ok());
+  const Relation* rel = *db.Get("score");
+  EXPECT_EQ(TypeToString(rel->type()), "01");
+  EXPECT_EQ(rel->tuples()[0][1].number(), 42);
+}
+
+TEST(Csv, TypeMismatchReportsLine) {
+  SymbolTable s;
+  Database db(&s);
+  Status st =
+      LoadCsvRelationFromString(&db, "score", "ann,42\nbob,oops\n");
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+}
+
+TEST(Csv, MissingFileIsNotFound) {
+  SymbolTable s;
+  Database db(&s);
+  EXPECT_EQ(LoadCsvRelation(&db, "r", "/nonexistent/x.csv").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Csv, SaveAndReload) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(
+      LoadCsvRelationFromString(&db, "emp",
+                                "ann,sales,3\n\"x,y\",dev,5\n")
+          .ok());
+  std::string path = ::testing::TempDir() + "/idlog_csv_test.csv";
+  ASSERT_TRUE(SaveRelationCsv(**db.Get("emp"), s, path).ok());
+
+  SymbolTable s2;
+  Database db2(&s2);
+  ASSERT_TRUE(LoadCsvRelation(&db2, "emp", path).ok());
+  EXPECT_EQ((*db2.Get("emp"))->size(), 2u);
+  EXPECT_TRUE((*db2.Get("emp"))->Contains(T(&s2, {"x,y", "dev", "5"})));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace idlog

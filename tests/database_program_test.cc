@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "analysis/database_program.h"
+#include "core/answer_enumerator.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace idlog {
+namespace {
+
+Program MustParse(const std::string& text, SymbolTable* s) {
+  auto p = ParseProgram(text, s);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).ValueOrDie();
+}
+
+TEST(DatabaseProgram, InlinesInputFactsAndRestrictsToPortion) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("edge", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddRow("edge", {"b", "c"}).ok());
+  ASSERT_TRUE(db.AddRow("noise_src", {"zzz"}).ok());
+  Program p = MustParse(
+      "q(X, Y) :- edge(X, Y)."
+      "noise(X) :- noise_src(X).",
+      &s);
+  auto dbp = BuildDatabaseProgram(p, "q", db);
+  ASSERT_TRUE(dbp.ok()) << dbp.status().ToString();
+  // One rule (q's) + two edge facts; the noise rule and noise_src facts
+  // are not related to q.
+  EXPECT_EQ(dbp->clauses.size(), 3u);
+  int facts = 0;
+  for (const Clause& c : dbp->clauses) {
+    if (c.is_fact()) {
+      ++facts;
+      EXPECT_EQ(c.head.predicate, "edge");
+    }
+  }
+  EXPECT_EQ(facts, 2);
+}
+
+TEST(DatabaseProgram, SelfContainedEvaluation) {
+  // dbp(P, q, τ) over the empty database computes the same query answer
+  // as P over τ.
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("edge", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddRow("edge", {"b", "c"}).ok());
+  ASSERT_TRUE(db.AddRow("edge", {"c", "a"}).ok());
+  Program p = MustParse(
+      "path(X, Y) :- edge(X, Y)."
+      "path(X, Z) :- path(X, Y), edge(Y, Z).",
+      &s);
+  auto dbp = BuildDatabaseProgram(p, "path", db);
+  ASSERT_TRUE(dbp.ok());
+
+  auto from_db = EnumerateAnswers(p, db, "path");
+  ASSERT_TRUE(from_db.ok());
+  Database empty(&s);
+  auto self_contained = EnumerateAnswers(*dbp, empty, "path");
+  ASSERT_TRUE(self_contained.ok());
+  EXPECT_EQ(from_db->answers, self_contained->answers);
+}
+
+TEST(DatabaseProgram, UdomFactsSpelledOut) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("r", {"a", "b"}).ok());
+  Program p = MustParse("all(X) :- udom(X).", &s);
+  auto dbp = BuildDatabaseProgram(p, "all", db);
+  ASSERT_TRUE(dbp.ok()) << dbp.status().ToString();
+  int udom_facts = 0;
+  for (const Clause& c : dbp->clauses) {
+    if (c.is_fact() && c.head.predicate == "udom") ++udom_facts;
+  }
+  EXPECT_EQ(udom_facts, 2);  // a and b
+}
+
+TEST(DatabaseProgram, IdVersionInputsAreInlined) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("emp", {"ann", "sales"}).ok());
+  ASSERT_TRUE(db.AddRow("emp", {"bob", "sales"}).ok());
+  Program p = MustParse("one(N) :- emp[2](N, D, 0).", &s);
+  auto dbp = BuildDatabaseProgram(p, "one", db);
+  ASSERT_TRUE(dbp.ok());
+  int emp_facts = 0;
+  for (const Clause& c : dbp->clauses) {
+    if (c.is_fact() && c.head.predicate == "emp") ++emp_facts;
+  }
+  EXPECT_EQ(emp_facts, 2);
+
+  Database empty(&s);
+  auto answers = EnumerateAnswers(*dbp, empty, "one");
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->answers.size(), 2u);  // ann or bob
+}
+
+TEST(DatabaseProgram, UnknownOutputIsNotFound) {
+  SymbolTable s;
+  Database db(&s);
+  Program p = MustParse("q(X) :- r(X).", &s);
+  EXPECT_EQ(BuildDatabaseProgram(p, "ghost", db).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace idlog

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/answer_enumerator.h"
+#include "core/idlog_engine.h"
+#include "opt/desugar_ids.h"
+#include "parser/parser.h"
+#include "storage/id_relation.h"
+#include "test_util.h"
+
+namespace idlog {
+namespace {
+
+Program MustParse(const std::string& text, SymbolTable* s) {
+  auto p = ParseProgram(text, s);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).ValueOrDie();
+}
+
+TEST(DesugarIds, UngroupedLiteralsUntouched) {
+  SymbolTable s;
+  Program p = MustParse("q(X) :- r[](X, 0).", &s);
+  auto desugared = DesugarGroupedIds(p);
+  ASSERT_TRUE(desugared.ok());
+  EXPECT_EQ(desugared->literals_desugared, 0);
+  EXPECT_EQ(desugared->program.clauses.size(), 1u);
+}
+
+TEST(DesugarIds, GroupedLiteralReplaced) {
+  SymbolTable s;
+  Program p = MustParse("q(N) :- emp[2](N, D, T), T < 2.", &s);
+  auto desugared = DesugarGroupedIds(p);
+  ASSERT_TRUE(desugared.ok()) << desugared.status().ToString();
+  EXPECT_EQ(desugared->literals_desugared, 1);
+  // The rewritten program contains no grouped ID-atoms; only p[].
+  for (const Clause& c : desugared->program.clauses) {
+    for (const Literal& lit : c.body) {
+      if (lit.atom.kind == AtomKind::kId) {
+        EXPECT_TRUE(lit.atom.group.empty())
+            << "grouped ID-literal survived desugaring";
+      }
+    }
+  }
+}
+
+TEST(DesugarIds, DesugaredRelationIsALegalIdRelation) {
+  // Run the desugared definition and validate the bijection invariant
+  // against the base relation.
+  IdlogEngine engine;
+  ASSERT_TRUE(engine.AddRow("emp", {"a1", "d1"}).ok());
+  ASSERT_TRUE(engine.AddRow("emp", {"a2", "d1"}).ok());
+  ASSERT_TRUE(engine.AddRow("emp", {"a3", "d1"}).ok());
+  ASSERT_TRUE(engine.AddRow("emp", {"b1", "d2"}).ok());
+
+  Program p = MustParse("pick(N, D, T) :- emp[2](N, D, T).",
+                        &engine.symbols());
+  auto desugared = DesugarGroupedIds(p);
+  ASSERT_TRUE(desugared.ok());
+  ASSERT_TRUE(engine.LoadProgram(desugared->program).ok());
+  auto rel = engine.Query("emp_id_2");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  auto base = engine.database().Get("emp");
+  ASSERT_TRUE(base.ok());
+  EXPECT_TRUE(ValidateIdRelation(**base, **rel, {1}).ok());
+}
+
+// Footnote 5, semantically: the original and desugared programs define
+// the same query — identical possible-answer sets.
+class DesugarEquivalence
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DesugarEquivalence, SameAnswerSets) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("emp", {"a1", "d1"}).ok());
+  ASSERT_TRUE(db.AddRow("emp", {"a2", "d1"}).ok());
+  ASSERT_TRUE(db.AddRow("emp", {"a3", "d1"}).ok());
+  ASSERT_TRUE(db.AddRow("emp", {"b1", "d2"}).ok());
+
+  Program original = MustParse(GetParam(), &s);
+  auto desugared = DesugarGroupedIds(original);
+  ASSERT_TRUE(desugared.ok()) << desugared.status().ToString();
+
+  auto direct = EnumerateAnswers(original, db, "q");
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EnumerateOptions options;
+  options.max_assignments = 200000;  // 4! global permutations per run
+  auto via_global =
+      EnumerateAnswers(desugared->program, db, "q", options);
+  ASSERT_TRUE(via_global.ok()) << via_global.status().ToString();
+  EXPECT_EQ(direct->answers, via_global->answers);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, DesugarEquivalence,
+    ::testing::Values(
+        "q(N) :- emp[2](N, D, 0).",                    // one per group
+        "q(N) :- emp[2](N, D, T), T < 2.",             // two per group
+        "q(D) :- emp[2](N, D, 0).",                    // witnesses
+        "q(N, T) :- emp[1,2](N, D, T)."));             // full-key group
+
+TEST(DesugarIds, NegatedGroupedLiteral) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("emp", {"a1", "d1"}).ok());
+  ASSERT_TRUE(db.AddRow("emp", {"a2", "d1"}).ok());
+
+  const char* text =
+      "q(N) :- emp(N, D), not emp[2](N, D, 0).";
+  Program original = MustParse(text, &s);
+  auto desugared = DesugarGroupedIds(original);
+  ASSERT_TRUE(desugared.ok()) << desugared.status().ToString();
+
+  auto direct = EnumerateAnswers(original, db, "q");
+  ASSERT_TRUE(direct.ok());
+  auto via_global = EnumerateAnswers(desugared->program, db, "q");
+  ASSERT_TRUE(via_global.ok()) << via_global.status().ToString();
+  EXPECT_EQ(direct->answers, via_global->answers);
+}
+
+}  // namespace
+}  // namespace idlog

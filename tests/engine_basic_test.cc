@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/idlog_engine.h"
+#include "test_util.h"
+
+namespace idlog {
+namespace {
+
+using testing_util::Rows;
+
+TEST(EngineBasic, FactsAndSimpleRule) {
+  IdlogEngine engine;
+  ASSERT_TRUE(engine.AddRow("edge", {"a", "b"}).ok());
+  ASSERT_TRUE(engine.AddRow("edge", {"b", "c"}).ok());
+  ASSERT_TRUE(
+      engine.LoadProgramText("path(X, Y) :- edge(X, Y).").ok());
+  auto result = engine.Query("path");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->size(), 2u);
+}
+
+TEST(EngineBasic, TransitiveClosure) {
+  IdlogEngine engine;
+  ASSERT_TRUE(engine.AddRow("edge", {"a", "b"}).ok());
+  ASSERT_TRUE(engine.AddRow("edge", {"b", "c"}).ok());
+  ASSERT_TRUE(engine.AddRow("edge", {"c", "d"}).ok());
+  Status st = engine.LoadProgramText(
+      "path(X, Y) :- edge(X, Y)."
+      "path(X, Z) :- path(X, Y), edge(Y, Z).");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto result = engine.Query("path");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->size(), 6u);
+}
+
+TEST(EngineBasic, StratifiedNegation) {
+  IdlogEngine engine;
+  ASSERT_TRUE(engine.AddRow("person", {"a"}).ok());
+  ASSERT_TRUE(engine.AddRow("person", {"b"}).ok());
+  ASSERT_TRUE(engine.AddRow("likes_tea", {"a"}).ok());
+  Status st = engine.LoadProgramText(
+      "coffee(X) :- person(X), not likes_tea(X).");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto result = engine.Query("coffee");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Rows(**result, engine.symbols()),
+            std::vector<std::string>{"(b)"});
+}
+
+TEST(EngineBasic, ArithmeticAndComparison) {
+  IdlogEngine engine;
+  ASSERT_TRUE(engine.AddRow("val", {"x", "3"}).ok());
+  ASSERT_TRUE(engine.AddRow("val", {"y", "10"}).ok());
+  Status st = engine.LoadProgramText(
+      "bumped(X, M) :- val(X, N), M = N + 1."
+      "small(X) :- val(X, N), N < 5.");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto bumped = engine.Query("bumped");
+  ASSERT_TRUE(bumped.ok()) << bumped.status().ToString();
+  EXPECT_EQ(Rows(**bumped, engine.symbols()),
+            (std::vector<std::string>{"(x, 4)", "(y, 11)"}));
+  auto small = engine.Query("small");
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(Rows(**small, engine.symbols()),
+            std::vector<std::string>{"(x)"});
+}
+
+TEST(EngineBasic, IdLiteralPicksOnePerGroup) {
+  IdlogEngine engine;
+  ASSERT_TRUE(engine.AddRow("emp", {"ann", "sales"}).ok());
+  ASSERT_TRUE(engine.AddRow("emp", {"bob", "sales"}).ok());
+  ASSERT_TRUE(engine.AddRow("emp", {"cal", "dev"}).ok());
+  Status st = engine.LoadProgramText(
+      "one_per_dept(N, D) :- emp[2](N, D, 0).");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto result = engine.Query("one_per_dept");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Exactly one employee per department, whichever got tid 0.
+  EXPECT_EQ((*result)->size(), 2u);
+}
+
+}  // namespace
+}  // namespace idlog

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "inflationary/inflationary.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace idlog {
+namespace {
+
+using testing_util::T;
+
+InfProgram ManWomanProgram() {
+  // Example 3 (DL): man(X) <- person(X), not woman(X);
+  //                 woman(X) <- person(X), not man(X).
+  InfProgram p;
+  auto make = [](const char* head, const char* neg) {
+    InfClause c;
+    c.head.push_back(
+        Literal::Pos(Atom::Ordinary(head, {Term::Var("X")})));
+    c.body.push_back(
+        Literal::Pos(Atom::Ordinary("person", {Term::Var("X")})));
+    c.body.push_back(
+        Literal::Neg(Atom::Ordinary(neg, {Term::Var("X")})));
+    return c;
+  };
+  p.clauses.push_back(make("man", "woman"));
+  p.clauses.push_back(make("woman", "man"));
+  return p;
+}
+
+Database PersonsAB(SymbolTable* s) {
+  Database db(s);
+  EXPECT_TRUE(db.AddRow("person", {"a"}).ok());
+  EXPECT_TRUE(db.AddRow("person", {"b"}).ok());
+  return db;
+}
+
+// Example 3: under the non-deterministic inflationary semantics,
+// man(r) = {{}, {a}, {b}, {a,b}}.
+TEST(Inflationary, Example3NonDeterministicAnswers) {
+  SymbolTable s;
+  Database db = PersonsAB(&s);
+  auto answers = EnumerateInflationaryAnswers(
+      ManWomanProgram(), db, "man", InfLanguage::kDL);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_EQ(answers->answers.size(), 4u);
+  EXPECT_TRUE(answers->ContainsAnswer({}));
+  EXPECT_TRUE(answers->ContainsAnswer({T(&s, {"a"})}));
+  EXPECT_TRUE(answers->ContainsAnswer({T(&s, {"b"})}));
+  EXPECT_TRUE(answers->ContainsAnswer({T(&s, {"a"}), T(&s, {"b"})}));
+}
+
+// Example 3's contrast: the deterministic inflationary semantics fires
+// everything at once, so man = woman = {a, b}.
+TEST(Inflationary, Example3DeterministicContrast) {
+  SymbolTable s;
+  Database db = PersonsAB(&s);
+  InfOptions options;
+  options.language = InfLanguage::kDL;
+  options.mode = InfMode::kDeterministic;
+  auto result = EvaluateInflationary(ManWomanProgram(), db, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result->Get("man"))->size(), 2u);
+  EXPECT_EQ((*result->Get("woman"))->size(), 2u);
+}
+
+TEST(Inflationary, NonDeterministicRunAssignsEachPersonOneSex) {
+  SymbolTable s;
+  Database db = PersonsAB(&s);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    InfOptions options;
+    options.language = InfLanguage::kDL;
+    options.mode = InfMode::kNonDeterministic;
+    options.seed = seed;
+    auto result = EvaluateInflationary(ManWomanProgram(), db, options);
+    ASSERT_TRUE(result.ok());
+    size_t men =
+        result->HasRelation("man") ? (*result->Get("man"))->size() : 0;
+    size_t women = result->HasRelation("woman")
+                       ? (*result->Get("woman"))->size()
+                       : 0;
+    EXPECT_EQ(men + women, 2u) << "seed " << seed;
+  }
+}
+
+TEST(Inflationary, PositiveProgramMatchesDatalog) {
+  // Without negation, all firing orders converge to the minimal model.
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("edge", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddRow("edge", {"b", "c"}).ok());
+
+  auto parsed = ParseProgram(
+      "path(X, Y) :- edge(X, Y)."
+      "path(X, Z) :- path(X, Y), edge(Y, Z).",
+      &s);
+  ASSERT_TRUE(parsed.ok());
+  auto inf = InfProgramFromProgram(*parsed);
+  ASSERT_TRUE(inf.ok());
+
+  auto answers =
+      EnumerateInflationaryAnswers(*inf, db, "path", InfLanguage::kDL);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->answers.size(), 1u);
+  EXPECT_TRUE(answers->ContainsAnswer({T(&s, {"a", "b"}),
+                                       T(&s, {"a", "c"}),
+                                       T(&s, {"b", "c"})}));
+}
+
+TEST(Inflationary, MultiHeadClauseFiresAtomically) {
+  // DL conjunction heads: both facts appear together.
+  InfProgram p;
+  InfClause c;
+  c.head.push_back(Literal::Pos(Atom::Ordinary("l", {Term::Var("X")})));
+  c.head.push_back(Literal::Pos(Atom::Ordinary("r", {Term::Var("X")})));
+  c.body.push_back(Literal::Pos(Atom::Ordinary("in", {Term::Var("X")})));
+  p.clauses.push_back(c);
+
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("in", {"x"}).ok());
+  InfOptions options;
+  auto result = EvaluateInflationary(p, db, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result->Get("l"))->size(), 1u);
+  EXPECT_EQ((*result->Get("r"))->size(), 1u);
+}
+
+TEST(Inflationary, InventedValuesAreFresh) {
+  // DL head variable not in the body invents a new constant.
+  InfProgram p;
+  InfClause c;
+  c.head.push_back(Literal::Pos(
+      Atom::Ordinary("tagged", {Term::Var("X"), Term::Var("New")})));
+  c.body.push_back(Literal::Pos(Atom::Ordinary("in", {Term::Var("X")})));
+  p.clauses.push_back(c);
+
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("in", {"x"}).ok());
+  ASSERT_TRUE(db.AddRow("in", {"y"}).ok());
+  InfOptions options;
+  auto result = EvaluateInflationary(p, db, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Relation* tagged = *result->Get("tagged");
+  ASSERT_EQ(tagged->size(), 2u);
+  // The invented values are distinct from every input constant.
+  for (const Tuple& t : tagged->tuples()) {
+    EXPECT_NE(t[1], Value::Symbol(s.Intern("x")));
+    EXPECT_NE(t[1], Value::Symbol(s.Intern("y")));
+  }
+}
+
+TEST(Inflationary, NDatalogDeletionApplies) {
+  // N-DATALOG: retract marked facts.
+  InfProgram p;
+  InfClause c;
+  c.head.push_back(
+      Literal::Neg(Atom::Ordinary("active", {Term::Var("X")})));
+  c.body.push_back(
+      Literal::Pos(Atom::Ordinary("active", {Term::Var("X")})));
+  c.body.push_back(
+      Literal::Pos(Atom::Ordinary("banned", {Term::Var("X")})));
+  p.clauses.push_back(c);
+
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("active", {"a"}).ok());
+  ASSERT_TRUE(db.AddRow("active", {"b"}).ok());
+  ASSERT_TRUE(db.AddRow("banned", {"a"}).ok());
+  InfOptions options;
+  options.language = InfLanguage::kNDatalog;
+  auto result = EvaluateInflationary(p, db, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Relation* active = *result->Get("active");
+  EXPECT_EQ(active->size(), 1u);
+  EXPECT_TRUE(active->Contains(T(&s, {"b"})));
+}
+
+TEST(Inflationary, NDatalogRejectsInventedValues) {
+  InfProgram p;
+  InfClause c;
+  c.head.push_back(
+      Literal::Pos(Atom::Ordinary("out", {Term::Var("New")})));
+  c.body.push_back(Literal::Pos(Atom::Ordinary("in", {Term::Var("X")})));
+  p.clauses.push_back(c);
+
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("in", {"x"}).ok());
+  InfOptions options;
+  options.language = InfLanguage::kNDatalog;
+  auto result = EvaluateInflationary(p, db, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsafeProgram);
+}
+
+TEST(Inflationary, DLRejectsNegatedHeads) {
+  InfProgram p;
+  InfClause c;
+  c.head.push_back(
+      Literal::Neg(Atom::Ordinary("out", {Term::Var("X")})));
+  c.body.push_back(Literal::Pos(Atom::Ordinary("in", {Term::Var("X")})));
+  p.clauses.push_back(c);
+
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("in", {"x"}).ok());
+  InfOptions options;
+  options.language = InfLanguage::kDL;
+  auto result = EvaluateInflationary(p, db, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Inflationary, IdAtomsRejectedInConversion) {
+  SymbolTable s;
+  auto parsed = ParseProgram("q(X) :- r[1](X, 0). r(a).", &s);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(InfProgramFromProgram(*parsed).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace idlog

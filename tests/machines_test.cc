@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/answer_enumerator.h"
+#include "storage/database.h"
+#include "tm/compiler.h"
+#include "tm/encoder.h"
+#include "tm/machines.h"
+
+namespace idlog {
+namespace {
+
+// Encodes a natural MSB-first over {1='0', 2='1'} with a leading '0'
+// cell so increments cannot overflow past the left wall.
+std::vector<int> EncodeNumber(uint64_t n) {
+  std::vector<int> bits;
+  if (n == 0) {
+    bits.push_back(1);
+  } else {
+    while (n > 0) {
+      bits.push_back((n & 1) != 0 ? 2 : 1);
+      n >>= 1;
+    }
+  }
+  bits.push_back(1);  // leading '0'
+  std::reverse(bits.begin(), bits.end());
+  return bits;
+}
+
+uint64_t DecodeNumber(const std::vector<int>& tape) {
+  uint64_t value = 0;
+  for (int sym : tape) {
+    if (sym == 1) {
+      value <<= 1;
+    } else if (sym == 2) {
+      value = (value << 1) | 1;
+    } else {
+      break;  // blank ends the number
+    }
+  }
+  return value;
+}
+
+TEST(Machines, AllValidate) {
+  EXPECT_TRUE(machines::Flip().Validate().ok());
+  EXPECT_TRUE(machines::EvenParity().Validate().ok());
+  EXPECT_TRUE(machines::BinaryIncrement().Validate().ok());
+  EXPECT_TRUE(machines::GuessDoubleOne().Validate().ok());
+  EXPECT_TRUE(machines::GuessLaneSwitch().Validate().ok());
+}
+
+TEST(Machines, BinaryIncrementComputesSuccessor) {
+  TuringMachine tm = machines::BinaryIncrement();
+  for (uint64_t n : {0ull, 1ull, 2ull, 3ull, 7ull, 12ull, 31ull, 100ull}) {
+    auto result = RunMachine(tm, EncodeNumber(n), 200);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->accepted) << n;
+    EXPECT_EQ(DecodeNumber(result->final_tape), n + 1) << n;
+  }
+}
+
+TEST(Machines, BinaryIncrementCompiledToIdlog) {
+  TuringMachine tm = machines::BinaryIncrement();
+  for (uint64_t n : {0ull, 3ull, 5ull}) {
+    std::vector<int> input = EncodeNumber(n);
+    uint64_t bound = 2 * input.size() + 4;
+    auto native = RunMachine(tm, input, bound);
+    ASSERT_TRUE(native.ok());
+    ASSERT_TRUE(native->accepted);
+
+    auto compiled = CompileTm(tm, input, bound);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    SymbolTable s;
+    Database db(&s);
+    ASSERT_TRUE(compiled->PopulateDatabase(&db).ok());
+    auto answers = EnumerateAnswers(compiled->program, db, "out_tape");
+    ASSERT_TRUE(answers.ok());
+    ASSERT_EQ(answers->answers.size(), 1u);  // deterministic machine
+    // Decode the compiled machine's final tape.
+    const auto& tape_rel = *answers->answers.begin();
+    std::vector<int> tape(input.size() + 2, 0);
+    for (const Tuple& t : tape_rel) {
+      size_t pos = static_cast<size_t>(t[0].number());
+      if (pos < tape.size()) tape[pos] = static_cast<int>(t[1].number());
+    }
+    EXPECT_EQ(DecodeNumber(tape), n + 1) << n;
+  }
+}
+
+TEST(Machines, GuessDoubleOneAcceptsExactlyStringsWithElevenPair) {
+  TuringMachine tm = machines::GuessDoubleOne();
+  struct Case {
+    std::vector<int> input;
+    bool expected;
+  };
+  for (const Case& c : std::vector<Case>{
+           {{2, 2}, true},
+           {{1, 2, 2, 1}, true},
+           {{2, 1, 2, 1, 2}, false},
+           {{1, 1, 1}, false},
+           {{}, false},
+           {{2}, false},
+           {{1, 2, 1, 2, 2}, true}}) {
+    auto accepts = AcceptsWithinBound(tm, c.input, c.input.size() + 3);
+    ASSERT_TRUE(accepts.ok());
+    EXPECT_EQ(*accepts, c.expected) << TapeToString(c.input);
+  }
+}
+
+TEST(Machines, GuessDoubleOneCompiledEnumerationMatches) {
+  TuringMachine tm = machines::GuessDoubleOne();
+  for (const auto& input : std::vector<std::vector<int>>{
+           {2, 2}, {2, 1, 2}, {1, 2, 2}}) {
+    uint64_t bound = input.size() + 2;
+    auto compiled = CompileTm(tm, input, bound);
+    ASSERT_TRUE(compiled.ok());
+    SymbolTable s;
+    Database db(&s);
+    ASSERT_TRUE(compiled->PopulateDatabase(&db).ok());
+    auto answers =
+        EnumerateAnswers(compiled->program, db, "accepts",
+                         EnumerateOptions{.max_assignments = 1000000});
+    ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+    auto native = AcceptsWithinBound(tm, input, bound);
+    ASSERT_TRUE(native.ok());
+    EXPECT_EQ(answers->ContainsAnswer({Tuple{}}), *native)
+        << TapeToString(input);
+  }
+}
+
+}  // namespace
+}  // namespace idlog

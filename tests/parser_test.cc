@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace idlog {
+namespace {
+
+Result<Program> Parse(const std::string& text, SymbolTable* symbols) {
+  return ParseProgram(text, symbols);
+}
+
+TEST(Lexer, TokenKinds) {
+  auto tokens = Tokenize("p(X, 12) :- q(\"a b\"), X != 3, not r. % c");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kLParen, TokenKind::kVariable,
+                TokenKind::kComma, TokenKind::kNumber, TokenKind::kRParen,
+                TokenKind::kImplies, TokenKind::kIdent, TokenKind::kLParen,
+                TokenKind::kString, TokenKind::kRParen, TokenKind::kComma,
+                TokenKind::kVariable, TokenKind::kNe, TokenKind::kNumber,
+                TokenKind::kComma, TokenKind::kNot, TokenKind::kIdent,
+                TokenKind::kDot, TokenKind::kEof}));
+}
+
+TEST(Lexer, LineAndColumnInErrors) {
+  auto tokens = Tokenize("p(X).\n  q(#).");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Lexer, DeclKeywordVsDot) {
+  auto tokens = Tokenize(".decl p(u). p(a).");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kDecl);
+}
+
+TEST(Lexer, ComparisonOperators) {
+  auto tokens = Tokenize("<= < >= > = !=");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kLe, TokenKind::kLt, TokenKind::kGe,
+                       TokenKind::kGt, TokenKind::kEq, TokenKind::kNe,
+                       TokenKind::kEof}));
+}
+
+TEST(Parser, FactAndRule) {
+  SymbolTable s;
+  auto p = Parse("emp(ann, sales). big(X) :- emp(X, Y).", &s);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->clauses.size(), 2u);
+  EXPECT_TRUE(p->clauses[0].is_fact());
+  EXPECT_FALSE(p->clauses[1].is_fact());
+  EXPECT_EQ(p->clauses[1].head.predicate, "big");
+}
+
+TEST(Parser, IdLiteralGroupsAreOneBasedInSyntax) {
+  SymbolTable s;
+  auto p = Parse("q(N) :- emp[2](N, D, 0).", &s);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Atom& atom = p->clauses[0].body[0].atom;
+  EXPECT_EQ(atom.kind, AtomKind::kId);
+  EXPECT_EQ(atom.group, std::vector<int>{1});  // 0-based internally
+  EXPECT_EQ(atom.base_arity(), 2);
+}
+
+TEST(Parser, IdLiteralEmptyGroup) {
+  SymbolTable s;
+  auto p = Parse("q(X) :- r[](X, T).", &s);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->clauses[0].body[0].atom.group.empty());
+  EXPECT_EQ(p->clauses[0].body[0].atom.base_arity(), 1);
+}
+
+TEST(Parser, ChoiceAtom) {
+  SymbolTable s;
+  auto p = Parse("q(N) :- emp(N, D), choice((D), (N)).", &s);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Atom& atom = p->clauses[0].body[1].atom;
+  EXPECT_EQ(atom.kind, AtomKind::kChoice);
+  EXPECT_EQ(atom.choice_split, 1);
+  EXPECT_EQ(atom.terms.size(), 2u);
+}
+
+TEST(Parser, ArithmeticSugarBecomesAdd) {
+  SymbolTable s;
+  auto p = Parse("q(M) :- r(N), M = N + 1.", &s);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Atom& atom = p->clauses[0].body[1].atom;
+  EXPECT_EQ(atom.kind, AtomKind::kBuiltin);
+  EXPECT_EQ(atom.builtin, BuiltinKind::kAdd);
+  // C = A + B stores (A, B, C).
+  EXPECT_EQ(atom.terms[0].var_name(), "N");
+  EXPECT_TRUE(atom.terms[1].is_constant());
+  EXPECT_EQ(atom.terms[2].var_name(), "M");
+}
+
+TEST(Parser, PrefixBuiltins) {
+  SymbolTable s;
+  auto p = Parse(
+      "q(M) :- r(N), succ(N, M)."
+      "w(M) :- r(N), add(N, 2, M), sub(M, 1, K), mul(K, 2, L), div(L, 2, "
+      "M2), M2 >= 0.",
+      &s);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+}
+
+TEST(Parser, ZeroArityPredicates) {
+  SymbolTable s;
+  auto p = Parse("q1 :- x(c). q2 :- q1, y(a).", &s);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->clauses[0].head.arity(), 0);
+  EXPECT_EQ(p->clauses[1].body[0].atom.predicate, "q1");
+}
+
+TEST(Parser, AnonymousVariablesAreDistinct) {
+  SymbolTable s;
+  auto p = Parse("q(X) :- r(X, _, _).", &s);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Atom& atom = p->clauses[0].body[0].atom;
+  EXPECT_NE(atom.terms[1].var_name(), atom.terms[2].var_name());
+}
+
+TEST(Parser, Declarations) {
+  SymbolTable s;
+  auto p = Parse(".decl emp(u, i). q(X) :- emp(X, N).", &s);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  int idx = p->FindPredicate("emp");
+  ASSERT_GE(idx, 0);
+  EXPECT_TRUE(p->predicates[static_cast<size_t>(idx)].declared);
+  EXPECT_EQ(TypeToString(p->predicates[static_cast<size_t>(idx)].type),
+            "01");
+}
+
+TEST(Parser, TypeInferenceFromBuiltins) {
+  SymbolTable s;
+  auto p = Parse("q(X, M) :- r(X, N), M = N + 1.", &s);
+  ASSERT_TRUE(p.ok());
+  int r = p->FindPredicate("r");
+  int q = p->FindPredicate("q");
+  EXPECT_EQ(TypeToString(p->predicates[static_cast<size_t>(r)].type), "01");
+  EXPECT_EQ(TypeToString(p->predicates[static_cast<size_t>(q)].type), "01");
+}
+
+TEST(Parser, SortConflictIsTypeError) {
+  SymbolTable s;
+  auto p = Parse("q(X) :- r(X), X < 3, X = a.", &s);
+  EXPECT_EQ(p.status().code(), StatusCode::kTypeError);
+}
+
+TEST(Parser, ArityMismatchRejected) {
+  SymbolTable s;
+  auto p = Parse("r(a, b). q(X) :- r(X).", &s);
+  EXPECT_EQ(p.status().code(), StatusCode::kParseError);
+}
+
+TEST(Parser, IdTidArityConsistentWithBase) {
+  SymbolTable s;
+  auto p = Parse("r(a, b). q(X) :- r[1](X, Y, T).", &s);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  // r[1] has base arity 2 + tid.
+  auto bad = Parse("r(a, b). q(X) :- r[1](X, T).", &s);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(Parser, GroupColumnOutOfRange) {
+  SymbolTable s;
+  auto p = Parse("q(X) :- r[3](X, Y, T).", &s);
+  EXPECT_EQ(p.status().code(), StatusCode::kParseError);
+}
+
+TEST(Parser, HeadRestrictions) {
+  SymbolTable s;
+  EXPECT_FALSE(Parse("succ(X, Y) :- r(X, Y).", &s).ok());
+  EXPECT_FALSE(Parse("choice((X), (Y)) :- r(X, Y).", &s).ok());
+  EXPECT_FALSE(Parse("r[1](X, Y, T) :- q(X, Y, T).", &s).ok());
+}
+
+TEST(Parser, FactsMustBeGround) {
+  SymbolTable s;
+  EXPECT_FALSE(Parse("p(X).", &s).ok());
+}
+
+TEST(Parser, NegatedChoiceRejected) {
+  SymbolTable s;
+  EXPECT_FALSE(
+      Parse("q(N) :- emp(N, D), not choice((D), (N)).", &s).ok());
+}
+
+TEST(Parser, StringsQuoteArbitraryConstants) {
+  SymbolTable s;
+  auto p = Parse("p(\"Hello World\", \"x-1\").", &s);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NE(s.Lookup("Hello World"), SymbolTable::kNoSymbol);
+}
+
+// Printer round-trip: parse, print, re-parse, print again — fixpoint.
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, PrintParsePrint) {
+  SymbolTable s;
+  auto p1 = Parse(GetParam(), &s);
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  std::string text1 = ProgramToString(*p1, s);
+  auto p2 = Parse(text1, &s);
+  ASSERT_TRUE(p2.ok()) << "re-parse of: " << text1;
+  EXPECT_EQ(ProgramToString(*p2, s), text1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTrip,
+    ::testing::Values(
+        "p(a, b).",
+        "q(X) :- r(X, Y), not s(Y).",
+        "q(N) :- emp[2](N, D, 0).",
+        "two(N) :- emp[1,2](N, D, T), T < 2.",
+        "q(M) :- r(N), succ(N, M).",
+        "q(M) :- r(N), M = N + 1, M != 3.",
+        "sel(N) :- emp(N, D), choice((D), (N)).",
+        "flag :- r(X, Y), X = Y.",
+        "p(X) :- q(X, Z), z[1](Z, Y, 0), y[](W, 0)."));
+
+}  // namespace
+}  // namespace idlog

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "analysis/safety.h"
+#include "parser/parser.h"
+
+namespace idlog {
+namespace {
+
+Status CheckText(const std::string& text, bool allow_choice = false) {
+  SymbolTable s;
+  auto p = ParseProgram(text, &s);
+  if (!p.ok()) return p.status();
+  return CheckProgramSafety(*p, allow_choice);
+}
+
+TEST(Safety, RangeRestrictedRuleIsSafe) {
+  EXPECT_TRUE(CheckText("q(X, Y) :- r(X), s(Y).").ok());
+}
+
+TEST(Safety, UnboundHeadVariableRejected) {
+  Status st = CheckText("q(X, Y) :- r(X).");
+  EXPECT_EQ(st.code(), StatusCode::kUnsafeProgram);
+}
+
+TEST(Safety, HeadVarBoundOnlyByNegationRejected) {
+  Status st = CheckText("q(Y) :- r(X), not s(Y).");
+  EXPECT_EQ(st.code(), StatusCode::kUnsafeProgram);
+}
+
+TEST(Safety, NegationVariableMustBeBound) {
+  EXPECT_TRUE(CheckText("q(X) :- r(X), not s(X).").ok());
+  EXPECT_EQ(CheckText("q(X) :- r(X), not s(Y).").code(),
+            StatusCode::kUnsafeProgram);
+}
+
+// The paper's Section 2.2 example: with q(a, 1),
+//   p1(X, N) :- q(X, N), add(N, L, M)   -- infinitely many (L, M): unsafe
+//   p2(X, N) :- q(X, N), add(L, M, N)   -- finitely many: safe (nnb)
+TEST(Safety, PaperArithmeticSafetyExample) {
+  EXPECT_EQ(CheckText("p1(X, N) :- q(X, N), add(N, L, M).").code(),
+            StatusCode::kUnsafeProgram);
+  EXPECT_TRUE(CheckText("p2(X, N) :- q(X, N), add(L, M, N).").ok());
+}
+
+TEST(Safety, AddBindingPatterns) {
+  std::vector<bool> bbb = {true, true, true};
+  std::vector<bool> bbn = {true, true, false};
+  std::vector<bool> bnb = {true, false, true};
+  std::vector<bool> nbb = {false, true, true};
+  std::vector<bool> nnb = {false, false, true};
+  std::vector<bool> bnn = {true, false, false};
+  std::vector<bool> nnn = {false, false, false};
+  EXPECT_TRUE(BuiltinPatternAdmissible(BuiltinKind::kAdd, bbb));
+  EXPECT_TRUE(BuiltinPatternAdmissible(BuiltinKind::kAdd, bbn));
+  EXPECT_TRUE(BuiltinPatternAdmissible(BuiltinKind::kAdd, bnb));
+  EXPECT_TRUE(BuiltinPatternAdmissible(BuiltinKind::kAdd, nbb));
+  EXPECT_TRUE(BuiltinPatternAdmissible(BuiltinKind::kAdd, nnb));
+  EXPECT_FALSE(BuiltinPatternAdmissible(BuiltinKind::kAdd, bnn));
+  EXPECT_FALSE(BuiltinPatternAdmissible(BuiltinKind::kAdd, nnn));
+}
+
+TEST(Safety, MulRequiresBothFactors) {
+  EXPECT_TRUE(
+      BuiltinPatternAdmissible(BuiltinKind::kMul, {true, true, false}));
+  // C-driven generation would be unsafe when a factor can be 0.
+  EXPECT_FALSE(
+      BuiltinPatternAdmissible(BuiltinKind::kMul, {false, false, true}));
+  EXPECT_FALSE(
+      BuiltinPatternAdmissible(BuiltinKind::kMul, {true, false, true}));
+}
+
+TEST(Safety, SubPatterns) {
+  // A alone is enough: B ranges over 0..A.
+  EXPECT_TRUE(
+      BuiltinPatternAdmissible(BuiltinKind::kSub, {true, false, false}));
+  EXPECT_TRUE(
+      BuiltinPatternAdmissible(BuiltinKind::kSub, {false, true, true}));
+  EXPECT_FALSE(
+      BuiltinPatternAdmissible(BuiltinKind::kSub, {false, true, false}));
+}
+
+TEST(Safety, SuccEitherSide) {
+  EXPECT_TRUE(
+      BuiltinPatternAdmissible(BuiltinKind::kSucc, {true, false}));
+  EXPECT_TRUE(
+      BuiltinPatternAdmissible(BuiltinKind::kSucc, {false, true}));
+  EXPECT_FALSE(
+      BuiltinPatternAdmissible(BuiltinKind::kSucc, {false, false}));
+}
+
+TEST(Safety, ComparisonsNeedBothBound) {
+  EXPECT_EQ(CheckText("q(X) :- r(X), X < Y.").code(),
+            StatusCode::kUnsafeProgram);
+  EXPECT_TRUE(CheckText("q(X) :- r(X), s(Y), X < Y.").ok());
+}
+
+TEST(Safety, EqualityBindsEitherDirection) {
+  EXPECT_TRUE(CheckText("q(Y) :- r(X), Y = X.").ok());
+  EXPECT_TRUE(CheckText("q(X) :- r(X), X = Y, s(Y).").ok());
+  EXPECT_EQ(CheckText("q(X) :- r(X), Y = Z.").code(),
+            StatusCode::kUnsafeProgram);
+}
+
+TEST(Safety, InequalityNeedsBothBound) {
+  EXPECT_EQ(CheckText("q(X) :- r(X), X != Y.").code(),
+            StatusCode::kUnsafeProgram);
+}
+
+TEST(Safety, OrderReordersGenerators) {
+  // The builtin appears before its inputs are bound; a safe order must
+  // move the relation scan first.
+  SymbolTable s;
+  auto p = ParseProgram("q(M) :- M = N + 1, r(N).", &s);
+  ASSERT_TRUE(p.ok());
+  auto order = ComputeSafeOrder(p->clauses[0], false);
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+  EXPECT_EQ(order->order, (std::vector<int>{1, 0}));
+}
+
+TEST(Safety, NegationRunsAsEarlyAsPossible) {
+  SymbolTable s;
+  auto p = ParseProgram("q(X, Y) :- r(X), s(Y), not t(X).", &s);
+  ASSERT_TRUE(p.ok());
+  auto order = ComputeSafeOrder(p->clauses[0], false);
+  ASSERT_TRUE(order.ok());
+  // After r binds X, the negation (filter) should run before s.
+  EXPECT_EQ(order->order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(Safety, IdLiteralBindsItsVariables) {
+  EXPECT_TRUE(CheckText("q(N, T) :- emp[2](N, D, T), T < 2.").ok());
+}
+
+TEST(Safety, NegatedIdLiteralNeedsBoundArgs) {
+  EXPECT_TRUE(
+      CheckText("q(N) :- emp(N, D), not emp[2](N, D, 0).").ok());
+  EXPECT_EQ(CheckText("q(N) :- e(N), not emp[2](N, D, 0).").code(),
+            StatusCode::kUnsafeProgram);
+}
+
+TEST(Safety, ChoiceOnlyWithPermission) {
+  const char* text = "q(N) :- emp(N, D), choice((D), (N)).";
+  EXPECT_EQ(CheckText(text, false).code(), StatusCode::kUnsupported);
+  EXPECT_TRUE(CheckText(text, true).ok());
+}
+
+TEST(Safety, ChoiceVariablesMustBeBound) {
+  EXPECT_EQ(CheckText("q(N) :- e(N), choice((D), (N)).", true).code(),
+            StatusCode::kUnsafeProgram);
+}
+
+TEST(Safety, NegatedBuiltinNeedsAllBound) {
+  EXPECT_TRUE(CheckText("q(X) :- r(X, Y), not X = Y.").ok());
+  EXPECT_EQ(CheckText("q(X) :- r(X), not X = Y.").code(),
+            StatusCode::kUnsafeProgram);
+}
+
+}  // namespace
+}  // namespace idlog

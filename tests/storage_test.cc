@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/index.h"
+#include "storage/relation.h"
+#include "test_util.h"
+
+namespace idlog {
+namespace {
+
+using testing_util::T;
+
+RelationType UU() { return TypeFromString("00"); }
+
+TEST(Relation, InsertDeduplicates) {
+  SymbolTable s;
+  Relation r(UU());
+  EXPECT_TRUE(r.Insert(T(&s, {"a", "b"})));
+  EXPECT_FALSE(r.Insert(T(&s, {"a", "b"})));
+  EXPECT_TRUE(r.Insert(T(&s, {"a", "c"})));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(T(&s, {"a", "b"})));
+  EXPECT_FALSE(r.Contains(T(&s, {"b", "a"})));
+}
+
+TEST(Relation, InsertRejectsWrongArity) {
+  SymbolTable s;
+  Relation r(UU());
+  EXPECT_FALSE(r.Insert(T(&s, {"a"})));
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(Relation, InsertCheckedValidatesSorts) {
+  SymbolTable s;
+  Relation r(TypeFromString("01"));
+  EXPECT_TRUE(r.InsertChecked(T(&s, {"a", "1"})).ok());
+  Status st = r.InsertChecked(T(&s, {"a", "b"}));
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  st = r.InsertChecked(T(&s, {"a"}));
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+}
+
+TEST(Relation, InsertionOrderPreserved) {
+  SymbolTable s;
+  Relation r(UU());
+  r.Insert(T(&s, {"z", "z"}));
+  r.Insert(T(&s, {"a", "a"}));
+  EXPECT_EQ(TupleToString(r.tuples()[0], s), "(z, z)");
+  EXPECT_EQ(TupleToString(r.tuples()[1], s), "(a, a)");
+  // SortedTuples canonicalizes by value order — interning order for
+  // sort-u, so "z" (interned first) precedes "a" here.
+  auto sorted = r.SortedTuples();
+  EXPECT_EQ(TupleToString(sorted[0], s), "(z, z)");
+  EXPECT_EQ(TupleToString(sorted[1], s), "(a, a)");
+}
+
+TEST(Relation, SetEqualsIgnoresOrder) {
+  SymbolTable s;
+  Relation a(UU());
+  Relation b(UU());
+  a.Insert(T(&s, {"x", "y"}));
+  a.Insert(T(&s, {"u", "v"}));
+  b.Insert(T(&s, {"u", "v"}));
+  b.Insert(T(&s, {"x", "y"}));
+  EXPECT_TRUE(a.SetEquals(b));
+  b.Insert(T(&s, {"q", "q"}));
+  EXPECT_FALSE(a.SetEquals(b));
+}
+
+TEST(Relation, VersionAdvancesOnChange) {
+  SymbolTable s;
+  Relation r(UU());
+  uint64_t v0 = r.version();
+  r.Insert(T(&s, {"a", "b"}));
+  EXPECT_GT(r.version(), v0);
+  uint64_t v1 = r.version();
+  r.Insert(T(&s, {"a", "b"}));  // duplicate: no change
+  EXPECT_EQ(r.version(), v1);
+  r.Clear();
+  EXPECT_GT(r.version(), v1);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(Relation, AssignmentChangesUid) {
+  SymbolTable s;
+  Relation a(UU());
+  Relation b(UU());
+  b.Insert(T(&s, {"a", "b"}));
+  uint64_t uid = a.uid();
+  a = b;
+  EXPECT_NE(a.uid(), uid);
+  EXPECT_NE(a.uid(), b.uid());
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(ColumnIndex, LookupByColumnSubset) {
+  SymbolTable s;
+  Relation r(UU());
+  r.Insert(T(&s, {"a", "x"}));
+  r.Insert(T(&s, {"a", "y"}));
+  r.Insert(T(&s, {"b", "x"}));
+  ColumnIndex index(&r, {0});
+  const auto* rows = index.Lookup(T(&s, {"a"}));
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 2u);
+  EXPECT_EQ(index.Lookup(T(&s, {"zzz"})), nullptr);
+}
+
+TEST(ColumnIndex, RefreshSeesNewRows) {
+  SymbolTable s;
+  Relation r(UU());
+  r.Insert(T(&s, {"a", "x"}));
+  ColumnIndex index(&r, {0});
+  r.Insert(T(&s, {"a", "y"}));
+  index.Refresh();
+  EXPECT_EQ(index.Lookup(T(&s, {"a"}))->size(), 2u);
+}
+
+TEST(ColumnIndex, RefreshSurvivesWholesaleReplacement) {
+  SymbolTable s;
+  Relation r(UU());
+  r.Insert(T(&s, {"a", "x"}));
+  ColumnIndex index(&r, {0});
+  Relation other(UU());
+  other.Insert(T(&s, {"b", "y"}));
+  r = other;  // same pointer, new identity
+  index.Refresh();
+  EXPECT_EQ(index.Lookup(T(&s, {"a"})), nullptr);
+  ASSERT_NE(index.Lookup(T(&s, {"b"})), nullptr);
+}
+
+TEST(IndexCache, ReusesIndexes) {
+  SymbolTable s;
+  Relation r(UU());
+  r.Insert(T(&s, {"a", "x"}));
+  IndexCache cache(&r);
+  const ColumnIndex& i1 = cache.Get({0});
+  const ColumnIndex& i2 = cache.Get({0});
+  EXPECT_EQ(&i1, &i2);
+  const ColumnIndex& on_both = cache.Get({0, 1});
+  ASSERT_NE(on_both.Lookup(T(&s, {"a", "x"})), nullptr);
+}
+
+TEST(Database, AddTupleInfersType) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddTuple("r", T(&s, {"a", "3"})).ok());
+  auto rel = db.Get("r");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(TypeToString((*rel)->type()), "01");
+}
+
+TEST(Database, AddRowParsesNumbers) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("r", {"emp1", "42"}).ok());
+  const Relation* rel = *db.Get("r");
+  EXPECT_TRUE(rel->tuples()[0][0].is_symbol());
+  EXPECT_TRUE(rel->tuples()[0][1].is_number());
+  EXPECT_EQ(rel->tuples()[0][1].number(), 42);
+}
+
+TEST(Database, TypeMismatchRejected) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("r", {"a", "1"}).ok());
+  Status st = db.AddRow("r", {"a", "b"});
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+}
+
+TEST(Database, UDomainTracksSymbols) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("r", {"a", "7"}).ok());
+  ASSERT_TRUE(db.AddRow("q", {"b"}).ok());
+  EXPECT_EQ(db.u_domain().size(), 2u);  // a and b; 7 is sort i
+  db.AddDomainConstant(s.Intern("lonely"));
+  EXPECT_EQ(db.u_domain().size(), 3u);
+}
+
+TEST(Database, GetMissingIsNotFound) {
+  SymbolTable s;
+  Database db(&s);
+  EXPECT_EQ(db.Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Database, CreateRelationConflict) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.CreateRelation("r", TypeFromString("00")).ok());
+  EXPECT_TRUE(db.CreateRelation("r", TypeFromString("00")).ok());
+  EXPECT_EQ(db.CreateRelation("r", TypeFromString("01")).code(),
+            StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace idlog

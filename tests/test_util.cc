@@ -1,0 +1,48 @@
+#include "test_util.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace idlog {
+namespace testing_util {
+
+Tuple T(SymbolTable* symbols, const std::vector<std::string>& fields) {
+  Tuple t;
+  for (const std::string& f : fields) {
+    bool numeric = !f.empty();
+    for (char c : f) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) {
+      t.push_back(Value::Number(std::stoll(f)));
+    } else {
+      t.push_back(Value::Symbol(symbols->Intern(f)));
+    }
+  }
+  return t;
+}
+
+std::vector<std::string> Rows(const Relation& rel,
+                              const SymbolTable& symbols) {
+  std::vector<std::string> rows;
+  for (const Tuple& t : rel.SortedTuples()) {
+    rows.push_back(TupleToString(t, symbols));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::string Dump(const Relation& rel, const SymbolTable& symbols) {
+  std::string out;
+  for (const std::string& row : Rows(rel, symbols)) {
+    out += row;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace idlog

@@ -1,0 +1,29 @@
+#ifndef IDLOG_TESTS_TEST_UTIL_H_
+#define IDLOG_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/symbol_table.h"
+#include "common/value.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace idlog {
+namespace testing_util {
+
+/// Builds a tuple from string fields: all-digit fields become numbers,
+/// everything else is interned as a sort-u symbol.
+Tuple T(SymbolTable* symbols, const std::vector<std::string>& fields);
+
+/// Renders a relation as a sorted multi-line string for comparisons.
+std::string Dump(const Relation& rel, const SymbolTable& symbols);
+
+/// Returns the tuples of `rel` rendered "(a, b)" style, sorted.
+std::vector<std::string> Rows(const Relation& rel,
+                              const SymbolTable& symbols);
+
+}  // namespace testing_util
+}  // namespace idlog
+
+#endif  // IDLOG_TESTS_TEST_UTIL_H_

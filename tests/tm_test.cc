@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "core/answer_enumerator.h"
+#include "core/idlog_engine.h"
+#include "tm/compiler.h"
+#include "tm/encoder.h"
+#include "tm/machine.h"
+
+namespace idlog {
+namespace {
+
+// A deterministic 2-symbol machine that flips every bit of its input
+// and accepts on the first blank. States: 0 = scan, 1 = accept.
+TuringMachine FlipMachine() {
+  TuringMachine tm;
+  tm.num_states = 2;
+  tm.num_symbols = 3;  // 0 blank, 1 "zero", 2 "one"
+  tm.start_state = 0;
+  tm.accepting = {1};
+  tm.delta[{0, 1}] = {{0, 2, TmMove::kRight}};
+  tm.delta[{0, 2}] = {{0, 1, TmMove::kRight}};
+  tm.delta[{0, 0}] = {{1, 0, TmMove::kStay}};
+  return tm;
+}
+
+// Even-parity acceptor: accepts iff the number of 2s ("ones") on the
+// input is even. States: 0 even, 1 odd, 2 accept.
+TuringMachine ParityMachine() {
+  TuringMachine tm;
+  tm.num_states = 3;
+  tm.num_symbols = 3;
+  tm.start_state = 0;
+  tm.accepting = {2};
+  tm.delta[{0, 1}] = {{0, 1, TmMove::kRight}};
+  tm.delta[{0, 2}] = {{1, 2, TmMove::kRight}};
+  tm.delta[{1, 1}] = {{1, 1, TmMove::kRight}};
+  tm.delta[{1, 2}] = {{0, 2, TmMove::kRight}};
+  tm.delta[{0, 0}] = {{2, 0, TmMove::kStay}};
+  // Odd parity on blank: stuck (rejects).
+  return tm;
+}
+
+// Non-deterministic machine: guesses left/right at every 1-cell; accepts
+// iff some branch reaches a blank in state 1. Used to exercise
+// branching.
+TuringMachine GuessMachine() {
+  TuringMachine tm;
+  tm.num_states = 3;
+  tm.num_symbols = 2;  // blank, mark
+  tm.start_state = 0;
+  tm.accepting = {2};
+  tm.delta[{0, 1}] = {{0, 1, TmMove::kRight}, {1, 1, TmMove::kRight}};
+  tm.delta[{1, 1}] = {{1, 1, TmMove::kRight}};
+  tm.delta[{1, 0}] = {{2, 0, TmMove::kStay}};
+  // State 0 on blank: stuck. Acceptance requires guessing state 1
+  // at some point before the blank.
+  return tm;
+}
+
+TEST(TmMachine, ValidateCatchesBadMachines) {
+  TuringMachine tm;
+  EXPECT_FALSE(tm.Validate().ok());
+  tm = FlipMachine();
+  EXPECT_TRUE(tm.Validate().ok());
+  tm.delta[{0, 1}].push_back({5, 0, TmMove::kStay});
+  EXPECT_FALSE(tm.Validate().ok());
+}
+
+TEST(TmMachine, FlipRunsAndHalts) {
+  auto result = RunMachine(FlipMachine(), {1, 2, 1}, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->halted);
+  EXPECT_TRUE(result->accepted);
+  ASSERT_GE(result->final_tape.size(), 3u);
+  EXPECT_EQ(result->final_tape[0], 2);
+  EXPECT_EQ(result->final_tape[1], 1);
+  EXPECT_EQ(result->final_tape[2], 2);
+}
+
+TEST(TmMachine, StepBoundCutsRun) {
+  auto result = RunMachine(FlipMachine(), {1, 1, 1, 1, 1}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->halted);
+  EXPECT_EQ(result->steps_taken, 2u);
+}
+
+TEST(TmMachine, StuckMachineRejects) {
+  TuringMachine tm = ParityMachine();
+  auto odd = RunMachine(tm, {2}, 100);
+  ASSERT_TRUE(odd.ok());
+  EXPECT_TRUE(odd->halted);
+  EXPECT_FALSE(odd->accepted);
+  auto even = RunMachine(tm, {2, 2}, 100);
+  ASSERT_TRUE(even.ok());
+  EXPECT_TRUE(even->accepted);
+}
+
+TEST(TmMachine, LeftMoveClampsAtZero) {
+  TuringMachine tm;
+  tm.num_states = 2;
+  tm.num_symbols = 2;
+  tm.start_state = 0;
+  tm.accepting = {1};
+  tm.delta[{0, 1}] = {{0, 1, TmMove::kLeft}};
+  tm.delta[{0, 0}] = {{1, 0, TmMove::kStay}};
+  // Moving left at 0 re-reads cell 0 (now rewritten 1): loops until the
+  // bound; never sees a blank at position -1.
+  auto result = RunMachine(tm, {1}, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->accepted);
+  EXPECT_EQ(result->head, 0);
+}
+
+TEST(TmMachine, ChoiceScriptSelectsBranch) {
+  TuringMachine tm = GuessMachine();
+  // Script 0,0,...: stays in state 0 -> stuck at blank.
+  auto stuck = RunMachine(tm, {1, 1}, 100, {0, 0, 0});
+  ASSERT_TRUE(stuck.ok());
+  EXPECT_FALSE(stuck->accepted);
+  // Guess branch 1 at the first cell -> accepts.
+  auto lucky = RunMachine(tm, {1, 1}, 100, {1});
+  ASSERT_TRUE(lucky.ok());
+  EXPECT_TRUE(lucky->accepted);
+}
+
+TEST(TmMachine, AcceptsWithinBoundSearchesAllBranches) {
+  TuringMachine tm = GuessMachine();
+  auto yes = AcceptsWithinBound(tm, {1, 1, 1}, 10);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  // Zero steps: cannot accept.
+  auto no = AcceptsWithinBound(tm, {1, 1, 1}, 0);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+}
+
+TEST(TmEncoder, RoundTripsRelations) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("r", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddRow("r", {"b", "c"}).ok());
+  ASSERT_TRUE(db.AddRow("q", {"5"}).ok());
+  auto tape = EncodeDatabaseToTape(db, {"r", "q"});
+  ASSERT_TRUE(tape.ok()) << tape.status().ToString();
+
+  size_t cursor = 0;
+  auto r_rows = DecodeRelationFromTape(*tape, &cursor);
+  ASSERT_TRUE(r_rows.ok()) << r_rows.status().ToString();
+  EXPECT_EQ(r_rows->size(), 2u);
+  EXPECT_EQ((*r_rows)[0].size(), 2u);
+  auto q_rows = DecodeRelationFromTape(*tape, &cursor);
+  ASSERT_TRUE(q_rows.ok());
+  ASSERT_EQ(q_rows->size(), 1u);
+  EXPECT_EQ((*q_rows)[0][0], 5);
+  EXPECT_EQ(cursor, tape->size());
+}
+
+TEST(TmEncoder, TapeToStringIsReadable) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("r", {"3"}).ok());
+  auto tape = EncodeDatabaseToTape(db, {"r"});
+  ASSERT_TRUE(tape.ok());
+  EXPECT_EQ(TapeToString(*tape), "[(11)]");
+}
+
+TEST(TmEncoder, DecodeErrorsOnGarbage) {
+  std::vector<int> junk = {kComma};
+  size_t cursor = 0;
+  EXPECT_FALSE(DecodeRelationFromTape(junk, &cursor).ok());
+}
+
+// The compiled IDLOG program reproduces the native simulator exactly:
+// same acceptance, same final tape, for deterministic machines.
+TEST(TmCompiler, FlipMachineMatchesNative) {
+  TuringMachine tm = FlipMachine();
+  std::vector<int> input = {1, 2, 2, 1};
+  uint64_t bound = 10;
+
+  auto native = RunMachine(tm, input, bound);
+  ASSERT_TRUE(native.ok());
+
+  auto compiled = CompileTm(tm, input, bound);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  IdlogEngine engine;
+  ASSERT_TRUE(compiled->PopulateDatabase(&engine.database()).ok());
+  ASSERT_TRUE(engine.LoadProgram(compiled->program).ok());
+  auto accepts = engine.Query("accepts");
+  ASSERT_TRUE(accepts.ok()) << accepts.status().ToString();
+  EXPECT_EQ(!(*accepts)->empty(), native->accepted);
+
+  auto out_tape = engine.Query("out_tape");
+  ASSERT_TRUE(out_tape.ok());
+  // Compare the written prefix of the native tape.
+  for (size_t pos = 0; pos < native->final_tape.size(); ++pos) {
+    Tuple expected = {Value::Number(static_cast<int64_t>(pos)),
+                      Value::Number(native->final_tape[pos])};
+    EXPECT_TRUE((*out_tape)->Contains(expected))
+        << "cell " << pos << " expected " << native->final_tape[pos];
+  }
+}
+
+TEST(TmCompiler, ParityMachineBothOutcomes) {
+  TuringMachine tm = ParityMachine();
+  for (const auto& [input, expect_accept] :
+       std::vector<std::pair<std::vector<int>, bool>>{
+           {{2, 2}, true}, {{2}, false}, {{1, 1}, true}, {{1, 2, 1}, false}}) {
+    uint64_t bound = input.size() + 3;
+    auto compiled = CompileTm(tm, input, bound);
+    ASSERT_TRUE(compiled.ok());
+    IdlogEngine engine;
+    ASSERT_TRUE(compiled->PopulateDatabase(&engine.database()).ok());
+    ASSERT_TRUE(engine.LoadProgram(compiled->program).ok());
+    auto accepts = engine.Query("accepts");
+    ASSERT_TRUE(accepts.ok());
+    EXPECT_EQ(!(*accepts)->empty(), expect_accept)
+        << TapeToString(input);
+  }
+}
+
+// The non-deterministic case of Theorem 6: the compiled program's
+// possible answers for `accepts` cover exactly the machine's branching
+// behaviour — some tid assignment accepts iff some machine branch
+// accepts.
+TEST(TmCompiler, NondeterministicGuessMatchesBfs) {
+  TuringMachine tm = GuessMachine();
+  for (const auto& [input, bound] :
+       std::vector<std::pair<std::vector<int>, uint64_t>>{
+           {{1, 1}, 4}, {{1}, 3}, {{}, 2}}) {
+    auto compiled = CompileTm(tm, input, bound);
+    ASSERT_TRUE(compiled.ok());
+    SymbolTable s;
+    Database db(&s);
+    ASSERT_TRUE(compiled->PopulateDatabase(&db).ok());
+
+    auto answers =
+        EnumerateAnswers(compiled->program, db, "accepts",
+                         EnumerateOptions{.max_assignments = 100000});
+    ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+    bool idlog_can_accept = answers->ContainsAnswer({Tuple{}});
+
+    auto native = AcceptsWithinBound(tm, input, bound);
+    ASSERT_TRUE(native.ok());
+    EXPECT_EQ(idlog_can_accept, *native)
+        << "input " << TapeToString(input) << " bound " << bound;
+  }
+}
+
+TEST(TmCompiler, DeterministicMachineHasOneAnswer) {
+  TuringMachine tm = FlipMachine();
+  auto compiled = CompileTm(tm, {1, 2}, 5);
+  ASSERT_TRUE(compiled.ok());
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(compiled->PopulateDatabase(&db).ok());
+  auto answers = EnumerateAnswers(compiled->program, db, "accepts");
+  ASSERT_TRUE(answers.ok());
+  // Branching factor 1: a single possible answer.
+  EXPECT_EQ(answers->answers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace idlog

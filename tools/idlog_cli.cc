@@ -1,0 +1,367 @@
+// idlog — command-line front end for the IDLOG engine.
+//
+// Batch mode:
+//   idlog run PROGRAM.idl --query PRED [--csv REL=FILE]... [--seed N]
+//             [--enumerate] [--stats] [--naive] [--no-tid-pushdown]
+//             [--explain "v1 v2 ..."]   (derivation tree of one fact)
+//
+// Interactive mode (no arguments): a small REPL. Clauses typed at the
+// prompt accumulate into the program; dot-commands drive the engine:
+//   .load FILE          load program text from a file (replaces rules)
+//   .csv REL FILE       load a CSV file into relation REL
+//   .fact REL v1 v2 ..  add one fact
+//   .seed N             switch to a random tid assigner with seed N
+//   .identity           switch back to the canonical assigner
+//   .query PRED         evaluate and print PRED
+//   .explain PRED v...  show the derivation tree of one fact
+//   .enumerate PRED     print every possible answer of PRED
+//   .program            show the accumulated program
+//   .stats              show evaluation counters from the last run
+//   .help               this text
+//   .quit               exit
+#include <cstdio>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ast/printer.h"
+#include "core/answer_enumerator.h"
+#include "core/idlog_engine.h"
+#include "storage/csv.h"
+
+namespace {
+
+using idlog::IdlogEngine;
+using idlog::Status;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+idlog::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void PrintRelation(const idlog::Relation& rel,
+                   const idlog::SymbolTable& symbols) {
+  for (const idlog::Tuple& t : rel.SortedTuples()) {
+    std::printf("  %s\n", idlog::TupleToString(t, symbols).c_str());
+  }
+  std::printf("(%zu tuples)\n", rel.size());
+}
+
+void PrintStats(const idlog::EvalStats& stats) {
+  std::printf(
+      "tuples considered: %llu\nfacts derived: %llu (new: %llu)\n"
+      "rule firings: %llu, fixpoint rounds: %llu\n"
+      "ID tuples materialized: %llu\n",
+      static_cast<unsigned long long>(stats.tuples_considered),
+      static_cast<unsigned long long>(stats.facts_derived),
+      static_cast<unsigned long long>(stats.facts_inserted),
+      static_cast<unsigned long long>(stats.rule_firings),
+      static_cast<unsigned long long>(stats.iterations),
+      static_cast<unsigned long long>(stats.id_tuples_materialized));
+}
+
+int RunBatch(int argc, char** argv) {
+  std::string program_path = argv[2];
+  std::string query;
+  std::vector<std::pair<std::string, std::string>> csvs;
+  bool enumerate = false;
+  bool stats = false;
+  bool naive = false;
+  bool pushdown = true;
+  uint64_t seed = 0;
+  bool random = false;
+  std::string explain_fields;
+  bool explain = false;
+
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--query") {
+      const char* v = next();
+      if (v == nullptr) return Fail(Status::InvalidArgument("--query PRED"));
+      query = v;
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (v == nullptr || std::strchr(v, '=') == nullptr) {
+        return Fail(Status::InvalidArgument("--csv REL=FILE"));
+      }
+      std::string spec = v;
+      size_t eq = spec.find('=');
+      csvs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Fail(Status::InvalidArgument("--seed N"));
+      seed = std::stoull(v);
+      random = true;
+    } else if (arg == "--enumerate") {
+      enumerate = true;
+    } else if (arg == "--explain") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--explain \"v1 v2 ...\""));
+      }
+      explain_fields = v;
+      explain = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--naive") {
+      naive = true;
+    } else if (arg == "--no-tid-pushdown") {
+      pushdown = false;
+    } else {
+      return Fail(Status::InvalidArgument("unknown flag '" + arg + "'"));
+    }
+  }
+  if (query.empty()) {
+    return Fail(Status::InvalidArgument("--query PRED is required"));
+  }
+
+  IdlogEngine engine;
+  engine.SetSeminaive(!naive);
+  engine.SetTidBoundPushdown(pushdown);
+  if (explain) engine.EnableProvenance(true);
+  for (const auto& [rel, file] : csvs) {
+    Status st = idlog::LoadCsvRelation(&engine.database(), rel, file);
+    if (!st.ok()) return Fail(st);
+  }
+  auto text = ReadFile(program_path);
+  if (!text.ok()) return Fail(text.status());
+  Status st = engine.LoadProgramText(*text);
+  if (!st.ok()) return Fail(st);
+  if (random) {
+    engine.SetTidAssigner(std::make_unique<idlog::RandomTidAssigner>(seed));
+  }
+
+  if (enumerate) {
+    auto answers =
+        idlog::EnumerateAnswers(engine.program(), engine.database(), query);
+    if (!answers.ok()) return Fail(answers.status());
+    std::printf("%zu possible answer(s) over %llu tid assignment(s):\n",
+                answers->answers.size(),
+                static_cast<unsigned long long>(
+                    answers->assignments_tried));
+    for (const auto& answer : answers->answers) {
+      std::printf("  {");
+      for (size_t i = 0; i < answer.size(); ++i) {
+        if (i > 0) std::printf(", ");
+        std::printf("%s",
+                    idlog::TupleToString(answer[i], engine.symbols())
+                        .c_str());
+      }
+      std::printf("}\n");
+    }
+    return 0;
+  }
+
+  if (explain) {
+    idlog::Tuple tuple;
+    std::istringstream fields(explain_fields);
+    std::string field;
+    while (fields >> field) {
+      bool numeric = !field.empty();
+      for (char c : field) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          numeric = false;
+          break;
+        }
+      }
+      tuple.push_back(numeric
+                          ? idlog::Value::Number(std::stoll(field))
+                          : idlog::Value::Symbol(
+                                engine.symbols().Intern(field)));
+    }
+    auto text = engine.Explain(query, tuple);
+    if (!text.ok()) return Fail(text.status());
+    std::printf("%s", text->c_str());
+    return 0;
+  }
+
+  auto result = engine.Query(query);
+  if (!result.ok()) return Fail(result.status());
+  PrintRelation(**result, engine.symbols());
+  if (stats) PrintStats(engine.stats());
+  return 0;
+}
+
+int RunRepl() {
+  IdlogEngine engine;
+  std::string program_text;
+  std::printf("idlog shell — type .help for commands\n");
+  std::string line;
+  while (true) {
+    std::printf("idlog> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+
+    if (line[0] == '.' &&
+        !(line.size() >= 5 && line.substr(0, 5) == ".decl")) {
+      std::istringstream words(line);
+      std::string cmd;
+      words >> cmd;
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        std::printf(
+            ".load FILE | .csv REL FILE | .fact REL v... | .seed N | "
+            ".explain PRED v... | "
+            ".identity | .query PRED | .enumerate PRED | .program | "
+            ".stats | .quit\n");
+      } else if (cmd == ".load") {
+        std::string path;
+        words >> path;
+        auto text = ReadFile(path);
+        if (!text.ok()) {
+          std::printf("error: %s\n", text.status().ToString().c_str());
+          continue;
+        }
+        program_text = *text;
+        Status st = engine.LoadProgramText(program_text);
+        std::printf("%s\n", st.ToString().c_str());
+      } else if (cmd == ".csv") {
+        std::string rel;
+        std::string path;
+        words >> rel >> path;
+        Status st = idlog::LoadCsvRelation(&engine.database(), rel, path);
+        engine.InvalidateRun();
+        std::printf("%s\n", st.ToString().c_str());
+      } else if (cmd == ".fact") {
+        std::string rel;
+        words >> rel;
+        std::vector<std::string> fields;
+        std::string f;
+        while (words >> f) fields.push_back(f);
+        Status st = engine.AddRow(rel, fields);
+        std::printf("%s\n", st.ToString().c_str());
+      } else if (cmd == ".seed") {
+        uint64_t seed = 0;
+        words >> seed;
+        engine.SetTidAssigner(
+            std::make_unique<idlog::RandomTidAssigner>(seed));
+        std::printf("random tids, seed %llu\n",
+                    static_cast<unsigned long long>(seed));
+      } else if (cmd == ".identity") {
+        engine.SetTidAssigner(
+            std::make_unique<idlog::IdentityTidAssigner>());
+        std::printf("canonical tids\n");
+      } else if (cmd == ".query") {
+        std::string pred;
+        words >> pred;
+        if (!engine.has_program() && !program_text.empty()) {
+          (void)engine.LoadProgramText(program_text);
+        }
+        auto result = engine.Query(pred);
+        if (!result.ok()) {
+          std::printf("error: %s\n", result.status().ToString().c_str());
+        } else {
+          PrintRelation(**result, engine.symbols());
+        }
+      } else if (cmd == ".explain") {
+        std::string pred;
+        words >> pred;
+        std::vector<std::string> fields;
+        std::string f;
+        while (words >> f) fields.push_back(f);
+        engine.EnableProvenance(true);
+        idlog::Tuple tuple;
+        for (const std::string& field : fields) {
+          bool numeric = !field.empty();
+          for (char c : field) {
+            if (!std::isdigit(static_cast<unsigned char>(c))) {
+              numeric = false;
+              break;
+            }
+          }
+          tuple.push_back(numeric
+                              ? idlog::Value::Number(std::stoll(field))
+                              : idlog::Value::Symbol(
+                                    engine.symbols().Intern(field)));
+        }
+        auto text = engine.Explain(pred, tuple);
+        if (!text.ok()) {
+          std::printf("error: %s\n", text.status().ToString().c_str());
+        } else {
+          std::printf("%s", text->c_str());
+        }
+      } else if (cmd == ".enumerate") {
+        std::string pred;
+        words >> pred;
+        if (!engine.has_program()) {
+          std::printf("error: no program loaded\n");
+          continue;
+        }
+        auto answers = idlog::EnumerateAnswers(engine.program(),
+                                               engine.database(), pred);
+        if (!answers.ok()) {
+          std::printf("error: %s\n",
+                      answers.status().ToString().c_str());
+          continue;
+        }
+        for (const auto& answer : answers->answers) {
+          std::printf("  {");
+          for (size_t i = 0; i < answer.size(); ++i) {
+            if (i > 0) std::printf(", ");
+            std::printf("%s", idlog::TupleToString(answer[i],
+                                                   engine.symbols())
+                                  .c_str());
+          }
+          std::printf("}\n");
+        }
+        std::printf("(%zu possible answers)\n", answers->answers.size());
+      } else if (cmd == ".program") {
+        if (engine.has_program()) {
+          std::printf("%s", idlog::ProgramToString(engine.program(),
+                                                   engine.symbols())
+                                .c_str());
+        }
+      } else if (cmd == ".stats") {
+        PrintStats(engine.stats());
+      } else {
+        std::printf("unknown command %s (try .help)\n", cmd.c_str());
+      }
+      continue;
+    }
+
+    // Anything else: accumulate program text and reload.
+    std::string candidate = program_text + line + "\n";
+    Status st = engine.LoadProgramText(candidate);
+    if (st.ok()) {
+      program_text = std::move(candidate);
+    } else {
+      std::printf("error: %s\n", st.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "run") {
+    return RunBatch(argc, argv);
+  }
+  if (argc > 1) {
+    std::fprintf(stderr,
+                 "usage: %s                      (interactive)\n"
+                 "       %s run PROGRAM.idl --query PRED [--csv REL=FILE]"
+                 " [--seed N] [--enumerate] [--stats] [--naive]"
+                 " [--no-tid-pushdown]\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  return RunRepl();
+}
