@@ -39,7 +39,8 @@ struct PcAnalysis {
 };
 
 Result<PcAnalysis> AnalyzePc(const Program& program,
-                             const Database& database) {
+                             const Database& database,
+                             ResourceGovernor* governor) {
   PcAnalysis out;
   IDLOG_ASSIGN_OR_RETURN(out.occurrences, AnalyzeChoiceProgram(program));
   out.pc = BuildPc(program, out.occurrences);
@@ -65,6 +66,7 @@ Result<PcAnalysis> AnalyzePc(const Program& program,
   }
 
   EngineImpl engine(&restricted, &database);
+  engine.set_governor(governor);
   IDLOG_RETURN_NOT_OK(engine.Prepare());
   IdentityTidAssigner identity;
   IDLOG_RETURN_NOT_OK(engine.Evaluate(&identity));
@@ -83,7 +85,8 @@ Result<PcAnalysis> AnalyzePc(const Program& program,
 // Database with the IDB relations (and the selections).
 Result<Database> EvaluateWithSelections(
     const Program& program, const Database& database, const PcAnalysis& pc,
-    const std::vector<std::vector<size_t>>& selection) {
+    const std::vector<std::vector<size_t>>& selection,
+    ResourceGovernor* governor) {
   Database working = database;
   for (size_t i = 0; i < pc.occurrences.size(); ++i) {
     const ChoiceOccurrence& occ = pc.occurrences[i];
@@ -98,6 +101,7 @@ Result<Database> EvaluateWithSelections(
 
   Program final_program = BuildFinalProgram(program, pc.occurrences);
   EngineImpl engine(&final_program, &working);
+  engine.set_governor(governor);
   IDLOG_RETURN_NOT_OK(engine.Prepare());
   IdentityTidAssigner identity;
   IDLOG_RETURN_NOT_OK(engine.Evaluate(&identity));
@@ -129,8 +133,10 @@ Result<Database> EvaluateWithSelections(
 
 Result<Database> EvaluateChoiceProgram(const Program& program,
                                        const Database& database,
-                                       const ChoicePolicy& policy) {
-  IDLOG_ASSIGN_OR_RETURN(PcAnalysis pc, AnalyzePc(program, database));
+                                       const ChoicePolicy& policy,
+                                       ResourceGovernor* governor) {
+  IDLOG_ASSIGN_OR_RETURN(PcAnalysis pc,
+                         AnalyzePc(program, database, governor));
   std::mt19937_64 rng(policy.seed);
   std::vector<std::vector<size_t>> selection(pc.occurrences.size());
   for (size_t i = 0; i < pc.occurrences.size(); ++i) {
@@ -143,14 +149,24 @@ Result<Database> EvaluateChoiceProgram(const Program& program,
       }
     }
   }
-  return EvaluateWithSelections(program, database, pc, selection);
+  return EvaluateWithSelections(program, database, pc, selection, governor);
 }
 
 Result<AnswerSet> EnumerateChoiceAnswers(const Program& program,
                                          const Database& database,
                                          const std::string& query_pred,
-                                         uint64_t max_models) {
-  IDLOG_ASSIGN_OR_RETURN(PcAnalysis pc, AnalyzePc(program, database));
+                                         uint64_t max_models,
+                                         ResourceGovernor* governor) {
+  // Legacy max_models as a governor tuple budget: one "tuple" per
+  // evaluated selection. The inner fixpoints are only governed when an
+  // external governor is supplied — the legacy budget counts
+  // selections, not the tuples each model derives.
+  ResourceGovernor local(EvalLimits::TupleBudget(max_models));
+  ResourceGovernor* gov = governor != nullptr ? governor : &local;
+  gov->set_scope("choice enumeration");
+
+  IDLOG_ASSIGN_OR_RETURN(PcAnalysis pc,
+                         AnalyzePc(program, database, governor));
 
   // Flattened odometer over every group of every occurrence.
   std::vector<size_t> radix;
@@ -161,10 +177,9 @@ Result<AnswerSet> EnumerateChoiceAnswers(const Program& program,
 
   AnswerSet result;
   while (true) {
-    if (result.assignments_tried >= max_models) {
-      return Status::ResourceExhausted(
-          "choice-model enumeration exceeded max_models");
-    }
+    // Each evaluated selection charges the tuple budget (the legacy
+    // max_models cap when no external governor is installed).
+    IDLOG_RETURN_NOT_OK(gov->OnDerived(1, 0));
     // Unflatten digits into per-occurrence selections.
     std::vector<std::vector<size_t>> selection(pc.occurrences.size());
     size_t pos = 0;
@@ -176,7 +191,7 @@ Result<AnswerSet> EnumerateChoiceAnswers(const Program& program,
     }
     IDLOG_ASSIGN_OR_RETURN(
         Database model,
-        EvaluateWithSelections(program, database, pc, selection));
+        EvaluateWithSelections(program, database, pc, selection, governor));
     ++result.assignments_tried;
     Result<const Relation*> rel = model.Get(query_pred);
     if (rel.ok()) {

@@ -7,6 +7,7 @@
 
 #include "ast/ast.h"
 #include "choice/choice_program.h"
+#include "common/limits.h"
 #include "common/status.h"
 #include "core/answer_enumerator.h"
 #include "storage/database.h"
@@ -31,17 +32,23 @@ struct ChoicePolicy {
 /// Returns a Database holding every IDB relation of the final model
 /// (including the selected ext_choice_i relations, for inspection).
 /// Fails if the program violates (C1)/(C2).
+/// With `governor` set, both fixpoint phases run governed (deadline,
+/// budgets, cancellation). Not owned; null means ungoverned.
 Result<Database> EvaluateChoiceProgram(const Program& program,
                                        const Database& database,
-                                       const ChoicePolicy& policy);
+                                       const ChoicePolicy& policy,
+                                       ResourceGovernor* governor = nullptr);
 
 /// Exhaustively enumerates the possible answers of `query_pred` over
 /// all functional-subset selections. Exponential; for small instances
-/// (tests, bench E5 ground truth).
+/// (tests, bench E5 ground truth). `max_models` is a deprecated shim —
+/// a governor tuple budget when `governor` is null; ignored otherwise.
 Result<AnswerSet> EnumerateChoiceAnswers(const Program& program,
                                          const Database& database,
                                          const std::string& query_pred,
-                                         uint64_t max_models = 1000000);
+                                         uint64_t max_models = 1000000,
+                                         ResourceGovernor* governor =
+                                             nullptr);
 
 }  // namespace idlog
 

@@ -1,0 +1,91 @@
+#include "common/limits.h"
+
+namespace idlog {
+
+const char* BudgetKindName(BudgetKind kind) {
+  switch (kind) {
+    case BudgetKind::kDeadline: return "deadline";
+    case BudgetKind::kTuples: return "tuples";
+    case BudgetKind::kMemory: return "memory";
+    case BudgetKind::kIterations: return "iterations";
+    case BudgetKind::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+void ResourceGovernor::Arm(const EvalLimits& limits) {
+  limits_ = limits;
+  has_deadline_ = limits.timeout_ms > 0;
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits.timeout_ms);
+  }
+  cancelled_.store(false, std::memory_order_relaxed);
+  work_ = 0;
+  next_probe_ = kProbeInterval;
+  tuples_ = 0;
+  memory_bytes_ = 0;
+  iterations_ = 0;
+  tripped_ = false;
+  trip_ = TripInfo();
+}
+
+Status ResourceGovernor::Probe() {
+  next_probe_ = work_ + kProbeInterval;
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Trip(BudgetKind::kCancelled);
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Trip(BudgetKind::kDeadline);
+  }
+  return Status::OK();
+}
+
+Status ResourceGovernor::Trip(BudgetKind kind) {
+  tripped_ = true;
+  trip_.budget = kind;
+  trip_.scope = scope_;
+  trip_.stratum = stratum_;
+  if (stats_source_ != nullptr) trip_.stats = *stats_source_;
+
+  std::string msg;
+  switch (kind) {
+    case BudgetKind::kDeadline:
+      msg = "deadline budget exceeded (timeout_ms=" +
+            std::to_string(limits_.timeout_ms) + ")";
+      break;
+    case BudgetKind::kTuples:
+      msg = "tuples budget exceeded (max_tuples=" +
+            std::to_string(limits_.max_tuples) + ")";
+      break;
+    case BudgetKind::kMemory:
+      msg = "memory budget exceeded (max_memory_bytes=" +
+            std::to_string(limits_.max_memory_bytes) +
+            ", charged=" + std::to_string(memory_bytes_) + ")";
+      break;
+    case BudgetKind::kIterations:
+      msg = "iterations budget exceeded (max_iterations=" +
+            std::to_string(limits_.max_iterations) + ")";
+      break;
+    case BudgetKind::kCancelled:
+      msg = "evaluation cancelled";
+      break;
+  }
+  msg += " in " + scope_;
+  if (stratum_ >= 0) msg += " (stratum " + std::to_string(stratum_) + ")";
+  if (stats_source_ != nullptr) {
+    msg += "; at trip: tuples_considered=" +
+           std::to_string(trip_.stats.tuples_considered) +
+           ", facts_derived=" + std::to_string(trip_.stats.facts_derived) +
+           ", iterations=" + std::to_string(trip_.stats.iterations);
+  }
+  trip_.message = std::move(msg);
+  return TripStatus();
+}
+
+Status ResourceGovernor::TripStatus() const {
+  if (!tripped_) return Status::OK();
+  return Status::ResourceExhausted(trip_.message);
+}
+
+}  // namespace idlog

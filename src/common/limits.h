@@ -1,0 +1,208 @@
+#ifndef IDLOG_COMMON_LIMITS_H_
+#define IDLOG_COMMON_LIMITS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "eval/eval_stats.h"
+
+namespace idlog {
+
+/// Which governor budget tripped (see ResourceGovernor).
+enum class BudgetKind {
+  kDeadline,    ///< Wall-clock timeout.
+  kTuples,      ///< Global derived-tuple budget.
+  kMemory,      ///< Approximate-memory budget.
+  kIterations,  ///< Fixpoint-iteration / firing-step cap.
+  kCancelled,   ///< Cooperative cancellation from another thread.
+};
+
+/// "deadline", "tuples", "memory", "iterations" or "cancelled".
+const char* BudgetKindName(BudgetKind kind);
+
+/// Caller-facing resource-limit configuration. Zero means unlimited.
+/// One EvalLimits governs a whole evaluation (all strata, all
+/// enumeration branches) — not one relation or one module.
+struct EvalLimits {
+  int64_t timeout_ms = 0;          ///< Wall-clock deadline from Arm().
+  uint64_t max_tuples = 0;         ///< Facts/states materialized anywhere.
+  uint64_t max_memory_bytes = 0;   ///< Approximate bytes of derived data.
+  uint64_t max_iterations = 0;     ///< Fixpoint rounds / firing steps.
+
+  static EvalLimits Unlimited() { return EvalLimits{}; }
+  static EvalLimits Deadline(int64_t ms) {
+    EvalLimits l;
+    l.timeout_ms = ms;
+    return l;
+  }
+  static EvalLimits TupleBudget(uint64_t n) {
+    EvalLimits l;
+    l.max_tuples = n;
+    return l;
+  }
+  static EvalLimits IterationBudget(uint64_t n) {
+    EvalLimits l;
+    l.max_iterations = n;
+    return l;
+  }
+
+  bool unlimited() const {
+    return timeout_ms == 0 && max_tuples == 0 && max_memory_bytes == 0 &&
+           max_iterations == 0;
+  }
+};
+
+/// Diagnostic captured at the moment a budget trips: which budget,
+/// where (subsystem scope and stratum, when inside the stratified
+/// engine), and the work-counter snapshot.
+struct TripInfo {
+  BudgetKind budget = BudgetKind::kCancelled;
+  std::string scope;   ///< "stratum fixpoint", "grounder", ...
+  int stratum = -1;    ///< Stratum index, or -1 outside the engine.
+  EvalStats stats;     ///< Snapshot at trip time (if a source was set).
+  std::string message; ///< The rendered Status message.
+};
+
+/// One object carrying every resource budget of an evaluation: a
+/// wall-clock deadline, a cooperative cancellation token, a global
+/// derived-tuple budget, an approximate-memory budget and a
+/// fixpoint-iteration cap.
+///
+/// The evaluation thread calls CheckPoint()/OnDerived()/OnIteration()
+/// from its hot loops; CheckPoint is amortized — it counts work units
+/// and probes the clock and the cancel flag only once every
+/// kProbeInterval units, so per-tuple cost is one add and one compare.
+/// Cancel() may be called from any thread at any time; the evaluation
+/// observes it at its next probe.
+///
+/// Once a budget trips the governor latches: every subsequent check
+/// returns the same structured ResourceExhausted Status, so deep
+/// evaluation stacks unwind promptly. Arm() resets everything.
+class ResourceGovernor {
+ public:
+  /// Probe cadence of the amortized checkpoint (work units between
+  /// clock/cancel probes). Public so tests can reason about how fast a
+  /// Cancel() is observed.
+  static constexpr uint64_t kProbeInterval = 2048;
+
+  ResourceGovernor() { Arm(EvalLimits()); }
+  explicit ResourceGovernor(const EvalLimits& limits) { Arm(limits); }
+
+  ResourceGovernor(const ResourceGovernor&) = delete;
+  ResourceGovernor& operator=(const ResourceGovernor&) = delete;
+
+  /// Installs `limits`, clears all counters and any latched trip, and
+  /// starts the deadline clock now. Also clears a pending Cancel().
+  /// Call only between evaluations, never concurrently with one.
+  void Arm(const EvalLimits& limits);
+
+  /// Thread-safe cooperative cancellation: flags the governor; the
+  /// evaluation thread trips at its next probe (within one checkpoint
+  /// interval of work).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // --- Accounting, called from the (single) evaluation thread. ---
+
+  /// Counts `units` of work; probes deadline/cancellation every
+  /// kProbeInterval units. Returns the trip Status once tripped.
+  Status CheckPoint(uint64_t units = 1) {
+    if (tripped_) return TripStatus();
+    work_ += units;
+    if (work_ < next_probe_) return Status::OK();
+    return Probe();
+  }
+
+  /// Charges `n` materialized tuples (facts, ground clauses, visited
+  /// states — whatever the subsystem's unit of result is) and `bytes`
+  /// of approximate memory against the global budgets.
+  Status OnDerived(uint64_t n, uint64_t bytes) {
+    if (tripped_) return TripStatus();
+    tuples_ += n;
+    memory_bytes_ += bytes;
+    if (limits_.max_tuples != 0 && tuples_ > limits_.max_tuples) {
+      return Trip(BudgetKind::kTuples);
+    }
+    if (limits_.max_memory_bytes != 0 &&
+        memory_bytes_ > limits_.max_memory_bytes) {
+      return Trip(BudgetKind::kMemory);
+    }
+    return CheckPoint(n);
+  }
+
+  /// Charges one fixpoint round (or one non-deterministic firing step)
+  /// and probes the clock — rounds can be slow, so every round checks.
+  Status OnIteration() {
+    if (tripped_) return TripStatus();
+    ++iterations_;
+    if (limits_.max_iterations != 0 &&
+        iterations_ > limits_.max_iterations) {
+      return Trip(BudgetKind::kIterations);
+    }
+    return Probe();
+  }
+
+  // --- Diagnostic labelling (evaluation thread only). ---
+
+  /// Names the subsystem currently charging the governor; appears in
+  /// the trip diagnostic ("grounder", "stratum fixpoint", ...).
+  void set_scope(std::string scope) { scope_ = std::move(scope); }
+  const std::string& scope() const { return scope_; }
+
+  /// Stratum index for trips inside the stratified engine (-1 outside).
+  void set_stratum(int stratum) { stratum_ = stratum; }
+  int stratum() const { return stratum_; }
+
+  /// Stats to snapshot into TripInfo when a budget trips. May be null.
+  void set_stats_source(const EvalStats* stats) { stats_source_ = stats; }
+
+  // --- Inspection. ---
+
+  bool tripped() const { return tripped_; }
+  /// Valid only when tripped().
+  const TripInfo& trip() const { return trip_; }
+  /// ResourceExhausted with the trip diagnostic, or OK if not tripped.
+  Status TripStatus() const;
+
+  const EvalLimits& limits() const { return limits_; }
+  uint64_t tuples_charged() const { return tuples_; }
+  uint64_t memory_charged() const { return memory_bytes_; }
+  uint64_t iterations_charged() const { return iterations_; }
+
+ private:
+  Status Probe();                 ///< Slow path of CheckPoint.
+  Status Trip(BudgetKind kind);   ///< Latches the trip diagnostic.
+
+  EvalLimits limits_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::atomic<bool> cancelled_{false};
+
+  uint64_t work_ = 0;
+  uint64_t next_probe_ = kProbeInterval;
+  uint64_t tuples_ = 0;
+  uint64_t memory_bytes_ = 0;
+  uint64_t iterations_ = 0;
+
+  std::string scope_ = "evaluation";
+  int stratum_ = -1;
+  const EvalStats* stats_source_ = nullptr;
+
+  bool tripped_ = false;
+  TripInfo trip_;
+};
+
+/// Rough per-tuple heap cost used for the approximate-memory budget:
+/// the inline Values plus container/node overhead.
+inline uint64_t ApproxTupleBytes(size_t arity) {
+  return static_cast<uint64_t>(arity) * 16 + 48;
+}
+
+}  // namespace idlog
+
+#endif  // IDLOG_COMMON_LIMITS_H_

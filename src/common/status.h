@@ -108,7 +108,8 @@ class Result {
   /// For use in tests and examples where failure is a bug.
   T ValueOrDie() && {
     if (!ok()) {
-      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+      std::fprintf(stderr, "Result::ValueOrDie on error [%s]: %s\n",
+                   StatusCodeName(status().code()),
                    status().ToString().c_str());
       std::abort();
     }

@@ -18,6 +18,10 @@ Result<AnswerSet> EnumerateAnswers(const Program& program,
                                    const EnumerateOptions& options) {
   EngineImpl engine(&program, &database);
   IDLOG_RETURN_NOT_OK(engine.Prepare());
+  if (options.governor != nullptr) {
+    options.governor->set_scope("answer enumeration");
+    engine.set_governor(options.governor);
+  }
 
   ScriptedTidAssigner assigner;
   AnswerSet result;
@@ -36,6 +40,9 @@ Result<AnswerSet> EnumerateAnswers(const Program& program,
       return Status::ResourceExhausted(
           "answer enumeration exceeded max_assignments=" +
           std::to_string(options.max_assignments));
+    }
+    if (options.governor != nullptr) {
+      IDLOG_RETURN_NOT_OK(options.governor->CheckPoint());
     }
     assigner.SetScript(script);
     assigner.ResetRadices();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "common/limits.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "storage/database.h"
@@ -15,8 +16,15 @@ namespace idlog {
 
 struct EnumerateOptions {
   /// Abort with ResourceExhausted beyond this many tid assignments.
+  /// Deprecated in favour of `governor`, which it is implemented on
+  /// top of; kept so existing call sites keep their cap.
   uint64_t max_assignments = 1000000;
   bool seminaive = true;
+  /// Shared resource governor (deadline, budgets, cancellation). When
+  /// set it governs every inner evaluation too, so a Cancel() from
+  /// another thread stops a running enumeration within one checkpoint
+  /// interval. Not owned; null falls back to max_assignments only.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// The set of possible answers of a non-deterministic query: one entry

@@ -53,12 +53,32 @@ void IdlogEngine::SetTidBoundPushdown(bool enabled) {
   if (impl_ != nullptr) impl_->set_tid_bound_pushdown(enabled);
 }
 
+void IdlogEngine::SetLimits(const EvalLimits& limits) {
+  limits_ = limits;
+  ran_ = false;
+}
+
 Status IdlogEngine::Run() {
   if (impl_ == nullptr) {
     return Status::InvalidArgument("no program loaded");
   }
   if (ran_) return Status::OK();
-  IDLOG_RETURN_NOT_OK(impl_->Evaluate(assigner_.get(), seminaive_));
+  // Arm per run: the deadline counts from here, and a trip or Cancel()
+  // from a previous run does not poison this one.
+  governor_.Arm(limits_);
+  impl_->set_governor(&governor_);
+  last_trip_ = Status::OK();
+  Status st = impl_->Evaluate(assigner_.get(), seminaive_);
+  if (!st.ok()) {
+    if (partial_results_ && st.code() == StatusCode::kResourceExhausted) {
+      // Keep the model computed so far queryable; the diagnostic is
+      // available via last_trip().
+      last_trip_ = std::move(st);
+      ran_ = true;
+      return Status::OK();
+    }
+    return st;
+  }
   ran_ = true;
   return Status::OK();
 }
@@ -86,6 +106,8 @@ Result<Relation> IdlogEngine::QueryPortion(const std::string& pred) {
   }
   EngineImpl impl(&portion, &database_);
   impl.set_tid_bound_pushdown(tid_bound_pushdown_);
+  governor_.Arm(limits_);
+  impl.set_governor(&governor_);
   IDLOG_RETURN_NOT_OK(impl.Prepare());
   IDLOG_RETURN_NOT_OK(impl.Evaluate(assigner_.get(), seminaive_));
   IDLOG_ASSIGN_OR_RETURN(const Relation* rel, impl.RelationOf(pred));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "common/limits.h"
 #include "common/status.h"
 #include "common/symbol_table.h"
 #include "eval/engine_impl.h"
@@ -73,6 +74,32 @@ class IdlogEngine {
   /// full scans with key filters.
   void SetUseIndexes(bool enabled);
 
+  /// Installs resource budgets enforced by every subsequent Run():
+  /// wall-clock deadline, derived-tuple budget, approximate-memory
+  /// budget and fixpoint-iteration cap. Each Run() re-arms the governor
+  /// (the deadline counts from Run entry). Default: unlimited.
+  void SetLimits(const EvalLimits& limits);
+  const EvalLimits& limits() const { return limits_; }
+
+  /// Cooperative cancellation, callable from another thread while
+  /// Run()/Query() is evaluating: the evaluation observes the flag at
+  /// its next governor checkpoint and returns ResourceExhausted.
+  void Cancel() { governor_.Cancel(); }
+
+  /// The governor backing this engine — share it with the standalone
+  /// enumerators (EnumerateAnswers etc.) so one Cancel() stops both.
+  ResourceGovernor& governor() { return governor_; }
+
+  /// With partial results enabled (default off), a Run() that trips a
+  /// budget keeps the model computed so far: Run() returns OK, the
+  /// partial relations are queryable, and last_trip() carries the
+  /// ResourceExhausted diagnostic. Without it, a trip fails Run().
+  void SetPartialResults(bool enabled) { partial_results_ = enabled; }
+
+  /// The trip diagnostic of the last Run() in partial-results mode, or
+  /// OK if the run completed within budget.
+  const Status& last_trip() const { return last_trip_; }
+
   /// Evaluates the program (all strata). Idempotent until the program,
   /// database, assigner or mode changes.
   Status Run();
@@ -121,6 +148,10 @@ class IdlogEngine {
   Program program_;
   std::unique_ptr<EngineImpl> impl_;
   std::unique_ptr<TidAssigner> assigner_;
+  EvalLimits limits_;
+  ResourceGovernor governor_;
+  Status last_trip_;
+  bool partial_results_ = false;
   bool seminaive_ = true;
   bool tid_bound_pushdown_ = true;
   bool provenance_ = false;

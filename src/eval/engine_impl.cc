@@ -107,6 +107,11 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
                         &num_groups));
     stats_.id_groups_assigned += num_groups;
     stats_.id_tuples_materialized += id_rel.size();
+    if (governor_ != nullptr) {
+      size_t arity = id_rel.type().size();
+      IDLOG_RETURN_NOT_OK(governor_->OnDerived(
+          id_rel.size(), id_rel.size() * ApproxTupleBytes(arity)));
+    }
     auto [pos, inserted] =
         id_relations_.emplace(std::move(key), std::move(id_rel));
     (void)inserted;
@@ -115,12 +120,21 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
   ctx.index_caches = &index_caches_;
   ctx.stats = &stats_;
   ctx.use_indexes = use_indexes_;
+  ctx.governor = governor_;
+  if (governor_ != nullptr) {
+    governor_->set_stats_source(&stats_);
+    governor_->set_scope("stratum fixpoint");
+  }
   if (provenance_enabled_) {
     ctx.provenance = &provenance_;
     ctx.symbols = database_->symbols();
   }
 
   for (int s = 0; s < strat_.num_strata; ++s) {
+    if (governor_ != nullptr) {
+      governor_->set_stratum(s);
+      IDLOG_RETURN_NOT_OK(governor_->CheckPoint(0));
+    }
     // Materialize the ID-relations this stratum reads, in deterministic
     // clause/step order (ScriptedTidAssigner relies on this order).
     for (int clause_idx : strat_.clauses_by_stratum[static_cast<size_t>(s)]) {
@@ -146,6 +160,10 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
     IDLOG_RETURN_NOT_OK(EvaluateStratum(stratum_plans, stratum_preds, ctx,
                                         &derived_, seminaive));
   }
+  // Leave the stratum label only while inside the strata loop, so a
+  // later trip (e.g. in an enumerator driving this engine) does not
+  // blame a stratum it is no longer in.
+  if (governor_ != nullptr) governor_->set_stratum(-1);
   return Status::OK();
 }
 

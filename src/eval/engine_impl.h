@@ -10,6 +10,7 @@
 #include "analysis/stratifier.h"
 #include "analysis/tid_bounds.h"
 #include "ast/ast.h"
+#include "common/limits.h"
 #include "common/status.h"
 #include "eval/eval_stats.h"
 #include "eval/provenance.h"
@@ -83,6 +84,14 @@ class EngineImpl {
   void set_use_indexes(bool enabled) { use_indexes_ = enabled; }
   const ProvenanceStore& provenance() const { return provenance_; }
 
+  /// Installs the resource governor consulted by Evaluate(): rule
+  /// execution checkpoints against it and each stratum labels it with
+  /// its index, so trips name where they happened. Not owned; null
+  /// disables governance. The caller arms it (the engine never does, so
+  /// one governor can span many Evaluate() calls during enumeration).
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
+  ResourceGovernor* governor() const { return governor_; }
+
  private:
   const Relation* FullRelation(const std::string& pred) const;
 
@@ -104,6 +113,7 @@ class EngineImpl {
   mutable std::map<const Relation*, std::unique_ptr<IndexCache>>
       index_caches_;
   EvalStats stats_;
+  ResourceGovernor* governor_ = nullptr;
   bool provenance_enabled_ = false;
   bool use_indexes_ = true;
   ProvenanceStore provenance_;

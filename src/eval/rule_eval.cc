@@ -53,14 +53,18 @@ class RuleExecutor {
   Status EmitHead() {
     Tuple t;
     t.reserve(plan_.head_args.size());
+    size_t arity = t.capacity();
     for (const ArgSource& src : plan_.head_args) t.push_back(Resolve(src));
     if (ctx_.stats != nullptr) ++ctx_.stats->facts_derived;
     if (ctx_.provenance != nullptr) {
       ctx_.provenance->Record(plan_.head_pred, t, plan_.clause_index,
                               premises_);
     }
-    if (out_->Insert(std::move(t)) && ctx_.stats != nullptr) {
-      ++ctx_.stats->facts_inserted;
+    if (out_->Insert(std::move(t))) {
+      if (ctx_.stats != nullptr) ++ctx_.stats->facts_inserted;
+      if (ctx_.governor != nullptr) {
+        return ctx_.governor->OnDerived(1, ApproxTupleBytes(arity));
+      }
     }
     return Status::OK();
   }
@@ -122,6 +126,9 @@ class RuleExecutor {
         if (step.key_cols.empty() || !ctx_.use_indexes) {
           for (const Tuple& row : rel->tuples()) {
             if (ctx_.stats != nullptr) ++ctx_.stats->tuples_considered;
+            if (ctx_.governor != nullptr) {
+              IDLOG_RETURN_NOT_OK(ctx_.governor->CheckPoint());
+            }
             if (!KeysMatch(step, row)) continue;
             if (!BindRow(step, row)) continue;
             if (ctx_.provenance != nullptr) RecordScanPremise(i, step, row);
@@ -141,6 +148,9 @@ class RuleExecutor {
         if (rows == nullptr) return Status::OK();
         for (size_t r : *rows) {
           if (ctx_.stats != nullptr) ++ctx_.stats->tuples_considered;
+          if (ctx_.governor != nullptr) {
+            IDLOG_RETURN_NOT_OK(ctx_.governor->CheckPoint());
+          }
           const Tuple& row = rel->tuples()[r];
           if (!BindRow(step, row)) continue;
           if (ctx_.provenance != nullptr) RecordScanPremise(i, step, row);
@@ -156,6 +166,9 @@ class RuleExecutor {
         probe.reserve(step.sources.size());
         for (const ArgSource& src : step.sources) probe.push_back(Resolve(src));
         if (ctx_.stats != nullptr) ++ctx_.stats->tuples_considered;
+        if (ctx_.governor != nullptr) {
+          IDLOG_RETURN_NOT_OK(ctx_.governor->CheckPoint());
+        }
         if (rel != nullptr && rel->Contains(probe)) return Status::OK();
         if (ctx_.provenance != nullptr) {
           Premise& p = premises_[i];
@@ -190,6 +203,10 @@ class RuleExecutor {
         Status st = EnumerateBuiltin(
             step.builtin, args, [&](const std::vector<Value>& solution) {
               if (!inner.ok()) return;
+              if (ctx_.governor != nullptr) {
+                inner = ctx_.governor->CheckPoint();
+                if (!inner.ok()) return;
+              }
               // Apply writes/filters for unbound positions.
               for (size_t pos = 0; pos < step.modes.size(); ++pos) {
                 const ArgSource& src = step.sources[pos];

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "common/symbol_table.h"
 #include "eval/eval_stats.h"
@@ -36,6 +37,13 @@ struct EvalContext {
       nullptr;
 
   EvalStats* stats = nullptr;
+
+  /// Resource budgets (deadline, tuples, memory, iterations) and the
+  /// cooperative cancellation token. When set, the executor checkpoints
+  /// once per tuple considered and charges every inserted fact, so
+  /// runaway joins and non-terminating fixpoints trip instead of
+  /// spinning. Null means ungoverned.
+  ResourceGovernor* governor = nullptr;
 
   /// Ablation switch: with false, scans ignore their index keys and
   /// filter full scans instead (bench E4 measures the cost of losing

@@ -80,13 +80,18 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
                            staging_for(&staged, *plan)));
     }
     if (ctx.stats != nullptr) ++ctx.stats->iterations;
+    if (ctx.governor != nullptr) {
+      IDLOG_RETURN_NOT_OK(ctx.governor->OnIteration());
+    }
     std::map<std::string, Relation> next_delta;
     bool any = Commit(&staged, derived, &next_delta);
     replace_delta(std::move(next_delta));
     if (!any) return Status::OK();
   }
 
-  // Later rounds.
+  // Later rounds. The loop is unbounded by construction (it stops at
+  // the least fixpoint); the governor's iteration cap and deadline are
+  // what bound it when a program generates values forever.
   while (true) {
     std::map<std::string, Relation> staged;
     bool fired = false;
@@ -119,6 +124,9 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     }
     if (!fired) return Status::OK();
     if (ctx.stats != nullptr) ++ctx.stats->iterations;
+    if (ctx.governor != nullptr) {
+      IDLOG_RETURN_NOT_OK(ctx.governor->OnIteration());
+    }
     std::map<std::string, Relation> next_delta;
     bool any = Commit(&staged, derived, &next_delta);
     replace_delta(std::move(next_delta));

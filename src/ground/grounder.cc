@@ -58,7 +58,12 @@ Result<DisjunctiveProgram> DisjunctiveFromProgram(const Program& program) {
 
 Result<GroundProgram> GroundDisjunctive(const DisjunctiveProgram& program,
                                         const Database& database,
-                                        uint64_t max_instantiations) {
+                                        uint64_t max_instantiations,
+                                        ResourceGovernor* governor) {
+  // Legacy cap as a governor-derived budget when no governor is given.
+  ResourceGovernor local(EvalLimits::TupleBudget(max_instantiations));
+  ResourceGovernor* gov = governor != nullptr ? governor : &local;
+  gov->set_scope("grounder");
   // Universe: u-domain symbols plus every numeric constant in data or
   // program (by value).
   std::vector<Value> u_values;
@@ -110,7 +115,6 @@ Result<GroundProgram> GroundDisjunctive(const DisjunctiveProgram& program,
     }
   }
 
-  uint64_t budget = max_instantiations;
   for (const DisjunctiveClause& clause : program.clauses) {
     std::vector<std::string> vars = ClauseVariables(clause);
     std::map<std::string, Value> binding;
@@ -119,10 +123,9 @@ Result<GroundProgram> GroundDisjunctive(const DisjunctiveProgram& program,
     std::vector<size_t> cursor(vars.size(), 0);
     size_t depth = 0;
     while (true) {
+      IDLOG_RETURN_NOT_OK(gov->CheckPoint());
       if (depth == vars.size()) {
-        if (budget-- == 0) {
-          return Status::ResourceExhausted("grounding budget exhausted");
-        }
+        IDLOG_RETURN_NOT_OK(gov->OnDerived(1, 0));
         // Evaluate built-ins; keep the instantiation if none refutes.
         bool alive = true;
         GroundClause ground;
@@ -152,6 +155,10 @@ Result<GroundProgram> GroundDisjunctive(const DisjunctiveProgram& program,
             out.base.insert(atom);
             ground.head.push_back(std::move(atom));
           }
+          size_t atoms = ground.head.size() + ground.positive.size() +
+                         ground.negative.size();
+          IDLOG_RETURN_NOT_OK(
+              gov->OnDerived(0, atoms * ApproxTupleBytes(2)));
           out.clauses.push_back(std::move(ground));
         }
         if (vars.empty()) break;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "common/limits.h"
 #include "common/status.h"
 #include "storage/database.h"
 
@@ -51,10 +52,16 @@ struct GroundProgram {
 /// instantiation, not used as generators). Clauses whose body is
 /// refuted by a built-in are dropped; satisfied built-ins disappear.
 ///
-/// `max_instantiations` caps the grounding size (ResourceExhausted).
+/// Resource governance: with `governor` set, every instantiation
+/// checkpoints against it (deadline, cancellation) and every emitted
+/// ground clause charges the tuple/memory budgets; `max_instantiations`
+/// is then ignored. Without a governor the deprecated
+/// `max_instantiations` cap still applies, implemented as a local
+/// governor tuple budget (ResourceExhausted on overflow either way).
 Result<GroundProgram> GroundDisjunctive(const DisjunctiveProgram& program,
                                         const Database& database,
-                                        uint64_t max_instantiations = 1000000);
+                                        uint64_t max_instantiations = 1000000,
+                                        ResourceGovernor* governor = nullptr);
 
 /// Convenience: converts a plain single-head Program (ordinary atoms,
 /// negation, built-ins) into a DisjunctiveProgram.

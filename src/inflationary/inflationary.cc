@@ -265,12 +265,14 @@ void Apply(const Firing& firing, State* state) {
 Result<std::vector<Firing>> ApplicableFirings(const InfProgram& program,
                                               const State& state,
                                               InfLanguage language,
-                                              InventionCache* inventions) {
+                                              InventionCache* inventions,
+                                              ResourceGovernor* gov) {
   std::vector<Firing> firings;
   for (size_t ci = 0; ci < program.clauses.size(); ++ci) {
     const InfClause& clause = program.clauses[ci];
     BodyMatcher matcher(clause.body, state);
     Status st = matcher.ForEachMatch([&](const Bindings& b) -> Status {
+      IDLOG_RETURN_NOT_OK(gov->CheckPoint());
       Result<Firing> firing =
           MakeFiring(clause, ci, b, language, inventions);
       if (!firing.ok()) {
@@ -336,10 +338,19 @@ Result<Database> EvaluateInflationary(const InfProgram& program,
   std::mt19937_64 rng(options.seed);
   InventionCache inventions(database.symbols(), options.max_invented);
 
-  for (uint64_t step = 0; step < options.max_steps; ++step) {
-    IDLOG_ASSIGN_OR_RETURN(
-        std::vector<Firing> firings,
-        ApplicableFirings(program, state, options.language, &inventions));
+  // Legacy max_steps as a governor iteration budget when no shared
+  // governor is supplied.
+  ResourceGovernor local(EvalLimits::IterationBudget(options.max_steps));
+  ResourceGovernor* gov =
+      options.governor != nullptr ? options.governor : &local;
+  gov->set_scope("inflationary evaluation");
+
+  while (true) {
+    IDLOG_RETURN_NOT_OK(gov->OnIteration());
+    IDLOG_ASSIGN_OR_RETURN(std::vector<Firing> firings,
+                           ApplicableFirings(program, state,
+                                             options.language, &inventions,
+                                             gov));
     if (firings.empty()) return StateToDatabase(state, database);
 
     if (options.mode == InfMode::kDeterministic) {
@@ -347,39 +358,52 @@ Result<Database> EvaluateInflationary(const InfProgram& program,
         return Status::Unsupported(
             "deterministic mode is implemented for DL programs only");
       }
-      for (const Firing& f : firings) Apply(f, &state);
+      for (const Firing& f : firings) {
+        IDLOG_RETURN_NOT_OK(
+            gov->OnDerived(f.adds.size(), f.adds.size() * 64));
+        Apply(f, &state);
+      }
     } else {
       std::uniform_int_distribution<size_t> dist(0, firings.size() - 1);
-      Apply(firings[dist(rng)], &state);
+      const Firing& chosen = firings[dist(rng)];
+      IDLOG_RETURN_NOT_OK(
+          gov->OnDerived(chosen.adds.size(), chosen.adds.size() * 64));
+      Apply(chosen, &state);
     }
   }
-  return Status::ResourceExhausted(
-      "inflationary evaluation did not converge within max_steps");
 }
 
 Result<AnswerSet> EnumerateInflationaryAnswers(const InfProgram& program,
                                                const Database& database,
                                                const std::string& query_pred,
                                                InfLanguage language,
-                                               uint64_t max_states) {
+                                               uint64_t max_states,
+                                               ResourceGovernor* governor) {
   AnswerSet result;
   std::set<State> visited;
   std::vector<State> frontier = {InitialState(database)};
   InventionCache inventions(database.symbols(), /*budget=*/10000);
 
+  // Legacy max_states as a governor tuple budget: one "tuple" per
+  // distinct visited state.
+  ResourceGovernor local(EvalLimits::TupleBudget(max_states));
+  ResourceGovernor* gov = governor != nullptr ? governor : &local;
+  gov->set_scope("inflationary enumeration");
+
   while (!frontier.empty()) {
     State state = std::move(frontier.back());
     frontier.pop_back();
     if (!visited.insert(state).second) continue;
-    if (visited.size() > max_states) {
-      return Status::ResourceExhausted(
-          "inflationary enumeration exceeded max_states");
+    uint64_t state_bytes = 0;
+    for (const auto& [pred, tuples] : state) {
+      state_bytes += pred.size() + tuples.size() * 64;
     }
+    IDLOG_RETURN_NOT_OK(gov->OnDerived(1, state_bytes));
     ++result.assignments_tried;
 
     IDLOG_ASSIGN_OR_RETURN(
         std::vector<Firing> firings,
-        ApplicableFirings(program, state, language, &inventions));
+        ApplicableFirings(program, state, language, &inventions, gov));
     if (firings.empty()) {
       auto it = state.find(query_pred);
       std::vector<Tuple> answer;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "common/limits.h"
 #include "common/status.h"
 #include "core/answer_enumerator.h"
 #include "storage/database.h"
@@ -47,8 +48,13 @@ struct InfOptions {
   InfLanguage language = InfLanguage::kDL;
   InfMode mode = InfMode::kNonDeterministic;
   uint64_t seed = 0;            ///< Random instantiation choice.
-  uint64_t max_steps = 100000;  ///< Firing cap (N-DATALOG may not terminate).
+  /// Deprecated firing cap (N-DATALOG may not terminate); applied as a
+  /// local governor iteration budget when `governor` is null.
+  uint64_t max_steps = 100000;
   uint64_t max_invented = 1000; ///< Cap on invented u-constants.
+  /// Shared resource governor (deadline, tuple/memory budgets,
+  /// cancellation). When set it supersedes max_steps. Not owned.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Converts a standard single-head Program (no ID-atoms, no choice)
@@ -65,12 +71,16 @@ Result<Database> EvaluateInflationary(const InfProgram& program,
 /// Exhaustively enumerates the possible final answers of `query_pred`
 /// over all firing orders (DFS with state memoization). Exponential;
 /// for the small instances of tests and bench E8. `max_states` caps the
-/// number of distinct visited states.
+/// number of distinct visited states (deprecated shim — a governor
+/// tuple budget when `governor` is null; ignored otherwise). With a
+/// governor, deadline/cancellation are observed once per visited state.
 Result<AnswerSet> EnumerateInflationaryAnswers(const InfProgram& program,
                                                const Database& database,
                                                const std::string& query_pred,
                                                InfLanguage language,
-                                               uint64_t max_states = 100000);
+                                               uint64_t max_states = 100000,
+                                               ResourceGovernor* governor =
+                                                   nullptr);
 
 }  // namespace idlog
 

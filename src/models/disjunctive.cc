@@ -38,7 +38,8 @@ const GroundClause* FindViolated(const GroundProgram& ground,
 }  // namespace
 
 Result<std::vector<AtomSet>> MinimalModels(const GroundProgram& ground,
-                                           uint64_t max_states) {
+                                           uint64_t max_states,
+                                           ResourceGovernor* governor) {
   for (const GroundClause& clause : ground.clauses) {
     if (!clause.negative.empty()) {
       return Status::Unsupported(
@@ -46,6 +47,12 @@ Result<std::vector<AtomSet>> MinimalModels(const GroundProgram& ground,
           "stable-model module for negation");
     }
   }
+
+  // Legacy max_states as a governor tuple budget: one "tuple" per
+  // distinct explored candidate model.
+  ResourceGovernor local(EvalLimits::TupleBudget(max_states));
+  ResourceGovernor* gov = governor != nullptr ? governor : &local;
+  gov->set_scope("minimal-model search");
 
   std::set<AtomSet> visited;
   std::set<AtomSet> models;
@@ -55,10 +62,8 @@ Result<std::vector<AtomSet>> MinimalModels(const GroundProgram& ground,
     AtomSet state = std::move(stack.back());
     stack.pop_back();
     if (!visited.insert(state).second) continue;
-    if (visited.size() > max_states) {
-      return Status::ResourceExhausted(
-          "minimal-model search exceeded max_states");
-    }
+    IDLOG_RETURN_NOT_OK(gov->OnDerived(1, state.size() * 64));
+    IDLOG_RETURN_NOT_OK(gov->CheckPoint(ground.clauses.size()));
     const GroundClause* violated = FindViolated(ground, state);
     if (violated == nullptr) {
       models.insert(std::move(state));

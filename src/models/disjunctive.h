@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "ground/grounder.h"
 
@@ -23,9 +24,14 @@ using AtomSet = std::set<GroundAtom>;
 /// need perfect models, which the stable-model module covers for the
 /// single-head case.
 ///
-/// `max_states` caps the branch exploration.
+/// `max_states` caps the branch exploration (deprecated shim — a
+/// governor tuple budget when `governor` is null; ignored otherwise).
+/// With a governor, each explored state charges the budgets and
+/// checkpoints the deadline/cancellation token.
 Result<std::vector<AtomSet>> MinimalModels(const GroundProgram& ground,
-                                           uint64_t max_states = 100000);
+                                           uint64_t max_states = 100000,
+                                           ResourceGovernor* governor =
+                                               nullptr);
 
 /// Projects the answers for `predicate` out of each model, as sorted
 /// tuple lists (the possible-answer set format of AnswerSet).

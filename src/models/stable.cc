@@ -26,7 +26,9 @@ AtomSet LeastModel(const GroundProgram& ground) {
 }
 
 Result<std::vector<AtomSet>> StableModels(const GroundProgram& ground,
-                                          int max_candidate_atoms) {
+                                          int max_candidate_atoms,
+                                          ResourceGovernor* governor) {
+  if (governor != nullptr) governor->set_scope("stable-model search");
   // Facts (no body, single head) are in every model; candidates are the
   // remaining head atoms.
   AtomSet facts;
@@ -55,6 +57,10 @@ Result<std::vector<AtomSet>> StableModels(const GroundProgram& ground,
   std::vector<AtomSet> stable;
   const uint64_t combos = 1ull << candidates.size();
   for (uint64_t mask = 0; mask < combos; ++mask) {
+    if (governor != nullptr) {
+      IDLOG_RETURN_NOT_OK(
+          governor->CheckPoint(1 + ground.clauses.size()));
+    }
     AtomSet m = facts;
     for (size_t i = 0; i < candidates.size(); ++i) {
       if ((mask >> i) & 1) m.insert(candidates[i]);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "ground/grounder.h"
 #include "models/disjunctive.h"
@@ -20,9 +21,13 @@ namespace idlog {
 ///
 /// Fails with InvalidArgument on disjunctive heads, and with
 /// ResourceExhausted when there are more than `max_candidate_atoms`
-/// derivable atoms (2^n candidate sets).
+/// derivable atoms (2^n candidate sets). With `governor` set, the
+/// candidate sweep additionally checkpoints per candidate, so
+/// deadlines and cancellation interrupt the 2^n loop.
 Result<std::vector<AtomSet>> StableModels(const GroundProgram& ground,
-                                          int max_candidate_atoms = 20);
+                                          int max_candidate_atoms = 20,
+                                          ResourceGovernor* governor =
+                                              nullptr);
 
 /// The least model of a negation-free single-head ground program
 /// (iterated immediate consequence); exposed for tests.

@@ -59,6 +59,25 @@ class Parser {
                               ", column " + std::to_string(Cur().column));
   }
 
+  // Nesting-depth guard for the recursive-descent productions. Today's
+  // grammar nests only a few levels, but hostile or generated input
+  // must fail with ParseError rather than exhaust the C++ stack, and
+  // the guard keeps that property as the grammar grows.
+  static constexpr int kMaxParseDepth = 256;
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : p(p) { ++p->depth_; }
+    ~DepthGuard() { --p->depth_; }
+    Parser* p;
+  };
+  Status CheckDepth() const {
+    if (depth_ > kMaxParseDepth) {
+      return Status::ParseError("nesting exceeds maximum parse depth (" +
+                                std::to_string(kMaxParseDepth) +
+                                ") at line " + std::to_string(Cur().line));
+    }
+    return Status::OK();
+  }
+
   Status Expect(TokenKind k, const char* what) {
     if (!At(k)) return Error(std::string("expected ") + what);
     Next();
@@ -106,6 +125,8 @@ class Parser {
   }
 
   Status ParseClause() {
+    DepthGuard depth(this);
+    IDLOG_RETURN_NOT_OK(CheckDepth());
     anon_counter_ = 0;
     IDLOG_ASSIGN_OR_RETURN(Atom head, ParseHeadAtom());
     std::vector<Atom> extra_heads;
@@ -180,6 +201,8 @@ class Parser {
   }
 
   Result<Literal> ParseLiteral() {
+    DepthGuard depth(this);
+    IDLOG_RETURN_NOT_OK(CheckDepth());
     bool negated = false;
     if (At(TokenKind::kNot)) {
       Next();
@@ -193,6 +216,8 @@ class Parser {
   }
 
   Result<Atom> ParseBodyAtom() {
+    DepthGuard depth(this);
+    IDLOG_RETURN_NOT_OK(CheckDepth());
     // Identifier followed by '(' or '[' is a predicate atom (or builtin
     // prefix form, or choice); anything else starts a builtin expression.
     if (At(TokenKind::kIdent)) {
@@ -288,6 +313,8 @@ class Parser {
   }
 
   Result<Atom> ParseBuiltinExpr() {
+    DepthGuard depth(this);
+    IDLOG_RETURN_NOT_OK(CheckDepth());
     IDLOG_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
     if (!IsRelop(Cur().kind)) return Error("expected comparison operator");
     TokenKind op = Next().kind;
@@ -326,6 +353,8 @@ class Parser {
   }
 
   Result<std::vector<Term>> ParseParenTerms() {
+    DepthGuard depth(this);
+    IDLOG_RETURN_NOT_OK(CheckDepth());
     IDLOG_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
     std::vector<Term> terms;
     if (At(TokenKind::kRParen)) {
@@ -346,6 +375,8 @@ class Parser {
   }
 
   Result<Term> ParseTerm() {
+    DepthGuard depth(this);
+    IDLOG_RETURN_NOT_OK(CheckDepth());
     switch (Cur().kind) {
       case TokenKind::kVariable: {
         std::string name = Next().text;
@@ -371,6 +402,7 @@ class Parser {
   Program program_;
   DisjunctiveProgram disjunctive_program_;
   int anon_counter_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -37,22 +37,120 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
   return fields;
 }
 
+Result<std::vector<std::string>> ParseCsvRecord(const std::string& line) {
+  // std::getline already consumed the '\n'; strip the '\r' of a CRLF
+  // ending here so quoted-field handling below never sees it.
+  size_t end = line.size();
+  if (end > 0 && line[end - 1] == '\r') --end;
+
+  std::vector<std::string> fields;
+  std::string current;
+  // Where we are inside the current field: before any content, inside
+  // an open quote, or after a closing quote (only ',' may follow).
+  enum class Pos { kStart, kUnquoted, kQuoted, kAfterQuote };
+  Pos pos = Pos::kStart;
+  for (size_t i = 0; i < end; ++i) {
+    char c = line[i];
+    switch (pos) {
+      case Pos::kQuoted:
+        if (c == '"') {
+          if (i + 1 < end && line[i + 1] == '"') {
+            current += '"';
+            ++i;
+          } else {
+            pos = Pos::kAfterQuote;
+          }
+        } else {
+          current += c;
+        }
+        break;
+      case Pos::kAfterQuote:
+        if (c != ',') {
+          return Status::ParseError(
+              "unexpected character after closing quote in CSV field " +
+              std::to_string(fields.size() + 1));
+        }
+        fields.push_back(std::move(current));
+        current.clear();
+        pos = Pos::kStart;
+        break;
+      case Pos::kStart:
+        if (c == '"') {
+          pos = Pos::kQuoted;
+          break;
+        }
+        [[fallthrough]];
+      case Pos::kUnquoted:
+        if (c == ',') {
+          fields.push_back(std::move(current));
+          current.clear();
+          pos = Pos::kStart;
+        } else if (c == '"') {
+          return Status::ParseError(
+              "quote opens mid-field in CSV field " +
+              std::to_string(fields.size() + 1) +
+              " (quoted fields must start with '\"')");
+        } else if (c == '\r') {
+          return Status::ParseError("stray carriage return in CSV field " +
+                                    std::to_string(fields.size() + 1));
+        } else {
+          current += c;
+          pos = Pos::kUnquoted;
+        }
+        break;
+    }
+    if (current.size() > kMaxCsvFieldBytes) {
+      return Status::ParseError(
+          "CSV field " + std::to_string(fields.size() + 1) + " exceeds " +
+          std::to_string(kMaxCsvFieldBytes) + " bytes");
+    }
+  }
+  if (pos == Pos::kQuoted) {
+    return Status::ParseError("unterminated quoted CSV field " +
+                              std::to_string(fields.size() + 1));
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
 namespace {
 
 Status LoadFromStream(Database* database, const std::string& name,
                       std::istream& in, bool skip_header,
-                      const std::string& what) {
+                      const std::string& what, ResourceGovernor* governor) {
+  if (governor != nullptr) governor->set_scope("csv loader");
+  // Arity is fixed by the existing relation, or else by the first row.
+  size_t expected_arity = 0;
+  if (Result<const Relation*> existing = database->Get(name); existing.ok()) {
+    expected_arity = (*existing)->type().size();
+  }
+
   std::string line;
   int line_no = 0;
+  auto at_line = [&](const Status& st) {
+    return Status(st.code(), what + " line " + std::to_string(line_no) +
+                                 ": " + st.message());
+  };
   while (std::getline(in, line)) {
     ++line_no;
     if (skip_header && line_no == 1) continue;
     if (line.empty() || line == "\r") continue;
-    Status st = database->AddRow(name, SplitCsvLine(line));
-    if (!st.ok()) {
-      return Status(st.code(), what + " line " + std::to_string(line_no) +
-                                   ": " + st.message());
+    Result<std::vector<std::string>> fields = ParseCsvRecord(line);
+    if (!fields.ok()) return at_line(fields.status());
+    if (expected_arity == 0) {
+      expected_arity = fields->size();
+    } else if (fields->size() != expected_arity) {
+      return at_line(Status::ParseError(
+          "row has " + std::to_string(fields->size()) +
+          " fields, expected " + std::to_string(expected_arity)));
     }
+    if (governor != nullptr) {
+      Status st =
+          governor->OnDerived(1, ApproxTupleBytes(fields->size()));
+      if (!st.ok()) return st;
+    }
+    Status st = database->AddRow(name, *fields);
+    if (!st.ok()) return at_line(st);
   }
   return Status::OK();
 }
@@ -60,19 +158,22 @@ Status LoadFromStream(Database* database, const std::string& name,
 }  // namespace
 
 Status LoadCsvRelation(Database* database, const std::string& name,
-                       const std::string& path, bool skip_header) {
+                       const std::string& path, bool skip_header,
+                       ResourceGovernor* governor) {
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open CSV file '" + path + "'");
   }
-  return LoadFromStream(database, name, in, skip_header, path);
+  return LoadFromStream(database, name, in, skip_header, path, governor);
 }
 
 Status LoadCsvRelationFromString(Database* database, const std::string& name,
                                  const std::string& content,
-                                 bool skip_header) {
+                                 bool skip_header,
+                                 ResourceGovernor* governor) {
   std::istringstream in(content);
-  return LoadFromStream(database, name, in, skip_header, "<string>");
+  return LoadFromStream(database, name, in, skip_header, "<string>",
+                        governor);
 }
 
 Status SaveRelationCsv(const Relation& rel, const SymbolTable& symbols,

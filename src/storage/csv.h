@@ -3,22 +3,49 @@
 
 #include <string>
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "storage/database.h"
 
 namespace idlog {
 
-/// Parses one CSV line into fields. Handles double-quoted fields with
-/// embedded commas and doubled quotes ("" escapes a quote). No embedded
-/// newlines.
+/// Upper bound on a single CSV field, enforced by ParseCsvRecord.
+/// Fields past this size are almost certainly a missing quote or a
+/// corrupt file, and letting them grow unbounded is a memory hazard.
+inline constexpr size_t kMaxCsvFieldBytes = 1 << 20;  // 1 MiB
+
+/// Parses one CSV line into fields, leniently: unterminated quotes are
+/// closed at end of line, quotes may open mid-field, and every '\r' is
+/// dropped. Kept for callers that want best-effort splitting; the
+/// loaders below use the strict ParseCsvRecord instead.
 std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Strictly parses one CSV record (RFC-4180 style). Handles
+/// double-quoted fields with embedded commas, CRLF line endings (one
+/// trailing '\r' is stripped), and doubled quotes ("" escapes a quote).
+/// Returns ParseError for:
+///  - an unterminated quoted field,
+///  - text after a closing quote (`"ab"x`),
+///  - a quote opening mid-field (`ab"cd"`),
+///  - a stray carriage return outside quotes,
+///  - a field longer than kMaxCsvFieldBytes.
+Result<std::vector<std::string>> ParseCsvRecord(const std::string& line);
 
 /// Loads `path` into relation `name`: one tuple per non-empty line,
 /// fields comma-separated; all-digit fields become sort-i values, the
 /// rest are interned as sort-u constants (matching Database::AddRow).
 /// With `skip_header`, the first line is dropped.
+///
+/// Malformed rows (bad quoting, oversized fields, arity mismatch
+/// against the relation or earlier rows, out-of-range integers) fail
+/// with ParseError naming the offending line; sort mismatches keep
+/// their TypeError code, also with the line number.
+///
+/// With `governor` set, each loaded row charges the tuple and memory
+/// budgets, so --max-tuples / --max-memory-mb also cap bulk loads.
 Status LoadCsvRelation(Database* database, const std::string& name,
-                       const std::string& path, bool skip_header = false);
+                       const std::string& path, bool skip_header = false,
+                       ResourceGovernor* governor = nullptr);
 
 /// Writes `rel` to `path` as CSV (values in canonical sorted order),
 /// quoting fields that contain commas or quotes.
@@ -28,7 +55,8 @@ Status SaveRelationCsv(const Relation& rel, const SymbolTable& symbols,
 /// Parses CSV content from a string instead of a file (for tests).
 Status LoadCsvRelationFromString(Database* database, const std::string& name,
                                  const std::string& content,
-                                 bool skip_header = false);
+                                 bool skip_header = false,
+                                 ResourceGovernor* governor = nullptr);
 
 }  // namespace idlog
 

@@ -62,6 +62,15 @@ Status Database::AddRow(const std::string& name,
       }
     }
     if (numeric) {
+      // std::stoll throws on overflow; reject fields past int64 range
+      // (19 significant digits, compared lexicographically at 19).
+      size_t nz = f.find_first_not_of('0');
+      size_t digits = nz == std::string::npos ? 0 : f.size() - nz;
+      if (digits > 19 ||
+          (digits == 19 && f.compare(nz, 19, "9223372036854775807") > 0)) {
+        return Status::ParseError("integer field '" + f +
+                                  "' overflows 64-bit range");
+      }
       t.push_back(Value::Number(std::stoll(f)));
     } else {
       t.push_back(Value::Symbol(symbols_->Intern(f)));

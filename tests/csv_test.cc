@@ -71,6 +71,100 @@ TEST(Csv, TypeMismatchReportsLine) {
   EXPECT_NE(st.message().find("line 2"), std::string::npos);
 }
 
+TEST(Csv, StrictParseAcceptsQuotedCommasAndCrlf) {
+  auto fields = ParseCsvRecord("\"a,b\",c\r");
+  ASSERT_TRUE(fields.ok()) << fields.status().ToString();
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a,b", "c"}));
+  auto quoted = ParseCsvRecord("\"say \"\"hi\"\"\",x");
+  ASSERT_TRUE(quoted.ok());
+  EXPECT_EQ(*quoted, (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(Csv, UnterminatedQuoteIsParseError) {
+  SymbolTable s;
+  Database db(&s);
+  Status st = LoadCsvRelationFromString(&db, "r", "a,b\n\"oops,c\n");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line 2"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("unterminated"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(Csv, TextAfterClosingQuoteIsParseError) {
+  SymbolTable s;
+  Database db(&s);
+  Status st = LoadCsvRelationFromString(&db, "r", "\"ab\"cd,x\n");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line 1"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(Csv, QuoteOpeningMidFieldIsParseError) {
+  SymbolTable s;
+  Database db(&s);
+  Status st = LoadCsvRelationFromString(&db, "r", "ab\"cd\",x\n");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(Csv, ArityMismatchReportsLine) {
+  SymbolTable s;
+  Database db(&s);
+  Status st =
+      LoadCsvRelationFromString(&db, "r", "a,b\nc,d,e\nf,g\n");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line 2"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("expected 2"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(Csv, ArityCheckedAgainstExistingRelation) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(LoadCsvRelationFromString(&db, "r", "a,b\n").ok());
+  Status st = LoadCsvRelationFromString(&db, "r", "x,y,z\n");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line 1"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(Csv, OversizedFieldIsParseError) {
+  SymbolTable s;
+  Database db(&s);
+  std::string huge(kMaxCsvFieldBytes + 2, 'x');
+  Status st = LoadCsvRelationFromString(&db, "r", huge + ",y\n");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("exceeds"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(Csv, IntegerOverflowIsParseError) {
+  SymbolTable s;
+  Database db(&s);
+  // 20 digits: larger than any int64. Must be a clean error, not a
+  // crash or a silently wrapped number.
+  Status st =
+      LoadCsvRelationFromString(&db, "r", "a,99999999999999999999\n");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line 1"), std::string::npos)
+      << st.ToString();
+  // int64 max itself still loads.
+  ASSERT_TRUE(
+      LoadCsvRelationFromString(&db, "ok", "a,9223372036854775807\n")
+          .ok());
+  EXPECT_EQ((*db.Get("ok"))->tuples()[0][1].number(),
+            9223372036854775807LL);
+}
+
+TEST(Csv, EmbeddedCarriageReturnInsideQuotesIsKept) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(
+      LoadCsvRelationFromString(&db, "r", "\"a\rb\",x\r\n").ok());
+  EXPECT_TRUE((*db.Get("r"))->Contains(T(&s, {"a\rb", "x"})));
+}
+
 TEST(Csv, MissingFileIsNotFound) {
   SymbolTable s;
   Database db(&s);

@@ -188,6 +188,45 @@ TEST_P(RandomPrograms, ModelAndModeInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms, ::testing::Range(0, 100));
 
+// Every generated program re-run under a tight resource governor:
+// each run must finish promptly with either OK or a structured
+// ResourceExhausted — any hang or other failure mode is a bug. This
+// turns would-be timeouts in the suite into ordinary test failures.
+class GovernedRandomPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(GovernedRandomPrograms, TightBudgetsTerminateCleanly) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  ProgramGenerator gen(seed);
+  std::string text = gen.Generate();
+  SCOPED_TRACE(text);
+
+  IdlogEngine engine;
+  std::mt19937_64 rng(seed * 17 + 1);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(engine
+                    .AddRow("e0", {"c" + std::to_string(rng() % 5),
+                                   "c" + std::to_string(rng() % 5)})
+                    .ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        engine.AddRow("e1", {"c" + std::to_string(rng() % 5)}).ok());
+  }
+  ASSERT_TRUE(engine.LoadProgramText(text).ok());
+
+  EvalLimits limits;
+  limits.timeout_ms = 2000;
+  limits.max_tuples = 5000;
+  limits.max_memory_bytes = 4 * 1024 * 1024;
+  engine.SetLimits(limits);
+  Status st = engine.Run();
+  EXPECT_TRUE(st.ok() || st.code() == StatusCode::kResourceExhausted)
+      << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GovernedRandomPrograms,
+                         ::testing::Range(0, 50));
+
 // ---------------------------------------------------------------------
 // Brute-force oracle for positive Datalog: repeat "apply every rule on
 // every substitution" until fixpoint, with no indexes, plans, deltas or

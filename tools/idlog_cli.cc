@@ -4,6 +4,9 @@
 //   idlog run PROGRAM.idl --query PRED [--csv REL=FILE]... [--seed N]
 //             [--enumerate] [--stats] [--naive] [--no-tid-pushdown]
 //             [--explain "v1 v2 ..."]   (derivation tree of one fact)
+//             [--timeout-ms N] [--max-tuples N] [--max-memory-mb N]
+//             [--max-iterations N]      (resource governor budgets)
+//             [--partial]               (keep partial results on a trip)
 //
 // Interactive mode (no arguments): a small REPL. Clauses typed at the
 // prompt accumulate into the program; dot-commands drive the engine:
@@ -85,6 +88,8 @@ int RunBatch(int argc, char** argv) {
   bool random = false;
   std::string explain_fields;
   bool explain = false;
+  idlog::EvalLimits limits;
+  bool partial = false;
 
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
@@ -117,6 +122,28 @@ int RunBatch(int argc, char** argv) {
       }
       explain_fields = v;
       explain = true;
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Fail(Status::InvalidArgument("--timeout-ms N"));
+      limits.timeout_ms = std::stoull(v);
+    } else if (arg == "--max-tuples") {
+      const char* v = next();
+      if (v == nullptr) return Fail(Status::InvalidArgument("--max-tuples N"));
+      limits.max_tuples = std::stoull(v);
+    } else if (arg == "--max-memory-mb") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--max-memory-mb N"));
+      }
+      limits.max_memory_bytes = std::stoull(v) * 1024 * 1024;
+    } else if (arg == "--max-iterations") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--max-iterations N"));
+      }
+      limits.max_iterations = std::stoull(v);
+    } else if (arg == "--partial") {
+      partial = true;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--naive") {
@@ -134,9 +161,17 @@ int RunBatch(int argc, char** argv) {
   IdlogEngine engine;
   engine.SetSeminaive(!naive);
   engine.SetTidBoundPushdown(pushdown);
+  engine.SetLimits(limits);
+  engine.SetPartialResults(partial);
   if (explain) engine.EnableProvenance(true);
+  // Arm the governor over the bulk loads too, so --max-tuples /
+  // --max-memory-mb also bound CSV ingestion. Run() re-arms it for
+  // evaluation.
+  engine.governor().Arm(limits);
   for (const auto& [rel, file] : csvs) {
-    Status st = idlog::LoadCsvRelation(&engine.database(), rel, file);
+    Status st = idlog::LoadCsvRelation(&engine.database(), rel, file,
+                                       /*skip_header=*/false,
+                                       &engine.governor());
     if (!st.ok()) return Fail(st);
   }
   auto text = ReadFile(program_path);
@@ -148,8 +183,12 @@ int RunBatch(int argc, char** argv) {
   }
 
   if (enumerate) {
-    auto answers =
-        idlog::EnumerateAnswers(engine.program(), engine.database(), query);
+    idlog::EnumerateOptions options;
+    engine.governor().Arm(limits);
+    options.governor = &engine.governor();
+    auto answers = idlog::EnumerateAnswers(engine.program(),
+                                           engine.database(), query,
+                                           options);
     if (!answers.ok()) return Fail(answers.status());
     std::printf("%zu possible answer(s) over %llu tid assignment(s):\n",
                 answers->answers.size(),
@@ -193,6 +232,10 @@ int RunBatch(int argc, char** argv) {
 
   auto result = engine.Query(query);
   if (!result.ok()) return Fail(result.status());
+  if (!engine.last_trip().ok()) {
+    std::fprintf(stderr, "warning: partial results — %s\n",
+                 engine.last_trip().ToString().c_str());
+  }
   PrintRelation(**result, engine.symbols());
   if (stats) PrintStats(engine.stats());
   return 0;
@@ -359,7 +402,9 @@ int main(int argc, char** argv) {
                  "usage: %s                      (interactive)\n"
                  "       %s run PROGRAM.idl --query PRED [--csv REL=FILE]"
                  " [--seed N] [--enumerate] [--stats] [--naive]"
-                 " [--no-tid-pushdown]\n",
+                 " [--no-tid-pushdown]\n"
+                 "           [--timeout-ms N] [--max-tuples N]"
+                 " [--max-memory-mb N] [--max-iterations N] [--partial]\n",
                  argv[0], argv[0]);
     return 2;
   }
