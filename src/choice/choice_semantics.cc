@@ -161,7 +161,8 @@ Result<AnswerSet> EnumerateChoiceAnswers(const Program& program,
   // evaluated selection. The inner fixpoints are only governed when an
   // external governor is supplied — the legacy budget counts
   // selections, not the tuples each model derives.
-  ResourceGovernor local(EvalLimits::TupleBudget(max_models));
+  ResourceGovernor local;
+  ArmLegacyTupleCap(&local, max_models);
   ResourceGovernor* gov = governor != nullptr ? governor : &local;
   gov->set_scope("choice enumeration");
 

@@ -26,6 +26,9 @@ void ResourceGovernor::Arm(const EvalLimits& limits) {
   tuples_ = 0;
   memory_bytes_ = 0;
   iterations_ = 0;
+  scope_ = "evaluation";
+  stratum_ = -1;
+  stats_source_ = nullptr;
   tripped_ = false;
   trip_ = TripInfo();
 }

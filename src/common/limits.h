@@ -94,9 +94,10 @@ class ResourceGovernor {
   ResourceGovernor(const ResourceGovernor&) = delete;
   ResourceGovernor& operator=(const ResourceGovernor&) = delete;
 
-  /// Installs `limits`, clears all counters and any latched trip, and
-  /// starts the deadline clock now. Also clears a pending Cancel().
-  /// Call only between evaluations, never concurrently with one.
+  /// Installs `limits`, clears all counters, diagnostic labels, the
+  /// stats source and any latched trip, and starts the deadline clock
+  /// now. Also clears a pending Cancel(). Call only between
+  /// evaluations, never concurrently with one.
   void Arm(const EvalLimits& limits);
 
   /// Thread-safe cooperative cancellation: flags the governor; the
@@ -159,7 +160,12 @@ class ResourceGovernor {
   int stratum() const { return stratum_; }
 
   /// Stats to snapshot into TripInfo when a budget trips. May be null.
+  /// The pointed-to stats must stay alive until the source is replaced,
+  /// cleared, or the governor is re-armed — engines that borrow a
+  /// longer-lived governor should install it via GovernorScope, which
+  /// restores the previous source when they are done.
   void set_stats_source(const EvalStats* stats) { stats_source_ = stats; }
+  const EvalStats* stats_source() const { return stats_source_; }
 
   // --- Inspection. ---
 
@@ -196,6 +202,57 @@ class ResourceGovernor {
   bool tripped_ = false;
   TripInfo trip_;
 };
+
+/// RAII installer for the diagnostic labels and stats source of a
+/// governor the caller merely borrows: saves the governor's current
+/// scope, stratum and stats source, installs the caller's, and restores
+/// the saved ones on destruction. A shared governor routinely outlives
+/// the stack-local engines charging it (one governor spans a whole
+/// enumeration), so every engine must withdraw its EvalStats pointer on
+/// exit or a later trip dereferences freed memory. A null governor
+/// makes the guard a no-op.
+class GovernorScope {
+ public:
+  GovernorScope(ResourceGovernor* governor, const EvalStats* stats,
+                std::string scope)
+      : governor_(governor) {
+    if (governor_ == nullptr) return;
+    saved_stats_ = governor_->stats_source();
+    saved_scope_ = governor_->scope();
+    saved_stratum_ = governor_->stratum();
+    governor_->set_stats_source(stats);
+    governor_->set_scope(std::move(scope));
+  }
+  ~GovernorScope() {
+    if (governor_ == nullptr) return;
+    governor_->set_stats_source(saved_stats_);
+    governor_->set_scope(std::move(saved_scope_));
+    governor_->set_stratum(saved_stratum_);
+  }
+
+  GovernorScope(const GovernorScope&) = delete;
+  GovernorScope& operator=(const GovernorScope&) = delete;
+
+ private:
+  ResourceGovernor* governor_;
+  const EvalStats* saved_stats_ = nullptr;
+  std::string saved_scope_;
+  int saved_stratum_ = -1;
+};
+
+/// Shims for the deprecated per-module caps (max_instantiations,
+/// max_models, max_states, max_steps). The legacy caps rejected the
+/// first unit of work when set to 0, whereas EvalLimits treats 0 as
+/// unlimited — so a cap of 0 arms a budget of one and spends it up
+/// front, preserving "cap N admits exactly N charges" for every N.
+inline void ArmLegacyTupleCap(ResourceGovernor* governor, uint64_t cap) {
+  governor->Arm(EvalLimits::TupleBudget(cap == 0 ? 1 : cap));
+  if (cap == 0) (void)governor->OnDerived(1, 0);
+}
+inline void ArmLegacyIterationCap(ResourceGovernor* governor, uint64_t cap) {
+  governor->Arm(EvalLimits::IterationBudget(cap == 0 ? 1 : cap));
+  if (cap == 0) (void)governor->OnIteration();
+}
 
 /// Rough per-tuple heap cost used for the approximate-memory budget:
 /// the inline Values plus container/node overhead.

@@ -121,10 +121,11 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
   ctx.stats = &stats_;
   ctx.use_indexes = use_indexes_;
   ctx.governor = governor_;
-  if (governor_ != nullptr) {
-    governor_->set_stats_source(&stats_);
-    governor_->set_scope("stratum fixpoint");
-  }
+  // A shared governor can outlive this engine (enumerators create
+  // stack-local engines against one long-lived governor); the guard
+  // withdraws our stats_ pointer and labels on every exit path so a
+  // later trip never dereferences a destroyed engine.
+  GovernorScope governor_scope(governor_, &stats_, "stratum fixpoint");
   if (provenance_enabled_) {
     ctx.provenance = &provenance_;
     ctx.symbols = database_->symbols();
@@ -160,10 +161,6 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
     IDLOG_RETURN_NOT_OK(EvaluateStratum(stratum_plans, stratum_preds, ctx,
                                         &derived_, seminaive));
   }
-  // Leave the stratum label only while inside the strata loop, so a
-  // later trip (e.g. in an enumerator driving this engine) does not
-  // blame a stratum it is no longer in.
-  if (governor_ != nullptr) governor_->set_stratum(-1);
   return Status::OK();
 }
 

@@ -53,7 +53,6 @@ class RuleExecutor {
   Status EmitHead() {
     Tuple t;
     t.reserve(plan_.head_args.size());
-    size_t arity = t.capacity();
     for (const ArgSource& src : plan_.head_args) t.push_back(Resolve(src));
     if (ctx_.stats != nullptr) ++ctx_.stats->facts_derived;
     if (ctx_.provenance != nullptr) {
@@ -63,7 +62,8 @@ class RuleExecutor {
     if (out_->Insert(std::move(t))) {
       if (ctx_.stats != nullptr) ++ctx_.stats->facts_inserted;
       if (ctx_.governor != nullptr) {
-        return ctx_.governor->OnDerived(1, ApproxTupleBytes(arity));
+        return ctx_.governor->OnDerived(
+            1, ApproxTupleBytes(plan_.head_args.size()));
       }
     }
     return Status::OK();

@@ -61,7 +61,8 @@ Result<GroundProgram> GroundDisjunctive(const DisjunctiveProgram& program,
                                         uint64_t max_instantiations,
                                         ResourceGovernor* governor) {
   // Legacy cap as a governor-derived budget when no governor is given.
-  ResourceGovernor local(EvalLimits::TupleBudget(max_instantiations));
+  ResourceGovernor local;
+  ArmLegacyTupleCap(&local, max_instantiations);
   ResourceGovernor* gov = governor != nullptr ? governor : &local;
   gov->set_scope("grounder");
   // Universe: u-domain symbols plus every numeric constant in data or

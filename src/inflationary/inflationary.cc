@@ -340,7 +340,8 @@ Result<Database> EvaluateInflationary(const InfProgram& program,
 
   // Legacy max_steps as a governor iteration budget when no shared
   // governor is supplied.
-  ResourceGovernor local(EvalLimits::IterationBudget(options.max_steps));
+  ResourceGovernor local;
+  ArmLegacyIterationCap(&local, options.max_steps);
   ResourceGovernor* gov =
       options.governor != nullptr ? options.governor : &local;
   gov->set_scope("inflationary evaluation");
@@ -386,7 +387,8 @@ Result<AnswerSet> EnumerateInflationaryAnswers(const InfProgram& program,
 
   // Legacy max_states as a governor tuple budget: one "tuple" per
   // distinct visited state.
-  ResourceGovernor local(EvalLimits::TupleBudget(max_states));
+  ResourceGovernor local;
+  ArmLegacyTupleCap(&local, max_states);
   ResourceGovernor* gov = governor != nullptr ? governor : &local;
   gov->set_scope("inflationary enumeration");
 

@@ -50,7 +50,8 @@ Result<std::vector<AtomSet>> MinimalModels(const GroundProgram& ground,
 
   // Legacy max_states as a governor tuple budget: one "tuple" per
   // distinct explored candidate model.
-  ResourceGovernor local(EvalLimits::TupleBudget(max_states));
+  ResourceGovernor local;
+  ArmLegacyTupleCap(&local, max_states);
   ResourceGovernor* gov = governor != nullptr ? governor : &local;
   gov->set_scope("minimal-model search");
 

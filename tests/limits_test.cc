@@ -11,7 +11,10 @@
 #include "common/limits.h"
 #include "core/answer_enumerator.h"
 #include "core/idlog_engine.h"
+#include "eval/engine_impl.h"
+#include "parser/parser.h"
 #include "storage/csv.h"
+#include "storage/tid_assigner.h"
 #include "test_util.h"
 
 namespace idlog {
@@ -59,6 +62,89 @@ TEST(ResourceGovernor, CancelObservedWithinOneProbeInterval) {
   EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
   EXPECT_LE(units, ResourceGovernor::kProbeInterval + 1);
   EXPECT_EQ(gov.trip().budget, BudgetKind::kCancelled);
+}
+
+TEST(ResourceGovernor, ScopeGuardRestoresStatsSourceAndLabels) {
+  ResourceGovernor gov(EvalLimits::TupleBudget(1));
+  gov.set_scope("outer");
+  {
+    EvalStats inner_stats;
+    GovernorScope scope(&gov, &inner_stats, "inner");
+    EXPECT_EQ(gov.scope(), "inner");
+    EXPECT_EQ(gov.stats_source(), &inner_stats);
+    gov.set_stratum(3);
+  }
+  EXPECT_EQ(gov.scope(), "outer");
+  EXPECT_EQ(gov.stratum(), -1);
+  EXPECT_EQ(gov.stats_source(), nullptr);
+  // A trip after the guard exits blames the outer scope, not the dead
+  // inner one.
+  Status st = gov.OnDerived(2, 0);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(st.message().find("outer"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(ResourceGovernor, RearmClearsLabelsAndStatsSource) {
+  ResourceGovernor gov;
+  EvalStats stats;
+  gov.set_scope("stale");
+  gov.set_stratum(5);
+  gov.set_stats_source(&stats);
+  gov.Arm(EvalLimits::TupleBudget(10));
+  EXPECT_EQ(gov.scope(), "evaluation");
+  EXPECT_EQ(gov.stratum(), -1);
+  EXPECT_EQ(gov.stats_source(), nullptr);
+}
+
+// Regression: an engine borrowing a longer-lived shared governor must
+// withdraw its EvalStats pointer when it is done; a budget tripping
+// after the engine was destroyed (as in enumerators that evaluate many
+// stack-local engines) would otherwise snapshot freed memory.
+TEST(ResourceGovernor, TripAfterEngineDestroyedReadsNoDanglingStats) {
+  ResourceGovernor gov(EvalLimits::TupleBudget(100));
+  gov.set_scope("enumeration driver");
+
+  SymbolTable symbols;
+  Database db(&symbols);
+  ASSERT_TRUE(db.AddRow("q", {"a"}).ok());
+  auto program = ParseProgram("out(X) :- q(X).", &symbols);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  {
+    EngineImpl engine(&*program, &db);
+    engine.set_governor(&gov);
+    ASSERT_TRUE(engine.Prepare().ok());
+    IdentityTidAssigner identity;
+    ASSERT_TRUE(engine.Evaluate(&identity).ok());
+    // The engine restored the driver's labels on its way out.
+    EXPECT_EQ(gov.scope(), "enumeration driver");
+    EXPECT_EQ(gov.stats_source(), nullptr);
+  }
+  // Trip with the engine gone: must not dereference its stats
+  // (ASan-checked in CI) and must blame the driver's scope.
+  Status st = Status::OK();
+  while (st.ok()) st = gov.OnDerived(50, 0);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(st.message().find("enumeration driver"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(ResourceGovernor, LegacyCapOfZeroRejectsFirstCharge) {
+  // The deprecated per-module caps rejected the first unit of work when
+  // 0; the shim helpers preserve that instead of going unlimited.
+  ResourceGovernor tuples;
+  ArmLegacyTupleCap(&tuples, 0);
+  EXPECT_EQ(tuples.OnDerived(1, 0).code(), StatusCode::kResourceExhausted);
+
+  ResourceGovernor two;
+  ArmLegacyTupleCap(&two, 2);
+  EXPECT_TRUE(two.OnDerived(1, 0).ok());
+  EXPECT_TRUE(two.OnDerived(1, 0).ok());
+  EXPECT_EQ(two.OnDerived(1, 0).code(), StatusCode::kResourceExhausted);
+
+  ResourceGovernor iters;
+  ArmLegacyIterationCap(&iters, 0);
+  EXPECT_EQ(iters.OnIteration().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(Limits, DeadlineTripsNonTerminatingFixpoint) {

@@ -24,6 +24,7 @@
 //   .quit               exit
 #include <cstdio>
 #include <cctype>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -45,6 +46,30 @@ using idlog::Status;
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// Parses a non-negative integer flag value. std::stoull would throw out
+// of main() on junk ("--timeout-ms abc") and silently wrap negatives;
+// this validates digits and range and reports a usage error instead.
+idlog::Result<uint64_t> ParseUint64(const std::string& flag,
+                                    const char* value) {
+  if (value == nullptr || *value == '\0') {
+    return Status::InvalidArgument(flag + " expects a non-negative integer");
+  }
+  uint64_t out = 0;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) {
+      return Status::InvalidArgument(flag + ": '" + value +
+                                     "' is not a non-negative integer");
+    }
+    uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (out > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument(flag + ": '" + value +
+                                     "' is out of range");
+    }
+    out = out * 10 + digit;
+  }
+  return out;
 }
 
 idlog::Result<std::string> ReadFile(const std::string& path) {
@@ -109,9 +134,9 @@ int RunBatch(int argc, char** argv) {
       size_t eq = spec.find('=');
       csvs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
     } else if (arg == "--seed") {
-      const char* v = next();
-      if (v == nullptr) return Fail(Status::InvalidArgument("--seed N"));
-      seed = std::stoull(v);
+      auto v = ParseUint64("--seed", next());
+      if (!v.ok()) return Fail(v.status());
+      seed = *v;
       random = true;
     } else if (arg == "--enumerate") {
       enumerate = true;
@@ -123,25 +148,27 @@ int RunBatch(int argc, char** argv) {
       explain_fields = v;
       explain = true;
     } else if (arg == "--timeout-ms") {
-      const char* v = next();
-      if (v == nullptr) return Fail(Status::InvalidArgument("--timeout-ms N"));
-      limits.timeout_ms = std::stoull(v);
+      auto v = ParseUint64("--timeout-ms", next());
+      if (!v.ok()) return Fail(v.status());
+      if (*v > static_cast<uint64_t>(INT64_MAX)) {
+        return Fail(Status::InvalidArgument("--timeout-ms: out of range"));
+      }
+      limits.timeout_ms = static_cast<int64_t>(*v);
     } else if (arg == "--max-tuples") {
-      const char* v = next();
-      if (v == nullptr) return Fail(Status::InvalidArgument("--max-tuples N"));
-      limits.max_tuples = std::stoull(v);
+      auto v = ParseUint64("--max-tuples", next());
+      if (!v.ok()) return Fail(v.status());
+      limits.max_tuples = *v;
     } else if (arg == "--max-memory-mb") {
-      const char* v = next();
-      if (v == nullptr) {
-        return Fail(Status::InvalidArgument("--max-memory-mb N"));
+      auto v = ParseUint64("--max-memory-mb", next());
+      if (!v.ok()) return Fail(v.status());
+      if (*v > UINT64_MAX / (1024 * 1024)) {
+        return Fail(Status::InvalidArgument("--max-memory-mb: out of range"));
       }
-      limits.max_memory_bytes = std::stoull(v) * 1024 * 1024;
+      limits.max_memory_bytes = *v * 1024 * 1024;
     } else if (arg == "--max-iterations") {
-      const char* v = next();
-      if (v == nullptr) {
-        return Fail(Status::InvalidArgument("--max-iterations N"));
-      }
-      limits.max_iterations = std::stoull(v);
+      auto v = ParseUint64("--max-iterations", next());
+      if (!v.ok()) return Fail(v.status());
+      limits.max_iterations = *v;
     } else if (arg == "--partial") {
       partial = true;
     } else if (arg == "--stats") {
