@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aggregates.dir/bench_aggregates.cc.o"
+  "CMakeFiles/bench_aggregates.dir/bench_aggregates.cc.o.d"
+  "CMakeFiles/bench_aggregates.dir/util.cc.o"
+  "CMakeFiles/bench_aggregates.dir/util.cc.o.d"
+  "bench_aggregates"
+  "bench_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

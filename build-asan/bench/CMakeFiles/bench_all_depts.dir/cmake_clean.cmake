@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_all_depts.dir/bench_all_depts.cc.o"
+  "CMakeFiles/bench_all_depts.dir/bench_all_depts.cc.o.d"
+  "CMakeFiles/bench_all_depts.dir/util.cc.o"
+  "CMakeFiles/bench_all_depts.dir/util.cc.o.d"
+  "bench_all_depts"
+  "bench_all_depts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_all_depts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_choice_translation.dir/bench_choice_translation.cc.o"
+  "CMakeFiles/bench_choice_translation.dir/bench_choice_translation.cc.o.d"
+  "CMakeFiles/bench_choice_translation.dir/util.cc.o"
+  "CMakeFiles/bench_choice_translation.dir/util.cc.o.d"
+  "bench_choice_translation"
+  "bench_choice_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_choice_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine.dir/bench_engine.cc.o"
+  "CMakeFiles/bench_engine.dir/bench_engine.cc.o.d"
+  "CMakeFiles/bench_engine.dir/util.cc.o"
+  "CMakeFiles/bench_engine.dir/util.cc.o.d"
+  "bench_engine"
+  "bench_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

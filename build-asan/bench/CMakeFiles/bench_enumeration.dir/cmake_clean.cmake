@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enumeration.dir/bench_enumeration.cc.o"
+  "CMakeFiles/bench_enumeration.dir/bench_enumeration.cc.o.d"
+  "CMakeFiles/bench_enumeration.dir/util.cc.o"
+  "CMakeFiles/bench_enumeration.dir/util.cc.o.d"
+  "bench_enumeration"
+  "bench_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

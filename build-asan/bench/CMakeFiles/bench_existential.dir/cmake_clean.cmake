@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_existential.dir/bench_existential.cc.o"
+  "CMakeFiles/bench_existential.dir/bench_existential.cc.o.d"
+  "CMakeFiles/bench_existential.dir/util.cc.o"
+  "CMakeFiles/bench_existential.dir/util.cc.o.d"
+  "bench_existential"
+  "bench_existential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_existential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

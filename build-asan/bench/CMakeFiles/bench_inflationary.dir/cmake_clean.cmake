@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inflationary.dir/bench_inflationary.cc.o"
+  "CMakeFiles/bench_inflationary.dir/bench_inflationary.cc.o.d"
+  "CMakeFiles/bench_inflationary.dir/util.cc.o"
+  "CMakeFiles/bench_inflationary.dir/util.cc.o.d"
+  "bench_inflationary"
+  "bench_inflationary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inflationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_magic.dir/bench_magic.cc.o"
+  "CMakeFiles/bench_magic.dir/bench_magic.cc.o.d"
+  "CMakeFiles/bench_magic.dir/util.cc.o"
+  "CMakeFiles/bench_magic.dir/util.cc.o.d"
+  "bench_magic"
+  "bench_magic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_magic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

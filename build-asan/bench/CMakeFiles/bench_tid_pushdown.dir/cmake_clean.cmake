@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tid_pushdown.dir/bench_tid_pushdown.cc.o"
+  "CMakeFiles/bench_tid_pushdown.dir/bench_tid_pushdown.cc.o.d"
+  "CMakeFiles/bench_tid_pushdown.dir/util.cc.o"
+  "CMakeFiles/bench_tid_pushdown.dir/util.cc.o.d"
+  "bench_tid_pushdown"
+  "bench_tid_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tid_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

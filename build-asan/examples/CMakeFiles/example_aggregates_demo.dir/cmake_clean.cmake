@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_aggregates_demo.dir/aggregates_demo.cpp.o"
+  "CMakeFiles/example_aggregates_demo.dir/aggregates_demo.cpp.o.d"
+  "example_aggregates_demo"
+  "example_aggregates_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_aggregates_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

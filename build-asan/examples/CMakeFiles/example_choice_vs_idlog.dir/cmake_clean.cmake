@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_choice_vs_idlog.dir/choice_vs_idlog.cpp.o"
+  "CMakeFiles/example_choice_vs_idlog.dir/choice_vs_idlog.cpp.o.d"
+  "example_choice_vs_idlog"
+  "example_choice_vs_idlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_choice_vs_idlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

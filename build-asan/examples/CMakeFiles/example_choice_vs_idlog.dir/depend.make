@@ -1,0 +1,2 @@
+# Empty dependencies file for example_choice_vs_idlog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sampling_survey.dir/sampling_survey.cpp.o"
+  "CMakeFiles/example_sampling_survey.dir/sampling_survey.cpp.o.d"
+  "example_sampling_survey"
+  "example_sampling_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sampling_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

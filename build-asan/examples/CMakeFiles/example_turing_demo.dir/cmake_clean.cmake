@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_turing_demo.dir/turing_demo.cpp.o"
+  "CMakeFiles/example_turing_demo.dir/turing_demo.cpp.o.d"
+  "example_turing_demo"
+  "example_turing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_turing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/classification.cc" "src/CMakeFiles/idlog.dir/analysis/classification.cc.o" "gcc" "src/CMakeFiles/idlog.dir/analysis/classification.cc.o.d"
+  "/root/repo/src/analysis/database_program.cc" "src/CMakeFiles/idlog.dir/analysis/database_program.cc.o" "gcc" "src/CMakeFiles/idlog.dir/analysis/database_program.cc.o.d"
+  "/root/repo/src/analysis/dependency_graph.cc" "src/CMakeFiles/idlog.dir/analysis/dependency_graph.cc.o" "gcc" "src/CMakeFiles/idlog.dir/analysis/dependency_graph.cc.o.d"
+  "/root/repo/src/analysis/safety.cc" "src/CMakeFiles/idlog.dir/analysis/safety.cc.o" "gcc" "src/CMakeFiles/idlog.dir/analysis/safety.cc.o.d"
+  "/root/repo/src/analysis/stratifier.cc" "src/CMakeFiles/idlog.dir/analysis/stratifier.cc.o" "gcc" "src/CMakeFiles/idlog.dir/analysis/stratifier.cc.o.d"
+  "/root/repo/src/analysis/tid_bounds.cc" "src/CMakeFiles/idlog.dir/analysis/tid_bounds.cc.o" "gcc" "src/CMakeFiles/idlog.dir/analysis/tid_bounds.cc.o.d"
+  "/root/repo/src/ast/ast.cc" "src/CMakeFiles/idlog.dir/ast/ast.cc.o" "gcc" "src/CMakeFiles/idlog.dir/ast/ast.cc.o.d"
+  "/root/repo/src/ast/printer.cc" "src/CMakeFiles/idlog.dir/ast/printer.cc.o" "gcc" "src/CMakeFiles/idlog.dir/ast/printer.cc.o.d"
+  "/root/repo/src/ast/program_builder.cc" "src/CMakeFiles/idlog.dir/ast/program_builder.cc.o" "gcc" "src/CMakeFiles/idlog.dir/ast/program_builder.cc.o.d"
+  "/root/repo/src/choice/choice_program.cc" "src/CMakeFiles/idlog.dir/choice/choice_program.cc.o" "gcc" "src/CMakeFiles/idlog.dir/choice/choice_program.cc.o.d"
+  "/root/repo/src/choice/choice_semantics.cc" "src/CMakeFiles/idlog.dir/choice/choice_semantics.cc.o" "gcc" "src/CMakeFiles/idlog.dir/choice/choice_semantics.cc.o.d"
+  "/root/repo/src/choice/choice_to_idlog.cc" "src/CMakeFiles/idlog.dir/choice/choice_to_idlog.cc.o" "gcc" "src/CMakeFiles/idlog.dir/choice/choice_to_idlog.cc.o.d"
+  "/root/repo/src/common/limits.cc" "src/CMakeFiles/idlog.dir/common/limits.cc.o" "gcc" "src/CMakeFiles/idlog.dir/common/limits.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/idlog.dir/common/status.cc.o" "gcc" "src/CMakeFiles/idlog.dir/common/status.cc.o.d"
+  "/root/repo/src/common/symbol_table.cc" "src/CMakeFiles/idlog.dir/common/symbol_table.cc.o" "gcc" "src/CMakeFiles/idlog.dir/common/symbol_table.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/idlog.dir/common/value.cc.o" "gcc" "src/CMakeFiles/idlog.dir/common/value.cc.o.d"
+  "/root/repo/src/core/aggregates.cc" "src/CMakeFiles/idlog.dir/core/aggregates.cc.o" "gcc" "src/CMakeFiles/idlog.dir/core/aggregates.cc.o.d"
+  "/root/repo/src/core/answer_enumerator.cc" "src/CMakeFiles/idlog.dir/core/answer_enumerator.cc.o" "gcc" "src/CMakeFiles/idlog.dir/core/answer_enumerator.cc.o.d"
+  "/root/repo/src/core/idlog_engine.cc" "src/CMakeFiles/idlog.dir/core/idlog_engine.cc.o" "gcc" "src/CMakeFiles/idlog.dir/core/idlog_engine.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/CMakeFiles/idlog.dir/core/sampling.cc.o" "gcc" "src/CMakeFiles/idlog.dir/core/sampling.cc.o.d"
+  "/root/repo/src/eval/builtin_eval.cc" "src/CMakeFiles/idlog.dir/eval/builtin_eval.cc.o" "gcc" "src/CMakeFiles/idlog.dir/eval/builtin_eval.cc.o.d"
+  "/root/repo/src/eval/engine_impl.cc" "src/CMakeFiles/idlog.dir/eval/engine_impl.cc.o" "gcc" "src/CMakeFiles/idlog.dir/eval/engine_impl.cc.o.d"
+  "/root/repo/src/eval/provenance.cc" "src/CMakeFiles/idlog.dir/eval/provenance.cc.o" "gcc" "src/CMakeFiles/idlog.dir/eval/provenance.cc.o.d"
+  "/root/repo/src/eval/rule_eval.cc" "src/CMakeFiles/idlog.dir/eval/rule_eval.cc.o" "gcc" "src/CMakeFiles/idlog.dir/eval/rule_eval.cc.o.d"
+  "/root/repo/src/eval/rule_plan.cc" "src/CMakeFiles/idlog.dir/eval/rule_plan.cc.o" "gcc" "src/CMakeFiles/idlog.dir/eval/rule_plan.cc.o.d"
+  "/root/repo/src/eval/stratum_eval.cc" "src/CMakeFiles/idlog.dir/eval/stratum_eval.cc.o" "gcc" "src/CMakeFiles/idlog.dir/eval/stratum_eval.cc.o.d"
+  "/root/repo/src/ground/grounder.cc" "src/CMakeFiles/idlog.dir/ground/grounder.cc.o" "gcc" "src/CMakeFiles/idlog.dir/ground/grounder.cc.o.d"
+  "/root/repo/src/inflationary/inflationary.cc" "src/CMakeFiles/idlog.dir/inflationary/inflationary.cc.o" "gcc" "src/CMakeFiles/idlog.dir/inflationary/inflationary.cc.o.d"
+  "/root/repo/src/models/disjunctive.cc" "src/CMakeFiles/idlog.dir/models/disjunctive.cc.o" "gcc" "src/CMakeFiles/idlog.dir/models/disjunctive.cc.o.d"
+  "/root/repo/src/models/stable.cc" "src/CMakeFiles/idlog.dir/models/stable.cc.o" "gcc" "src/CMakeFiles/idlog.dir/models/stable.cc.o.d"
+  "/root/repo/src/opt/adornment.cc" "src/CMakeFiles/idlog.dir/opt/adornment.cc.o" "gcc" "src/CMakeFiles/idlog.dir/opt/adornment.cc.o.d"
+  "/root/repo/src/opt/cleanup.cc" "src/CMakeFiles/idlog.dir/opt/cleanup.cc.o" "gcc" "src/CMakeFiles/idlog.dir/opt/cleanup.cc.o.d"
+  "/root/repo/src/opt/desugar_ids.cc" "src/CMakeFiles/idlog.dir/opt/desugar_ids.cc.o" "gcc" "src/CMakeFiles/idlog.dir/opt/desugar_ids.cc.o.d"
+  "/root/repo/src/opt/id_rewrite.cc" "src/CMakeFiles/idlog.dir/opt/id_rewrite.cc.o" "gcc" "src/CMakeFiles/idlog.dir/opt/id_rewrite.cc.o.d"
+  "/root/repo/src/opt/magic_sets.cc" "src/CMakeFiles/idlog.dir/opt/magic_sets.cc.o" "gcc" "src/CMakeFiles/idlog.dir/opt/magic_sets.cc.o.d"
+  "/root/repo/src/opt/projection_push.cc" "src/CMakeFiles/idlog.dir/opt/projection_push.cc.o" "gcc" "src/CMakeFiles/idlog.dir/opt/projection_push.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/idlog.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/idlog.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/idlog.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/idlog.dir/parser/parser.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/idlog.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/idlog.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/idlog.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/idlog.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/id_relation.cc" "src/CMakeFiles/idlog.dir/storage/id_relation.cc.o" "gcc" "src/CMakeFiles/idlog.dir/storage/id_relation.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/idlog.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/idlog.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/CMakeFiles/idlog.dir/storage/relation.cc.o" "gcc" "src/CMakeFiles/idlog.dir/storage/relation.cc.o.d"
+  "/root/repo/src/storage/tid_assigner.cc" "src/CMakeFiles/idlog.dir/storage/tid_assigner.cc.o" "gcc" "src/CMakeFiles/idlog.dir/storage/tid_assigner.cc.o.d"
+  "/root/repo/src/tm/compiler.cc" "src/CMakeFiles/idlog.dir/tm/compiler.cc.o" "gcc" "src/CMakeFiles/idlog.dir/tm/compiler.cc.o.d"
+  "/root/repo/src/tm/encoder.cc" "src/CMakeFiles/idlog.dir/tm/encoder.cc.o" "gcc" "src/CMakeFiles/idlog.dir/tm/encoder.cc.o.d"
+  "/root/repo/src/tm/machine.cc" "src/CMakeFiles/idlog.dir/tm/machine.cc.o" "gcc" "src/CMakeFiles/idlog.dir/tm/machine.cc.o.d"
+  "/root/repo/src/tm/machines.cc" "src/CMakeFiles/idlog.dir/tm/machines.cc.o" "gcc" "src/CMakeFiles/idlog.dir/tm/machines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

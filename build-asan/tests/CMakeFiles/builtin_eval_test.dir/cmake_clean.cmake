@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builtin_eval_test.dir/builtin_eval_test.cc.o"
+  "CMakeFiles/builtin_eval_test.dir/builtin_eval_test.cc.o.d"
+  "CMakeFiles/builtin_eval_test.dir/test_util.cc.o"
+  "CMakeFiles/builtin_eval_test.dir/test_util.cc.o.d"
+  "builtin_eval_test"
+  "builtin_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builtin_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choice_test.dir/choice_test.cc.o"
+  "CMakeFiles/choice_test.dir/choice_test.cc.o.d"
+  "CMakeFiles/choice_test.dir/test_util.cc.o"
+  "CMakeFiles/choice_test.dir/test_util.cc.o.d"
+  "choice_test"
+  "choice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleanup_test.dir/cleanup_test.cc.o"
+  "CMakeFiles/cleanup_test.dir/cleanup_test.cc.o.d"
+  "CMakeFiles/cleanup_test.dir/test_util.cc.o"
+  "CMakeFiles/cleanup_test.dir/test_util.cc.o.d"
+  "cleanup_test"
+  "cleanup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleanup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

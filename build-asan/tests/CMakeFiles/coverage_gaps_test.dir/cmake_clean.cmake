@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_gaps_test.dir/coverage_gaps_test.cc.o"
+  "CMakeFiles/coverage_gaps_test.dir/coverage_gaps_test.cc.o.d"
+  "CMakeFiles/coverage_gaps_test.dir/test_util.cc.o"
+  "CMakeFiles/coverage_gaps_test.dir/test_util.cc.o.d"
+  "coverage_gaps_test"
+  "coverage_gaps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_gaps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_program_test.dir/database_program_test.cc.o"
+  "CMakeFiles/database_program_test.dir/database_program_test.cc.o.d"
+  "CMakeFiles/database_program_test.dir/test_util.cc.o"
+  "CMakeFiles/database_program_test.dir/test_util.cc.o.d"
+  "database_program_test"
+  "database_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

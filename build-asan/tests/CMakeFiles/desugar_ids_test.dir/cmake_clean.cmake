@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desugar_ids_test.dir/desugar_ids_test.cc.o"
+  "CMakeFiles/desugar_ids_test.dir/desugar_ids_test.cc.o.d"
+  "CMakeFiles/desugar_ids_test.dir/test_util.cc.o"
+  "CMakeFiles/desugar_ids_test.dir/test_util.cc.o.d"
+  "desugar_ids_test"
+  "desugar_ids_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desugar_ids_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

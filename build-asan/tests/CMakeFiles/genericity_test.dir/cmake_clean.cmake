@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genericity_test.dir/genericity_test.cc.o"
+  "CMakeFiles/genericity_test.dir/genericity_test.cc.o.d"
+  "CMakeFiles/genericity_test.dir/test_util.cc.o"
+  "CMakeFiles/genericity_test.dir/test_util.cc.o.d"
+  "genericity_test"
+  "genericity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genericity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/id_relation_test.dir/id_relation_test.cc.o"
+  "CMakeFiles/id_relation_test.dir/id_relation_test.cc.o.d"
+  "CMakeFiles/id_relation_test.dir/test_util.cc.o"
+  "CMakeFiles/id_relation_test.dir/test_util.cc.o.d"
+  "id_relation_test"
+  "id_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/id_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflationary_test.dir/inflationary_test.cc.o"
+  "CMakeFiles/inflationary_test.dir/inflationary_test.cc.o.d"
+  "CMakeFiles/inflationary_test.dir/test_util.cc.o"
+  "CMakeFiles/inflationary_test.dir/test_util.cc.o.d"
+  "inflationary_test"
+  "inflationary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflationary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limits_test.dir/limits_test.cc.o"
+  "CMakeFiles/limits_test.dir/limits_test.cc.o.d"
+  "CMakeFiles/limits_test.dir/test_util.cc.o"
+  "CMakeFiles/limits_test.dir/test_util.cc.o.d"
+  "limits_test"
+  "limits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

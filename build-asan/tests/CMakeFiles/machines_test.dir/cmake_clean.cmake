@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machines_test.dir/machines_test.cc.o"
+  "CMakeFiles/machines_test.dir/machines_test.cc.o.d"
+  "CMakeFiles/machines_test.dir/test_util.cc.o"
+  "CMakeFiles/machines_test.dir/test_util.cc.o.d"
+  "machines_test"
+  "machines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_sets_test.dir/magic_sets_test.cc.o"
+  "CMakeFiles/magic_sets_test.dir/magic_sets_test.cc.o.d"
+  "CMakeFiles/magic_sets_test.dir/test_util.cc.o"
+  "CMakeFiles/magic_sets_test.dir/test_util.cc.o.d"
+  "magic_sets_test"
+  "magic_sets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

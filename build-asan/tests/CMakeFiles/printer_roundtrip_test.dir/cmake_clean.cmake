@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printer_roundtrip_test.dir/printer_roundtrip_test.cc.o"
+  "CMakeFiles/printer_roundtrip_test.dir/printer_roundtrip_test.cc.o.d"
+  "CMakeFiles/printer_roundtrip_test.dir/test_util.cc.o"
+  "CMakeFiles/printer_roundtrip_test.dir/test_util.cc.o.d"
+  "printer_roundtrip_test"
+  "printer_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printer_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

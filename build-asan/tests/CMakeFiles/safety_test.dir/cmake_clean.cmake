@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_test.dir/safety_test.cc.o"
+  "CMakeFiles/safety_test.dir/safety_test.cc.o.d"
+  "CMakeFiles/safety_test.dir/test_util.cc.o"
+  "CMakeFiles/safety_test.dir/test_util.cc.o.d"
+  "safety_test"
+  "safety_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

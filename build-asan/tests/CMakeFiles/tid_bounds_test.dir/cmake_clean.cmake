@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tid_bounds_test.dir/test_util.cc.o"
+  "CMakeFiles/tid_bounds_test.dir/test_util.cc.o.d"
+  "CMakeFiles/tid_bounds_test.dir/tid_bounds_test.cc.o"
+  "CMakeFiles/tid_bounds_test.dir/tid_bounds_test.cc.o.d"
+  "tid_bounds_test"
+  "tid_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tid_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

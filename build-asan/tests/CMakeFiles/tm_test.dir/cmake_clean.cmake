@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_test.dir/test_util.cc.o"
+  "CMakeFiles/tm_test.dir/test_util.cc.o.d"
+  "CMakeFiles/tm_test.dir/tm_test.cc.o"
+  "CMakeFiles/tm_test.dir/tm_test.cc.o.d"
+  "tm_test"
+  "tm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

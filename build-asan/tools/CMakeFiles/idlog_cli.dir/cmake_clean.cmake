@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlog_cli.dir/idlog_cli.cc.o"
+  "CMakeFiles/idlog_cli.dir/idlog_cli.cc.o.d"
+  "idlog"
+  "idlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlog_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

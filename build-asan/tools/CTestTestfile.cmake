@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-asan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_ordering "/root/repo/build-asan/tools/idlog" "run" "/root/repo/examples/programs/ordering.idl" "--query" "count" "--csv" "item=/root/repo/examples/programs/items.csv")
+set_tests_properties(cli_ordering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_company "/root/repo/build-asan/tools/idlog" "run" "/root/repo/examples/programs/company.idl" "--query" "survey" "--csv" "emp=/root/repo/examples/programs/emp.csv" "--seed" "11" "--stats")
+set_tests_properties(cli_company PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_graph_enumerate "/root/repo/build-asan/tools/idlog" "run" "/root/repo/examples/programs/graph.idl" "--query" "reachable" "--csv" "edge=/root/repo/examples/programs/edges.csv" "--enumerate")
+set_tests_properties(cli_graph_enumerate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
