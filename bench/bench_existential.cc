@@ -35,12 +35,16 @@ struct RunResult {
   size_t answer = 0;
   double ms = 0;
   uint64_t tuples = 0;
+  EvalProfile profile;
 };
+
+std::vector<bench_util::LabeledProfile> g_profiles;
 
 RunResult RunVariant(const std::string& program_text, int nodes, int edges,
                      uint64_t seed) {
   IdlogEngine engine;
   bench_util::MakeRandomGraph(&engine.database(), "p", nodes, edges, seed);
+  engine.EnableProfiling(true);
   Status st = engine.LoadProgramText(program_text);
   RunResult out;
   if (!st.ok()) {
@@ -53,6 +57,7 @@ RunResult RunVariant(const std::string& program_text, int nodes, int edges,
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
   out.answer = q.ok() ? (*q)->size() : 0;
   out.tuples = engine.stats().tuples_considered;
+  out.profile = engine.profile();
   return out;
 }
 
@@ -73,6 +78,11 @@ void RunScale(int nodes, int edges, uint64_t seed) {
                              edges, seed);
   RunResult idlog = RunVariant(ProgramToString(optimized->program, s),
                                nodes, edges, seed);
+  const std::string scale =
+      std::to_string(nodes) + "n" + std::to_string(edges) + "e";
+  g_profiles.emplace_back(scale + ".original", original.profile);
+  g_profiles.emplace_back(scale + ".rbk88", rbk.profile);
+  g_profiles.emplace_back(scale + ".idlog", idlog.profile);
 
   auto fmt = [](double v) { return std::to_string(v).substr(0, 6); };
   bench_util::PrintRow(
@@ -105,5 +115,6 @@ int main() {
   }
   std::printf(
       "\n'reduction' = original / ID-rewritten tuples considered.\n");
+  idlog::bench_util::WriteBenchMetrics("existential", idlog::g_profiles);
   return 0;
 }

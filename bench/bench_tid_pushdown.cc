@@ -19,13 +19,17 @@ struct RunResult {
   size_t answer = 0;
   double ms = 0;
   uint64_t id_tuples = 0;
+  EvalProfile profile;
 };
+
+std::vector<bench_util::LabeledProfile> g_profiles;
 
 RunResult Run(const std::string& program, int depts, int per_dept,
               bool pushdown) {
   IdlogEngine engine;
   bench_util::MakeEmpDatabase(&engine.database(), depts, per_dept);
   engine.SetTidBoundPushdown(pushdown);
+  engine.EnableProfiling(true);
   RunResult out;
   Status st = engine.LoadProgramText(program);
   if (!st.ok()) {
@@ -38,6 +42,7 @@ RunResult Run(const std::string& program, int depts, int per_dept,
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
   out.answer = q.ok() ? (*q)->size() : 0;
   out.id_tuples = engine.stats().id_tuples_materialized;
+  out.profile = engine.profile();
   return out;
 }
 
@@ -45,6 +50,11 @@ void RunScale(const char* label, const std::string& program, int depts,
               int per_dept) {
   RunResult off = Run(program, depts, per_dept, false);
   RunResult on = Run(program, depts, per_dept, true);
+  const std::string scale = std::string(label) + "." +
+                            std::to_string(depts) + "x" +
+                            std::to_string(per_dept);
+  g_profiles.emplace_back(scale + ".off", off.profile);
+  g_profiles.emplace_back(scale + ".on", on.profile);
   auto fmt = [](double v) { return std::to_string(v).substr(0, 6); };
   bench_util::PrintRow(
       {std::string(label) + " " + std::to_string(depts) + "x" +
@@ -85,5 +95,6 @@ int main() {
   std::printf(
       "\n'unbounded' is the control: the analysis finds no bound, both "
       "modes materialize everything.\n");
+  idlog::bench_util::WriteBenchMetrics("tid_pushdown", idlog::g_profiles);
   return 0;
 }

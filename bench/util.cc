@@ -1,6 +1,10 @@
 #include "util.h"
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/metrics.h"
 
 namespace idlog {
 namespace bench_util {
@@ -44,6 +48,43 @@ void PrintHeader(const std::vector<std::string>& cells) {
   std::printf("|");
   for (size_t i = 0; i < cells.size(); ++i) std::printf("%s|", std::string(16, '-').c_str());
   std::printf("\n");
+}
+
+bool WriteBenchMetrics(const std::string& name,
+                       const std::vector<LabeledProfile>& runs) {
+  MetricsRegistry merged;
+  for (const auto& [label, profile] : runs) {
+    MetricsRegistry one;
+    profile.ToMetrics(&one);
+    for (const auto& [key, value] : one.counters()) {
+      merged.AddCounter(label + "." + key, value);
+    }
+    for (const auto& [key, value] : one.gauges()) {
+      merged.SetGauge(label + "." + key, value);
+    }
+    for (const auto& [key, stats] : one.timers()) {
+      // Re-prefixing loses min/max granularity only when a timer was
+      // observed more than once per run, which ToMetrics never does.
+      merged.ObserveDuration(label + "." + key, stats.total_ns);
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_logs", ec);
+  const std::string path = "bench_logs/BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << merged.ToJson();
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "warning: failed writing %s\n", path.c_str());
+    return false;
+  }
+  std::printf("\nper-rule metrics written to %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace bench_util

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/profile.h"
 #include "storage/database.h"
 
 namespace idlog {
@@ -28,6 +30,18 @@ void MakeChainGraph(Database* db, const std::string& name, int nodes);
 /// for the experiment tables in EXPERIMENTS.md.
 void PrintRow(const std::vector<std::string>& cells);
 void PrintHeader(const std::vector<std::string>& cells);
+
+/// One labeled per-rule profile of a bench variant.
+using LabeledProfile = std::pair<std::string, EvalProfile>;
+
+/// Writes every labeled profile, flattened into one idlog-metrics-v1
+/// report (keys prefixed "<label>."), to bench_logs/BENCH_<name>.json —
+/// the same schema the CLI's --metrics-json emits, so per-rule
+/// tuples_considered of each variant lands next to the printed tables.
+/// Creates bench_logs/ if needed; warns on stderr and returns false on
+/// I/O failure.
+bool WriteBenchMetrics(const std::string& name,
+                       const std::vector<LabeledProfile>& runs);
 
 }  // namespace bench_util
 }  // namespace idlog

@@ -7,11 +7,18 @@
 #include "analysis/classification.h"
 #include "analysis/dependency_graph.h"
 #include "eval/engine_impl.h"
+#include "obs/trace.h"
 #include "storage/tid_assigner.h"
 
 namespace idlog {
 
 namespace {
+
+// The choice entry points accept a null governor, so the trace sink
+// (which rides on the governor) needs a null-safe accessor.
+TraceSink* TraceOf(ResourceGovernor* governor) {
+  return governor != nullptr ? governor->trace_sink() : nullptr;
+}
 
 // The groups of one extChoice relation: row tuples bucketed by their
 // domain-column values, in first-seen order.
@@ -41,8 +48,11 @@ struct PcAnalysis {
 Result<PcAnalysis> AnalyzePc(const Program& program,
                              const Database& database,
                              ResourceGovernor* governor) {
+  TraceSpan span(TraceOf(governor), "choice phase 1 (P^C analysis)",
+                 "choice");
   PcAnalysis out;
   IDLOG_ASSIGN_OR_RETURN(out.occurrences, AnalyzeChoiceProgram(program));
+  span.AddArg(TraceArg::Num("occurrences", out.occurrences.size()));
   out.pc = BuildPc(program, out.occurrences);
 
   // Phase 1 only needs the extChoice relations; evaluating the rest of
@@ -67,6 +77,7 @@ Result<PcAnalysis> AnalyzePc(const Program& program,
 
   EngineImpl engine(&restricted, &database);
   engine.set_governor(governor);
+  engine.set_trace_sink(TraceOf(governor));
   IDLOG_RETURN_NOT_OK(engine.Prepare());
   IdentityTidAssigner identity;
   IDLOG_RETURN_NOT_OK(engine.Evaluate(&identity));
@@ -87,6 +98,8 @@ Result<Database> EvaluateWithSelections(
     const Program& program, const Database& database, const PcAnalysis& pc,
     const std::vector<std::vector<size_t>>& selection,
     ResourceGovernor* governor) {
+  TraceSpan span(TraceOf(governor), "choice phase 2 (final model)",
+                 "choice");
   Database working = database;
   for (size_t i = 0; i < pc.occurrences.size(); ++i) {
     const ChoiceOccurrence& occ = pc.occurrences[i];
@@ -102,6 +115,7 @@ Result<Database> EvaluateWithSelections(
   Program final_program = BuildFinalProgram(program, pc.occurrences);
   EngineImpl engine(&final_program, &working);
   engine.set_governor(governor);
+  engine.set_trace_sink(TraceOf(governor));
   IDLOG_RETURN_NOT_OK(engine.Prepare());
   IdentityTidAssigner identity;
   IDLOG_RETURN_NOT_OK(engine.Evaluate(&identity));

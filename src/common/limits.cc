@@ -1,5 +1,7 @@
 #include "common/limits.h"
 
+#include "obs/trace.h"
+
 namespace idlog {
 
 const char* BudgetKindName(BudgetKind kind) {
@@ -15,10 +17,10 @@ const char* BudgetKindName(BudgetKind kind) {
 
 void ResourceGovernor::Arm(const EvalLimits& limits) {
   limits_ = limits;
+  armed_at_ = std::chrono::steady_clock::now();
   has_deadline_ = limits.timeout_ms > 0;
   if (has_deadline_) {
-    deadline_ = std::chrono::steady_clock::now() +
-                std::chrono::milliseconds(limits.timeout_ms);
+    deadline_ = armed_at_ + std::chrono::milliseconds(limits.timeout_ms);
   }
   cancelled_.store(false, std::memory_order_relaxed);
   work_ = 0;
@@ -49,7 +51,16 @@ Status ResourceGovernor::Trip(BudgetKind kind) {
   trip_.budget = kind;
   trip_.scope = scope_;
   trip_.stratum = stratum_;
-  if (stats_source_ != nullptr) trip_.stats = *stats_source_;
+  trip_.elapsed_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - armed_at_)
+          .count());
+  if (stats_source_ != nullptr) {
+    trip_.stats = *stats_source_;
+    if (trip_.stats.eval_wall_ns == 0) {
+      trip_.stats.eval_wall_ns = trip_.elapsed_ns;
+    }
+  }
 
   std::string msg;
   switch (kind) {
@@ -83,6 +94,17 @@ Status ResourceGovernor::Trip(BudgetKind kind) {
            ", iterations=" + std::to_string(trip_.stats.iterations);
   }
   trip_.message = std::move(msg);
+  if (trace_sink_ != nullptr) {
+    std::vector<TraceArg> args;
+    args.push_back(TraceArg::Str("budget", BudgetKindName(kind)));
+    args.push_back(TraceArg::Str("scope", scope_));
+    args.push_back(TraceArg::Int("stratum", stratum_));
+    args.push_back(TraceArg::Num("tuples_charged", tuples_));
+    args.push_back(TraceArg::Num("memory_charged", memory_bytes_));
+    args.push_back(TraceArg::Num("iterations_charged", iterations_));
+    args.push_back(TraceArg::Num("elapsed_ns", trip_.elapsed_ns));
+    trace_sink_->Instant("governor trip", "governor", std::move(args));
+  }
   return TripStatus();
 }
 

@@ -11,6 +11,8 @@
 
 namespace idlog {
 
+class TraceSink;  // obs/trace.h; the governor only holds a pointer.
+
 /// Which governor budget tripped (see ResourceGovernor).
 enum class BudgetKind {
   kDeadline,    ///< Wall-clock timeout.
@@ -63,6 +65,10 @@ struct TripInfo {
   std::string scope;   ///< "stratum fixpoint", "grounder", ...
   int stratum = -1;    ///< Stratum index, or -1 outside the engine.
   EvalStats stats;     ///< Snapshot at trip time (if a source was set).
+  /// Wall time between Arm() and the trip. Also copied into
+  /// stats.eval_wall_ns when the source had not stamped one, so the
+  /// snapshot is self-consistent (counters *and* elapsed time at trip).
+  uint64_t elapsed_ns = 0;
   std::string message; ///< The rendered Status message.
 };
 
@@ -159,6 +165,15 @@ class ResourceGovernor {
   void set_stratum(int stratum) { stratum_ = stratum; }
   int stratum() const { return stratum_; }
 
+  /// Observability hook: when set, the governor records a "governor
+  /// trip" instant event (budget kind, scope, stratum, charges, elapsed
+  /// time) into `sink` at the moment a budget trips or a cancellation
+  /// is observed. Not owned; the sink must outlive the governor or be
+  /// detached with nullptr. Unlike the diagnostic labels, Arm() keeps
+  /// the sink installed — one trace can span many governed runs.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+  TraceSink* trace_sink() const { return trace_sink_; }
+
   /// Stats to snapshot into TripInfo when a budget trips. May be null.
   /// The pointed-to stats must stay alive until the source is replaced,
   /// cleared, or the governor is re-armed — engines that borrow a
@@ -185,8 +200,10 @@ class ResourceGovernor {
   Status Trip(BudgetKind kind);   ///< Latches the trip diagnostic.
 
   EvalLimits limits_;
+  std::chrono::steady_clock::time_point armed_at_{};
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
+  TraceSink* trace_sink_ = nullptr;
   std::atomic<bool> cancelled_{false};
 
   uint64_t work_ = 0;

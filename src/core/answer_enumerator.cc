@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "eval/engine_impl.h"
+#include "obs/trace.h"
 #include "storage/tid_assigner.h"
 
 namespace idlog {
@@ -18,10 +19,15 @@ Result<AnswerSet> EnumerateAnswers(const Program& program,
                                    const EnumerateOptions& options) {
   EngineImpl engine(&program, &database);
   IDLOG_RETURN_NOT_OK(engine.Prepare());
+  TraceSink* trace = nullptr;
   if (options.governor != nullptr) {
     options.governor->set_scope("answer enumeration");
     engine.set_governor(options.governor);
+    trace = options.governor->trace_sink();
+    engine.set_trace_sink(trace);
   }
+  TraceSpan span(trace, "answer enumeration", "enumerate");
+  span.AddArg(TraceArg::Str("query", query_pred));
 
   ScriptedTidAssigner assigner;
   AnswerSet result;
@@ -72,6 +78,8 @@ Result<AnswerSet> EnumerateAnswers(const Program& program,
     script.resize(static_cast<size_t>(i) + 1);
     radix.resize(static_cast<size_t>(i) + 1);
   }
+  span.AddArg(TraceArg::Num("assignments_tried", result.assignments_tried));
+  span.AddArg(TraceArg::Num("distinct_answers", result.answers.size()));
   return result;
 }
 

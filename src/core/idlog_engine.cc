@@ -20,6 +20,8 @@ Status IdlogEngine::LoadProgram(Program program) {
   impl->set_tid_bound_pushdown(tid_bound_pushdown_);
   impl->set_provenance_enabled(provenance_);
   impl->set_use_indexes(use_indexes_);
+  impl->set_trace_sink(trace_);
+  impl->set_profiling_enabled(profiling_);
   IDLOG_RETURN_NOT_OK(impl->Prepare());
   impl_ = std::move(impl);
   ran_ = false;
@@ -106,6 +108,7 @@ Result<Relation> IdlogEngine::QueryPortion(const std::string& pred) {
   }
   EngineImpl impl(&portion, &database_);
   impl.set_tid_bound_pushdown(tid_bound_pushdown_);
+  impl.set_trace_sink(trace_);
   governor_.Arm(limits_);
   impl.set_governor(&governor_);
   IDLOG_RETURN_NOT_OK(impl.Prepare());
@@ -123,6 +126,23 @@ void IdlogEngine::SetUseIndexes(bool enabled) {
   if (use_indexes_ != enabled) ran_ = false;
   use_indexes_ = enabled;
   if (impl_ != nullptr) impl_->set_use_indexes(enabled);
+}
+
+void IdlogEngine::SetTraceSink(TraceSink* sink) {
+  trace_ = sink;
+  governor_.set_trace_sink(sink);
+  if (impl_ != nullptr) impl_->set_trace_sink(sink);
+}
+
+void IdlogEngine::EnableProfiling(bool enabled) {
+  if (profiling_ != enabled) ran_ = false;
+  profiling_ = enabled;
+  if (impl_ != nullptr) impl_->set_profiling_enabled(enabled);
+}
+
+const EvalProfile& IdlogEngine::profile() const {
+  static const EvalProfile kEmpty;
+  return impl_ == nullptr ? kEmpty : impl_->profile();
 }
 
 void IdlogEngine::EnableProvenance(bool enabled) {

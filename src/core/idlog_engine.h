@@ -132,6 +132,23 @@ class IdlogEngine {
   /// needed.
   Result<bool> VerifyModel();
 
+  /// Installs a structured trace-event sink observing every subsequent
+  /// LoadProgram()/Run()/QueryPortion(): program analysis and
+  /// stratification, per-stratum and per-round fixpoint spans, per-rule
+  /// evaluations, ID-relation materialization, and governor trips. Not
+  /// owned and must outlive the engine (or be detached with null, the
+  /// default, which restores the zero-instrumentation fast path).
+  void SetTraceSink(TraceSink* sink);
+  TraceSink* trace_sink() const { return trace_; }
+
+  /// Enables the per-rule/per-stratum profile collected by Run() (off
+  /// by default; costs a few clock reads per rule evaluation).
+  void EnableProfiling(bool enabled);
+  bool profiling_enabled() const { return profiling_; }
+
+  /// The profile of the last Run() (empty unless profiling enabled).
+  const EvalProfile& profile() const;
+
   /// Records derivations during evaluation so Explain() works. Off by
   /// default (memory proportional to the number of derived facts).
   void EnableProvenance(bool enabled);
@@ -151,6 +168,8 @@ class IdlogEngine {
   EvalLimits limits_;
   ResourceGovernor governor_;
   Status last_trip_;
+  TraceSink* trace_ = nullptr;
+  bool profiling_ = false;
   bool partial_results_ = false;
   bool seminaive_ = true;
   bool tid_bound_pushdown_ = true;

@@ -1,14 +1,30 @@
 #include "eval/engine_impl.h"
 
+#include <chrono>
+
 #include "analysis/classification.h"
 #include "analysis/safety.h"
+#include "ast/printer.h"
 #include "eval/stratum_eval.h"
 
 namespace idlog {
 
 Status EngineImpl::Prepare() {
+  TraceSpan span(trace_, "program analysis", "engine");
+  span.AddArg(TraceArg::Num("clauses", program_->clauses.size()));
   IDLOG_RETURN_NOT_OK(CheckProgramSafety(*program_, /*allow_choice=*/false));
   IDLOG_ASSIGN_OR_RETURN(strat_, Stratify(*program_));
+  span.AddArg(TraceArg::Int("strata", strat_.num_strata));
+  if (trace_ != nullptr) {
+    std::string sizes;
+    for (const auto& clauses : strat_.clauses_by_stratum) {
+      if (!sizes.empty()) sizes += ",";
+      sizes += std::to_string(clauses.size());
+    }
+    trace_->Instant("stratification", "engine",
+                    {TraceArg::Int("strata", strat_.num_strata),
+                     TraceArg::Str("clauses_per_stratum", sizes)});
+  }
 
   plans_.clear();
   plans_.reserve(program_->clauses.size());
@@ -58,6 +74,46 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
   index_caches_.clear();
   stats_.Reset();
   provenance_.Clear();
+  profile_.Clear();
+
+  if (profiling_) {
+    profile_.rules.resize(plans_.size());
+    for (size_t i = 0; i < plans_.size(); ++i) {
+      RuleProfile& rp = profile_.rules[i];
+      rp.clause_index = plans_[i].clause_index;
+      rp.head_pred = plans_[i].head_pred;
+      rp.rule = ClauseToString(program_->clauses[i], *database_->symbols());
+    }
+    for (int s = 0; s < strat_.num_strata; ++s) {
+      for (int clause_idx :
+           strat_.clauses_by_stratum[static_cast<size_t>(s)]) {
+        profile_.rules[static_cast<size_t>(clause_idx)].stratum = s;
+      }
+    }
+  }
+
+  // Stamps the run's wall time into the stats, the profile and the
+  // profile totals on every exit path — trips and errors included, so a
+  // partial run still reports how long it ran.
+  struct WallStamp {
+    EngineImpl* engine;
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    ~WallStamp() {
+      uint64_t ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      engine->stats_.eval_wall_ns = ns;
+      if (engine->profiling_) {
+        engine->profile_.wall_ns = ns;
+        engine->profile_.totals = engine->stats_;
+      }
+    }
+  } wall_stamp{this};
+  TraceSpan eval_span(trace_, "evaluate", "engine");
+  eval_span.AddArg(TraceArg::Int("strata", strat_.num_strata));
+  eval_span.AddArg(TraceArg::Str("mode", seminaive ? "seminaive" : "naive"));
 
   // The implicit udom(d) facts of the database program (Section 3.1).
   if (udom_needed_) {
@@ -83,6 +139,15 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
     auto key = std::make_pair(pred, group);
     auto it = id_relations_.find(key);
     if (it != id_relations_.end()) return &it->second;
+    TraceSpan id_span(trace_, "id-relation " + pred, "id");
+    if (trace_ != nullptr) {
+      std::string cols;
+      for (int c : group) {
+        if (!cols.empty()) cols += ",";
+        cols += std::to_string(c);
+      }
+      id_span.AddArg(TraceArg::Str("group_by", cols));
+    }
     // Materialize now: stratification guarantees the base is complete.
     const Relation* base = FullRelation(pred);
     Relation empty_base(RelationType{});
@@ -107,6 +172,9 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
                         &num_groups));
     stats_.id_groups_assigned += num_groups;
     stats_.id_tuples_materialized += id_rel.size();
+    id_span.AddArg(TraceArg::Num("groups", num_groups));
+    id_span.AddArg(TraceArg::Num("tuples", id_rel.size()));
+    id_span.AddArg(TraceArg::Int("max_tid", max_tid));
     if (governor_ != nullptr) {
       size_t arity = id_rel.type().size();
       IDLOG_RETURN_NOT_OK(governor_->OnDerived(
@@ -121,6 +189,8 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
   ctx.stats = &stats_;
   ctx.use_indexes = use_indexes_;
   ctx.governor = governor_;
+  ctx.trace = trace_;
+  ctx.profile = profiling_ ? &profile_ : nullptr;
   // A shared governor can outlive this engine (enumerators create
   // stack-local engines against one long-lived governor); the guard
   // withdraws our stats_ pointer and labels on every exit path so a
@@ -132,6 +202,13 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
   }
 
   for (int s = 0; s < strat_.num_strata; ++s) {
+    ++stats_.strata_evaluated;
+    ctx.stratum = s;
+    TraceSpan stratum_span(trace_, "stratum " + std::to_string(s),
+                           "stratum");
+    const uint64_t rounds_before = stats_.iterations;
+    const uint64_t inserted_before = stats_.facts_inserted;
+    auto stratum_t0 = std::chrono::steady_clock::now();
     if (governor_ != nullptr) {
       governor_->set_stratum(s);
       IDLOG_RETURN_NOT_OK(governor_->CheckPoint(0));
@@ -157,9 +234,28 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
       stratum_plans.push_back(&plans_[static_cast<size_t>(clause_idx)]);
       stratum_preds.insert(plans_[static_cast<size_t>(clause_idx)].head_pred);
     }
-    if (stratum_plans.empty()) continue;
-    IDLOG_RETURN_NOT_OK(EvaluateStratum(stratum_plans, stratum_preds, ctx,
-                                        &derived_, seminaive));
+    Status stratum_status = Status::OK();
+    if (!stratum_plans.empty()) {
+      stratum_status = EvaluateStratum(stratum_plans, stratum_preds, ctx,
+                                       &derived_, seminaive);
+    }
+    if (profiling_) {
+      StratumProfile sp;
+      sp.index = s;
+      sp.rules = stratum_plans.size();
+      sp.rounds = stats_.iterations - rounds_before;
+      sp.wall_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - stratum_t0)
+              .count());
+      profile_.strata.push_back(sp);
+    }
+    stratum_span.AddArg(TraceArg::Num("rules", stratum_plans.size()));
+    stratum_span.AddArg(
+        TraceArg::Num("rounds", stats_.iterations - rounds_before));
+    stratum_span.AddArg(
+        TraceArg::Num("inserted", stats_.facts_inserted - inserted_before));
+    IDLOG_RETURN_NOT_OK(stratum_status);
   }
   return Status::OK();
 }

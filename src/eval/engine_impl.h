@@ -16,6 +16,8 @@
 #include "eval/provenance.h"
 #include "eval/rule_eval.h"
 #include "eval/rule_plan.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "storage/database.h"
 #include "storage/id_relation.h"
 #include "storage/tid_assigner.h"
@@ -92,6 +94,22 @@ class EngineImpl {
   void set_governor(ResourceGovernor* governor) { governor_ = governor; }
   ResourceGovernor* governor() const { return governor_; }
 
+  /// Structured trace-event sink observing this engine: Prepare()
+  /// records a program-analysis span, Evaluate() records evaluation /
+  /// per-stratum / ID-materialization spans and the fixpoint machinery
+  /// adds per-round and per-rule spans. Not owned; null (the default)
+  /// disables tracing at the cost of one pointer test per rule call.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+  TraceSink* trace_sink() const { return trace_; }
+
+  /// Enables the per-rule/per-stratum profile (off by default). The
+  /// attribution cost is a few clock reads per rule evaluation.
+  void set_profiling_enabled(bool enabled) { profiling_ = enabled; }
+  bool profiling_enabled() const { return profiling_; }
+
+  /// The profile of the last Evaluate() (empty unless enabled).
+  const EvalProfile& profile() const { return profile_; }
+
  private:
   const Relation* FullRelation(const std::string& pred) const;
 
@@ -114,6 +132,9 @@ class EngineImpl {
       index_caches_;
   EvalStats stats_;
   ResourceGovernor* governor_ = nullptr;
+  TraceSink* trace_ = nullptr;
+  bool profiling_ = false;
+  EvalProfile profile_;
   bool provenance_enabled_ = false;
   bool use_indexes_ = true;
   ProvenanceStore provenance_;

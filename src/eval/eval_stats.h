@@ -16,8 +16,14 @@ struct EvalStats {
   uint64_t facts_inserted = 0;      ///< Of those, new (first derivation).
   uint64_t rule_firings = 0;        ///< Rule evaluation passes.
   uint64_t iterations = 0;          ///< Fixpoint rounds across strata.
+  uint64_t strata_evaluated = 0;    ///< Strata entered by the last run.
   uint64_t id_groups_assigned = 0;  ///< Sub-relations given an ID-function.
   uint64_t id_tuples_materialized = 0;
+  /// Wall time of the run, monotonic clock. Stamped by the engine when
+  /// Evaluate() exits (on every path); inside a run it is 0 except in
+  /// the governor's trip snapshot, which fills in the elapsed time at
+  /// the moment the budget tripped.
+  uint64_t eval_wall_ns = 0;
 
   void Reset() { *this = EvalStats(); }
 
@@ -27,8 +33,10 @@ struct EvalStats {
     facts_inserted += o.facts_inserted;
     rule_firings += o.rule_firings;
     iterations += o.iterations;
+    strata_evaluated += o.strata_evaluated;
     id_groups_assigned += o.id_groups_assigned;
     id_tuples_materialized += o.id_tuples_materialized;
+    eval_wall_ns += o.eval_wall_ns;
     return *this;
   }
 };

@@ -12,6 +12,8 @@
 #include "eval/eval_stats.h"
 #include "eval/provenance.h"
 #include "eval/rule_plan.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "storage/index.h"
 #include "storage/relation.h"
 
@@ -49,6 +51,16 @@ struct EvalContext {
   /// filter full scans instead (bench E4 measures the cost of losing
   /// index nested-loop joins).
   bool use_indexes = true;
+
+  /// Observability (both null by default — the fast path is a pointer
+  /// test per *rule evaluation*, never per tuple). `trace` receives one
+  /// complete span per rule evaluation and per fixpoint round; `profile`
+  /// accumulates per-rule counter deltas and self time, attributed by
+  /// clause index. `stats` must be set for attribution to happen.
+  TraceSink* trace = nullptr;
+  EvalProfile* profile = nullptr;
+  /// Stratum currently evaluating (labels trace events; -1 outside).
+  int stratum = -1;
 
   /// When set, the first derivation of every new fact is recorded
   /// (clause index + matched premises). `symbols` is only consulted for

@@ -1,8 +1,76 @@
 #include "eval/stratum_eval.h"
 
+#include <chrono>
+
 namespace idlog {
 
 namespace {
+
+/// EvaluateRuleInto with per-rule attribution: when a profile or trace
+/// sink is attached, brackets the call with a monotonic-clock read and
+/// an EvalStats snapshot and attributes the deltas to the plan's
+/// clause. The counters are deltas of the shared ctx.stats, so summing
+/// a column over all rules reproduces the engine total exactly. With
+/// both observers null this is a tail call into EvaluateRuleInto.
+Status ObservedRuleEval(const RulePlan& plan, const EvalContext& ctx,
+                        int delta_step, uint64_t round, Relation* out) {
+  if (ctx.profile == nullptr && ctx.trace == nullptr) {
+    return EvaluateRuleInto(plan, ctx, delta_step, out);
+  }
+  const EvalStats before =
+      ctx.stats != nullptr ? *ctx.stats : EvalStats();
+  uint64_t start_us = ctx.trace != nullptr ? ctx.trace->NowUs() : 0;
+  auto t0 = std::chrono::steady_clock::now();
+  Status st = EvaluateRuleInto(plan, ctx, delta_step, out);
+  uint64_t self_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+
+  EvalStats delta;
+  if (ctx.stats != nullptr) {
+    delta.tuples_considered =
+        ctx.stats->tuples_considered - before.tuples_considered;
+    delta.facts_derived = ctx.stats->facts_derived - before.facts_derived;
+    delta.facts_inserted =
+        ctx.stats->facts_inserted - before.facts_inserted;
+    delta.rule_firings = ctx.stats->rule_firings - before.rule_firings;
+  }
+
+  if (ctx.profile != nullptr && plan.clause_index >= 0 &&
+      static_cast<size_t>(plan.clause_index) < ctx.profile->rules.size()) {
+    RuleProfile& rp =
+        ctx.profile->rules[static_cast<size_t>(plan.clause_index)];
+    ++rp.evals;
+    rp.firings += delta.rule_firings;
+    rp.tuples_considered += delta.tuples_considered;
+    rp.facts_derived += delta.facts_derived;
+    rp.facts_inserted += delta.facts_inserted;
+    rp.self_ns += self_ns;
+  }
+
+  if (ctx.trace != nullptr) {
+    std::vector<TraceArg> args;
+    args.push_back(TraceArg::Int("clause", plan.clause_index));
+    args.push_back(TraceArg::Int("stratum", ctx.stratum));
+    args.push_back(TraceArg::Num("round", round));
+    if (delta_step >= 0) {
+      const std::string& pred =
+          plan.steps[static_cast<size_t>(delta_step)].predicate;
+      const Relation* d = ctx.delta ? ctx.delta(pred) : nullptr;
+      args.push_back(TraceArg::Str("delta", pred));
+      args.push_back(
+          TraceArg::Num("delta_size", d != nullptr ? d->size() : 0));
+    }
+    args.push_back(TraceArg::Num("considered", delta.tuples_considered));
+    args.push_back(TraceArg::Num("derived", delta.facts_derived));
+    args.push_back(TraceArg::Num("inserted", delta.facts_inserted));
+    if (!st.ok()) args.push_back(TraceArg::Str("status", st.ToString()));
+    ctx.trace->Complete("rule " + plan.head_pred, "rule", start_us,
+                        std::move(args));
+  }
+  return st;
+}
 
 // Moves `staged` facts that are new into their full relations and into
 // `next_delta`. Returns true if anything was new.
@@ -71,12 +139,25 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     return &it->second;
   };
 
+  uint64_t round = 0;
+  auto delta_total = [&delta]() {
+    uint64_t n = 0;
+    for (const auto& [pred, rel] : delta) {
+      (void)pred;
+      n += rel.size();
+    }
+    return n;
+  };
+
   // Round 0: all rules over full relations.
   {
+    TraceSpan round_span(ctx.trace, "fixpoint round", "fixpoint");
+    round_span.AddArg(TraceArg::Int("stratum", ctx.stratum));
+    round_span.AddArg(TraceArg::Num("round", round));
     std::map<std::string, Relation> staged;
     for (const RulePlan* plan : plans) {
       IDLOG_RETURN_NOT_OK(
-          EvaluateRuleInto(*plan, ctx, /*delta_step=*/-1,
+          ObservedRuleEval(*plan, ctx, /*delta_step=*/-1, round,
                            staging_for(&staged, *plan)));
     }
     if (ctx.stats != nullptr) ++ctx.stats->iterations;
@@ -86,6 +167,9 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     std::map<std::string, Relation> next_delta;
     bool any = Commit(&staged, derived, &next_delta);
     replace_delta(std::move(next_delta));
+    if (ctx.trace != nullptr) {
+      round_span.AddArg(TraceArg::Num("new_facts", delta_total()));
+    }
     if (!any) return Status::OK();
   }
 
@@ -93,6 +177,10 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
   // the least fixpoint); the governor's iteration cap and deadline are
   // what bound it when a program generates values forever.
   while (true) {
+    ++round;
+    TraceSpan round_span(ctx.trace, "fixpoint round", "fixpoint");
+    round_span.AddArg(TraceArg::Int("stratum", ctx.stratum));
+    round_span.AddArg(TraceArg::Num("round", round));
     std::map<std::string, Relation> staged;
     bool fired = false;
     for (const RulePlan* plan : plans) {
@@ -102,8 +190,8 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
               plan->steps[static_cast<size_t>(step)].predicate;
           if (stratum_preds.count(pred) == 0) continue;
           fired = true;
-          IDLOG_RETURN_NOT_OK(EvaluateRuleInto(
-              *plan, ctx, step, staging_for(&staged, *plan)));
+          IDLOG_RETURN_NOT_OK(ObservedRuleEval(
+              *plan, ctx, step, round, staging_for(&staged, *plan)));
         }
       } else {
         // Naive mode: re-run recursive rules in full. Rules with no
@@ -118,7 +206,8 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
         }
         if (!recursive) continue;
         fired = true;
-        IDLOG_RETURN_NOT_OK(EvaluateRuleInto(*plan, ctx, /*delta_step=*/-1,
+        IDLOG_RETURN_NOT_OK(ObservedRuleEval(*plan, ctx, /*delta_step=*/-1,
+                                             round,
                                              staging_for(&staged, *plan)));
       }
     }
@@ -130,6 +219,9 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     std::map<std::string, Relation> next_delta;
     bool any = Commit(&staged, derived, &next_delta);
     replace_delta(std::move(next_delta));
+    if (ctx.trace != nullptr) {
+      round_span.AddArg(TraceArg::Num("new_facts", delta_total()));
+    }
     if (!any) return Status::OK();
   }
 }

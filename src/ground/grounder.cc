@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "eval/builtin_eval.h"
+#include "obs/trace.h"
 
 namespace idlog {
 
@@ -65,6 +66,8 @@ Result<GroundProgram> GroundDisjunctive(const DisjunctiveProgram& program,
   ArmLegacyTupleCap(&local, max_instantiations);
   ResourceGovernor* gov = governor != nullptr ? governor : &local;
   gov->set_scope("grounder");
+  TraceSpan span(gov->trace_sink(), "ground program", "ground");
+  span.AddArg(TraceArg::Num("clauses", program.clauses.size()));
   // Universe: u-domain symbols plus every numeric constant in data or
   // program (by value).
   std::vector<Value> u_values;
@@ -102,6 +105,7 @@ Result<GroundProgram> GroundDisjunctive(const DisjunctiveProgram& program,
                  u_values.end());
   std::vector<Value> universe = u_values;
   for (int64_t n : numbers) universe.push_back(Value::Number(n));
+  span.AddArg(TraceArg::Num("universe", universe.size()));
 
   GroundProgram out;
   for (const std::string& name : database.relation_names()) {
@@ -177,6 +181,8 @@ Result<GroundProgram> GroundDisjunctive(const DisjunctiveProgram& program,
       }
     }
   }
+  span.AddArg(TraceArg::Num("ground_clauses", out.clauses.size()));
+  span.AddArg(TraceArg::Num("base_atoms", out.base.size()));
   return out;
 }
 

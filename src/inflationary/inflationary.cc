@@ -5,6 +5,7 @@
 #include <random>
 
 #include "eval/builtin_eval.h"
+#include "obs/trace.h"
 
 namespace idlog {
 
@@ -345,8 +346,14 @@ Result<Database> EvaluateInflationary(const InfProgram& program,
   ResourceGovernor* gov =
       options.governor != nullptr ? options.governor : &local;
   gov->set_scope("inflationary evaluation");
+  TraceSpan span(gov->trace_sink(), "inflationary evaluation",
+                 "inflationary");
+  span.AddArg(TraceArg::Num("clauses", program.clauses.size()));
+  uint64_t steps = 0;
 
   while (true) {
+    ++steps;
+    span.AddArg(TraceArg::Num("steps", steps));
     IDLOG_RETURN_NOT_OK(gov->OnIteration());
     IDLOG_ASSIGN_OR_RETURN(std::vector<Firing> firings,
                            ApplicableFirings(program, state,
@@ -391,8 +398,13 @@ Result<AnswerSet> EnumerateInflationaryAnswers(const InfProgram& program,
   ArmLegacyTupleCap(&local, max_states);
   ResourceGovernor* gov = governor != nullptr ? governor : &local;
   gov->set_scope("inflationary enumeration");
+  TraceSpan span(gov->trace_sink(), "inflationary enumeration",
+                 "inflationary");
+  span.AddArg(TraceArg::Str("query", query_pred));
 
   while (!frontier.empty()) {
+    span.AddArg(TraceArg::Num("states_visited", result.assignments_tried));
+    span.AddArg(TraceArg::Num("distinct_answers", result.answers.size()));
     State state = std::move(frontier.back());
     frontier.pop_back();
     if (!visited.insert(state).second) continue;

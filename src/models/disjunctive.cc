@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace idlog {
 
 namespace {
@@ -54,6 +56,8 @@ Result<std::vector<AtomSet>> MinimalModels(const GroundProgram& ground,
   ArmLegacyTupleCap(&local, max_states);
   ResourceGovernor* gov = governor != nullptr ? governor : &local;
   gov->set_scope("minimal-model search");
+  TraceSpan span(gov->trace_sink(), "minimal-model search", "models");
+  span.AddArg(TraceArg::Num("ground_clauses", ground.clauses.size()));
 
   std::set<AtomSet> visited;
   std::set<AtomSet> models;
@@ -90,6 +94,8 @@ Result<std::vector<AtomSet>> MinimalModels(const GroundProgram& ground,
     }
     if (minimal) result.push_back(m);
   }
+  span.AddArg(TraceArg::Num("candidates_explored", visited.size()));
+  span.AddArg(TraceArg::Num("minimal_models", result.size()));
   return result;
 }
 

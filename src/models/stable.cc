@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace idlog {
 
 AtomSet LeastModel(const GroundProgram& ground) {
@@ -29,6 +31,10 @@ Result<std::vector<AtomSet>> StableModels(const GroundProgram& ground,
                                           int max_candidate_atoms,
                                           ResourceGovernor* governor) {
   if (governor != nullptr) governor->set_scope("stable-model search");
+  TraceSpan span(
+      governor != nullptr ? governor->trace_sink() : nullptr,
+      "stable-model search", "models");
+  span.AddArg(TraceArg::Num("ground_clauses", ground.clauses.size()));
   // Facts (no body, single head) are in every model; candidates are the
   // remaining head atoms.
   AtomSet facts;
@@ -83,6 +89,8 @@ Result<std::vector<AtomSet>> StableModels(const GroundProgram& ground,
     }
     if (LeastModel(reduct) == m) stable.push_back(std::move(m));
   }
+  span.AddArg(TraceArg::Num("candidates", candidates.size()));
+  span.AddArg(TraceArg::Num("stable_models", stable.size()));
   return stable;
 }
 

@@ -1,0 +1,202 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace idlog {
+
+std::string JsonQuote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON reader that only tracks positions.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  Status Check() {
+    SkipSpace();
+    IDLOG_RETURN_NOT_OK(Value(0));
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing content");
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("malformed JSON at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("expected '" + std::string(word) + "'");
+    }
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status String() {
+    if (!Eat('"')) return Error("expected string");
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Error("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<size_t>(i) >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(
+                    text_[pos_ + static_cast<size_t>(i)]))) {
+              return Error("bad \\u escape");
+            }
+          }
+          pos_ += 5;
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't') {
+          return Error("bad escape");
+        }
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  Status Number() {
+    size_t start = pos_;
+    (void)Eat('-');
+    if (!DigitRun()) return Error("expected digits");
+    if (Eat('.') && !DigitRun()) return Error("expected fraction digits");
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!DigitRun()) return Error("expected exponent digits");
+    }
+    // "01" is not a JSON number.
+    if (text_[start] == '-') ++start;
+    if (text_[start] == '0' && start + 1 < pos_ &&
+        std::isdigit(static_cast<unsigned char>(text_[start + 1]))) {
+      return Error("leading zero");
+    }
+    return Status::OK();
+  }
+
+  bool DigitRun() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  Status Value(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("expected value");
+    char c = text_[pos_];
+    if (c == '{') return Object(depth);
+    if (c == '[') return Array(depth);
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  Status Object(int depth) {
+    (void)Eat('{');
+    SkipSpace();
+    if (Eat('}')) return Status::OK();
+    while (true) {
+      SkipSpace();
+      IDLOG_RETURN_NOT_OK(String());
+      SkipSpace();
+      if (!Eat(':')) return Error("expected ':'");
+      SkipSpace();
+      IDLOG_RETURN_NOT_OK(Value(depth + 1));
+      SkipSpace();
+      if (Eat('}')) return Status::OK();
+      if (!Eat(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  Status Array(int depth) {
+    (void)Eat('[');
+    SkipSpace();
+    if (Eat(']')) return Status::OK();
+    while (true) {
+      SkipSpace();
+      IDLOG_RETURN_NOT_OK(Value(depth + 1));
+      SkipSpace();
+      if (Eat(']')) return Status::OK();
+      if (!Eat(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(std::string_view text) {
+  return JsonChecker(text).Check();
+}
+
+}  // namespace idlog

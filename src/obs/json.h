@@ -1,0 +1,25 @@
+#ifndef IDLOG_OBS_JSON_H_
+#define IDLOG_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace idlog {
+
+/// Renders `text` as a JSON string literal (quotes included): escapes
+/// the two mandatory characters, the ASCII control range and nothing
+/// else, so symbol names round-trip byte-for-byte.
+std::string JsonQuote(std::string_view text);
+
+/// Strict RFC-8259 well-formedness check over a complete document
+/// (exactly one value plus whitespace). The trace writer and the
+/// metrics report are emitted by hand-rolled printers; tests and the CI
+/// smoke step parse their output back through this instead of trusting
+/// the printer. Errors carry a byte offset.
+Status ValidateJson(std::string_view text);
+
+}  // namespace idlog
+
+#endif  // IDLOG_OBS_JSON_H_

@@ -1,0 +1,36 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+namespace idlog {
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"schema\":\"idlog-metrics-v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonQuote(name) + ":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonQuote(name) + ":" + std::to_string(value);
+  }
+  out += "},\"timers\":{";
+  first = true;
+  for (const auto& [name, stats] : timers_) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonQuote(name) + ":{\"count\":" + std::to_string(stats.count) +
+           ",\"total_ns\":" + std::to_string(stats.total_ns) +
+           ",\"min_ns\":" + std::to_string(stats.min_ns) +
+           ",\"max_ns\":" + std::to_string(stats.max_ns) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace idlog

@@ -1,0 +1,112 @@
+#ifndef IDLOG_OBS_METRICS_H_
+#define IDLOG_OBS_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace idlog {
+
+/// Aggregate of every duration observed under one timer name.
+struct DurationStats {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;  ///< Of the observed durations (0 when count==0).
+  uint64_t max_ns = 0;
+
+  void Observe(uint64_t ns) {
+    if (count == 0 || ns < min_ns) min_ns = ns;
+    if (ns > max_ns) max_ns = ns;
+    ++count;
+    total_ns += ns;
+  }
+};
+
+/// Named counters, gauges and wall-clock histograms. Ordered maps make
+/// every export deterministic: two identical runs produce byte-equal
+/// JSON, which is what lets CI diff the reports. Single-threaded, like
+/// the evaluation it measures.
+class MetricsRegistry {
+ public:
+  /// Counters only go up (per-run totals: tuples, firings, trips...).
+  void AddCounter(const std::string& name, uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  uint64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Gauges record the latest value (sizes, configuration, strata).
+  void SetGauge(const std::string& name, int64_t value) {
+    gauges_[name] = value;
+  }
+  int64_t gauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second;
+  }
+
+  /// Feeds one duration into the named histogram.
+  void ObserveDuration(const std::string& name, uint64_t ns) {
+    timers_[name].Observe(ns);
+  }
+  DurationStats timer(const std::string& name) const {
+    auto it = timers_.find(name);
+    return it == timers_.end() ? DurationStats() : it->second;
+  }
+
+  const std::map<std::string, uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, int64_t>& gauges() const { return gauges_; }
+  const std::map<std::string, DurationStats>& timers() const {
+    return timers_;
+  }
+
+  void Clear() {
+    counters_.clear();
+    gauges_.clear();
+    timers_.clear();
+  }
+
+  /// The flat machine-readable run report (`--metrics-json`), schema
+  /// "idlog-metrics-v1": {"schema":..., "counters":{...},
+  /// "gauges":{...}, "timers":{name:{count,total_ns,min_ns,max_ns}}}.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, int64_t> gauges_;
+  std::map<std::string, DurationStats> timers_;
+};
+
+/// RAII wall-clock measurement against the monotonic clock; feeds the
+/// named histogram on destruction. A null registry makes it a no-op.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {
+    if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (registry_ == nullptr) return;
+    registry_->ObserveDuration(
+        name_, static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count()));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace idlog
+
+#endif  // IDLOG_OBS_METRICS_H_

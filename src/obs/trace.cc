@@ -1,0 +1,55 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace idlog {
+
+namespace {
+
+void AppendEvent(const TraceEvent& ev, std::string* out) {
+  *out += "{\"name\":" + JsonQuote(ev.name) +
+          ",\"cat\":" + JsonQuote(ev.category) + ",\"ph\":\"";
+  out->push_back(ev.phase);
+  *out += "\",\"ts\":" + std::to_string(ev.ts_us);
+  if (ev.phase == 'X') *out += ",\"dur\":" + std::to_string(ev.dur_us);
+  // chrome://tracing requires pid/tid lanes; the evaluation is
+  // single-threaded, so one lane.
+  *out += ",\"pid\":1,\"tid\":1";
+  if (ev.phase == 'i') *out += ",\"s\":\"t\"";
+  if (!ev.args.empty()) {
+    *out += ",\"args\":{";
+    for (size_t i = 0; i < ev.args.size(); ++i) {
+      if (i > 0) *out += ",";
+      const TraceArg& arg = ev.args[i];
+      *out += JsonQuote(arg.key) + ":" +
+              (arg.quoted ? JsonQuote(arg.value) : arg.value);
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string TraceSink::ToJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) out += ",\n";
+    AppendEvent(events_[i], &out);
+  }
+  out += "]\n";
+  return out;
+}
+
+Status TraceSink::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open '" + path + "'");
+  out << ToJson();
+  out.flush();
+  if (!out) return Status::Internal("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace idlog

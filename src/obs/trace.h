@@ -1,0 +1,144 @@
+#ifndef IDLOG_OBS_TRACE_H_
+#define IDLOG_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idlog {
+
+/// One rendered key/value pair of a trace event's "args" object.
+struct TraceArg {
+  std::string key;
+  std::string value;   ///< Rendered JSON fragment or raw string.
+  bool quoted = true;  ///< False when `value` is already a number.
+
+  static TraceArg Str(std::string key, std::string value) {
+    return TraceArg{std::move(key), std::move(value), true};
+  }
+  static TraceArg Num(std::string key, uint64_t value) {
+    return TraceArg{std::move(key), std::to_string(value), false};
+  }
+  static TraceArg Int(std::string key, int64_t value) {
+    return TraceArg{std::move(key), std::to_string(value), false};
+  }
+};
+
+/// One event in the Chrome trace-event format ("X" complete spans with
+/// a duration, "i" instant events).
+struct TraceEvent {
+  char phase = 'i';
+  std::string name;
+  std::string category;
+  uint64_t ts_us = 0;   ///< Microseconds since the sink's epoch.
+  uint64_t dur_us = 0;  ///< Complete events only.
+  std::vector<TraceArg> args;
+};
+
+/// Collects structured trace events against a monotonic-clock epoch and
+/// serializes them as a chrome://tracing-loadable JSON array. Every
+/// instrumentation point in the engine takes a `TraceSink*` and does
+/// nothing when it is null — detached tracing costs one pointer test.
+/// Single-threaded, like the evaluation it observes.
+class TraceSink {
+ public:
+  TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since this sink was constructed (event timestamps).
+  uint64_t NowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  void Instant(std::string name, std::string category,
+               std::vector<TraceArg> args = {}) {
+    TraceEvent ev;
+    ev.phase = 'i';
+    ev.name = std::move(name);
+    ev.category = std::move(category);
+    ev.ts_us = NowUs();
+    ev.args = std::move(args);
+    events_.push_back(std::move(ev));
+  }
+
+  /// Records a complete span that started at `start_us` (a prior
+  /// NowUs() reading) and ends now.
+  void Complete(std::string name, std::string category, uint64_t start_us,
+                std::vector<TraceArg> args = {}) {
+    TraceEvent ev;
+    ev.phase = 'X';
+    ev.name = std::move(name);
+    ev.category = std::move(category);
+    ev.ts_us = start_us;
+    uint64_t now = NowUs();
+    ev.dur_us = now >= start_us ? now - start_us : 0;
+    ev.args = std::move(args);
+    events_.push_back(std::move(ev));
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// The whole trace as a bare JSON array of trace events (the array
+  /// form chrome://tracing and Perfetto load directly).
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`, replacing the file.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII recorder of one complete span: remembers NowUs() at
+/// construction, records the event at destruction. Args may be attached
+/// any time in between. A null sink makes it a no-op.
+class TraceSpan {
+ public:
+  TraceSpan(TraceSink* sink, std::string name, std::string category)
+      : sink_(sink) {
+    if (sink_ == nullptr) return;
+    name_ = std::move(name);
+    category_ = std::move(category);
+    start_us_ = sink_->NowUs();
+  }
+  ~TraceSpan() {
+    if (sink_ == nullptr) return;
+    sink_->Complete(std::move(name_), std::move(category_), start_us_,
+                    std::move(args_));
+  }
+
+  /// Sets (or overwrites) one args entry; the last value per key wins,
+  /// so loops may refresh an arg each iteration.
+  void AddArg(TraceArg arg) {
+    if (sink_ == nullptr) return;
+    for (TraceArg& existing : args_) {
+      if (existing.key == arg.key) {
+        existing = std::move(arg);
+        return;
+      }
+    }
+    args_.push_back(std::move(arg));
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceSink* sink_;
+  std::string name_;
+  std::string category_;
+  uint64_t start_us_ = 0;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace idlog
+
+#endif  // IDLOG_OBS_TRACE_H_

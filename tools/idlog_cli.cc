@@ -7,6 +7,11 @@
 //             [--timeout-ms N] [--max-tuples N] [--max-memory-mb N]
 //             [--max-iterations N]      (resource governor budgets)
 //             [--partial]               (keep partial results on a trip)
+//             [--profile]               (per-rule/per-stratum table)
+//             [--trace-out FILE]        (chrome://tracing JSON trace)
+//             [--metrics-json FILE]     (flat idlog-metrics-v1 report)
+//
+// Value flags accept both "--flag value" and "--flag=value".
 //
 // Interactive mode (no arguments): a small REPL. Clauses typed at the
 // prompt accumulate into the program; dot-commands drive the engine:
@@ -36,6 +41,7 @@
 #include "ast/printer.h"
 #include "core/answer_enumerator.h"
 #include "core/idlog_engine.h"
+#include "obs/trace.h"
 #include "storage/csv.h"
 
 namespace {
@@ -80,6 +86,17 @@ idlog::Result<std::string> ReadFile(const std::string& path) {
   return out.str();
 }
 
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  out << content;
+  out.flush();
+  if (!out) return Status::Internal("failed writing '" + path + "'");
+  return Status::OK();
+}
+
 void PrintRelation(const idlog::Relation& rel,
                    const idlog::SymbolTable& symbols) {
   for (const idlog::Tuple& t : rel.SortedTuples()) {
@@ -91,14 +108,17 @@ void PrintRelation(const idlog::Relation& rel,
 void PrintStats(const idlog::EvalStats& stats) {
   std::printf(
       "tuples considered: %llu\nfacts derived: %llu (new: %llu)\n"
-      "rule firings: %llu, fixpoint rounds: %llu\n"
-      "ID tuples materialized: %llu\n",
+      "rule firings: %llu, fixpoint rounds: %llu, strata: %llu\n"
+      "ID tuples materialized: %llu\n"
+      "evaluation wall time: %.3f ms\n",
       static_cast<unsigned long long>(stats.tuples_considered),
       static_cast<unsigned long long>(stats.facts_derived),
       static_cast<unsigned long long>(stats.facts_inserted),
       static_cast<unsigned long long>(stats.rule_firings),
       static_cast<unsigned long long>(stats.iterations),
-      static_cast<unsigned long long>(stats.id_tuples_materialized));
+      static_cast<unsigned long long>(stats.strata_evaluated),
+      static_cast<unsigned long long>(stats.id_tuples_materialized),
+      static_cast<double>(stats.eval_wall_ns) / 1e6);
 }
 
 int RunBatch(int argc, char** argv) {
@@ -115,10 +135,25 @@ int RunBatch(int argc, char** argv) {
   bool explain = false;
   idlog::EvalLimits limits;
   bool partial = false;
+  bool profile = false;
+  std::string trace_out;
+  std::string metrics_json;
 
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
+    // Split "--flag=value" so every value flag accepts both spellings.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline = true;
+      }
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--query") {
@@ -171,6 +206,20 @@ int RunBatch(int argc, char** argv) {
       limits.max_iterations = *v;
     } else if (arg == "--partial") {
       partial = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--trace-out FILE"));
+      }
+      trace_out = v;
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--metrics-json FILE"));
+      }
+      metrics_json = v;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--naive") {
@@ -191,6 +240,38 @@ int RunBatch(int argc, char** argv) {
   engine.SetLimits(limits);
   engine.SetPartialResults(partial);
   if (explain) engine.EnableProvenance(true);
+  idlog::TraceSink trace_sink;
+  const bool tracing = !trace_out.empty();
+  if (tracing) engine.SetTraceSink(&trace_sink);
+  // --metrics-json implies profiling: the report is the flattened
+  // profile, so there is nothing to write without it.
+  if (profile || !metrics_json.empty()) engine.EnableProfiling(true);
+
+  // Final reporting, shared by every exit path past this point: the
+  // trace and metrics files are written even when the run tripped a
+  // budget or failed — a truncated run is exactly when they matter.
+  auto finish = [&](int code) {
+    if (tracing) {
+      Status wst = trace_sink.WriteJson(trace_out);
+      if (!wst.ok()) {
+        std::fprintf(stderr, "error: %s\n", wst.ToString().c_str());
+        if (code == 0) code = 1;
+      }
+    }
+    if (!metrics_json.empty()) {
+      Status wst =
+          WriteFile(metrics_json, engine.profile().ToMetricsJson());
+      if (!wst.ok()) {
+        std::fprintf(stderr, "error: %s\n", wst.ToString().c_str());
+        if (code == 0) code = 1;
+      }
+    }
+    if (profile) {
+      std::printf("%s", engine.profile().ToTable().c_str());
+    }
+    return code;
+  };
+
   // Arm the governor over the bulk loads too, so --max-tuples /
   // --max-memory-mb also bound CSV ingestion. Run() re-arms it for
   // evaluation.
@@ -199,12 +280,12 @@ int RunBatch(int argc, char** argv) {
     Status st = idlog::LoadCsvRelation(&engine.database(), rel, file,
                                        /*skip_header=*/false,
                                        &engine.governor());
-    if (!st.ok()) return Fail(st);
+    if (!st.ok()) return finish(Fail(st));
   }
   auto text = ReadFile(program_path);
-  if (!text.ok()) return Fail(text.status());
+  if (!text.ok()) return finish(Fail(text.status()));
   Status st = engine.LoadProgramText(*text);
-  if (!st.ok()) return Fail(st);
+  if (!st.ok()) return finish(Fail(st));
   if (random) {
     engine.SetTidAssigner(std::make_unique<idlog::RandomTidAssigner>(seed));
   }
@@ -216,7 +297,7 @@ int RunBatch(int argc, char** argv) {
     auto answers = idlog::EnumerateAnswers(engine.program(),
                                            engine.database(), query,
                                            options);
-    if (!answers.ok()) return Fail(answers.status());
+    if (!answers.ok()) return finish(Fail(answers.status()));
     std::printf("%zu possible answer(s) over %llu tid assignment(s):\n",
                 answers->answers.size(),
                 static_cast<unsigned long long>(
@@ -231,7 +312,7 @@ int RunBatch(int argc, char** argv) {
       }
       std::printf("}\n");
     }
-    return 0;
+    return finish(0);
   }
 
   if (explain) {
@@ -252,20 +333,20 @@ int RunBatch(int argc, char** argv) {
                                 engine.symbols().Intern(field)));
     }
     auto text = engine.Explain(query, tuple);
-    if (!text.ok()) return Fail(text.status());
+    if (!text.ok()) return finish(Fail(text.status()));
     std::printf("%s", text->c_str());
-    return 0;
+    return finish(0);
   }
 
   auto result = engine.Query(query);
-  if (!result.ok()) return Fail(result.status());
+  if (!result.ok()) return finish(Fail(result.status()));
   if (!engine.last_trip().ok()) {
     std::fprintf(stderr, "warning: partial results — %s\n",
                  engine.last_trip().ToString().c_str());
   }
   PrintRelation(**result, engine.symbols());
   if (stats) PrintStats(engine.stats());
-  return 0;
+  return finish(0);
 }
 
 int RunRepl() {
@@ -431,7 +512,9 @@ int main(int argc, char** argv) {
                  " [--seed N] [--enumerate] [--stats] [--naive]"
                  " [--no-tid-pushdown]\n"
                  "           [--timeout-ms N] [--max-tuples N]"
-                 " [--max-memory-mb N] [--max-iterations N] [--partial]\n",
+                 " [--max-memory-mb N] [--max-iterations N] [--partial]\n"
+                 "           [--profile] [--trace-out FILE]"
+                 " [--metrics-json FILE]\n",
                  argv[0], argv[0]);
     return 2;
   }
