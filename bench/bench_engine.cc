@@ -10,6 +10,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <thread>
 
 #include "core/idlog_engine.h"
 #include "util.h"
@@ -81,6 +83,81 @@ void RunScale(const char* label, Shape shape, int nodes, int edges) {
        std::to_string(semi.iterations)});
 }
 
+// E4b: parallel stratum executor. A wide stratum — `kRules` independent
+// join rules with one head — is the shape `--jobs N` fans out: each
+// fixpoint round's (rule, delta) evaluations run concurrently and merge
+// deterministically, so the answers and stats below must match serial
+// exactly; only the wall time may differ.
+constexpr int kParallelRules = 8;
+
+struct ParallelRun {
+  size_t answer = 0;
+  double ms = 0;
+  uint64_t tuples = 0;
+  EvalProfile profile;
+};
+
+ParallelRun RunWideStratum(int jobs, int fanout) {
+  IdlogEngine engine;
+  std::mt19937_64 rng(29);
+  std::string program;
+  for (int k = 0; k < kParallelRules; ++k) {
+    std::string e = "e" + std::to_string(k);
+    std::string f = "f" + std::to_string(k);
+    for (int i = 0; i < fanout; ++i) {
+      (void)engine.AddRow(e, {"a" + std::to_string(rng() % (fanout / 4)),
+                              "m" + std::to_string(rng() % 40)});
+      (void)engine.AddRow(f, {"m" + std::to_string(rng() % 40),
+                              "b" + std::to_string(rng() % (fanout / 4))});
+    }
+    program += "q(X, Y) :- " + e + "(X, Z), " + f + "(Z, Y).";
+  }
+  // A recursive rule keeps the stratum iterating, so later rounds
+  // exercise the per-(rule, delta) task fan-out too.
+  program += "q(X, Z) :- q(X, Y), e0(Y, Z).";
+
+  ParallelRun out;
+  engine.SetThreads(jobs);
+  engine.EnableProfiling(true);
+  Status st = engine.LoadProgramText(program);
+  if (!st.ok()) return out;
+  auto t0 = Clock::now();
+  auto q = engine.Query("q");
+  out.ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  out.answer = q.ok() ? (*q)->size() : 0;
+  out.tuples = engine.stats().tuples_considered;
+  out.profile = engine.profile();
+  return out;
+}
+
+void RunParallelSection() {
+  std::printf(
+      "\nE4b: parallel fixpoint — %d-rule stratum, --jobs 1 vs 4 "
+      "(host has %u hardware threads)\n",
+      kParallelRules, std::thread::hardware_concurrency());
+  bench_util::PrintHeader({"fanout", "|q|", "jobs1 ms", "jobs4 ms",
+                           "speedup", "tuples", "equal", "-"});
+  std::vector<bench_util::LabeledProfile> profiles;
+  for (int fanout : {400, 1200}) {
+    ParallelRun serial = RunWideStratum(1, fanout);
+    ParallelRun parallel = RunWideStratum(4, fanout);
+    bool equal = serial.answer == parallel.answer &&
+                 serial.tuples == parallel.tuples;
+    auto fmt = [](double v) { return std::to_string(v).substr(0, 7); };
+    bench_util::PrintRow(
+        {std::to_string(fanout), std::to_string(serial.answer),
+         fmt(serial.ms), fmt(parallel.ms),
+         fmt(serial.ms / (parallel.ms > 0 ? parallel.ms : 1e-9)) + "x",
+         std::to_string(serial.tuples), equal ? "yes" : "NO", "-"});
+    profiles.emplace_back("jobs1_fanout" + std::to_string(fanout),
+                          serial.profile);
+    profiles.emplace_back("jobs4_fanout" + std::to_string(fanout),
+                          parallel.profile);
+  }
+  bench_util::WriteBenchMetrics("parallel", profiles);
+}
+
 // Microbench: one full TC evaluation, semi-naive.
 void BM_TransitiveClosureSeminaive(benchmark::State& state) {
   for (auto _ : state) {
@@ -140,6 +217,8 @@ int main(int argc, char** argv) {
          std::to_string(indexed.tuples),
          fmt(scan.ms / (indexed.ms > 0 ? indexed.ms : 1e-9)) + "x", "-"});
   }
+
+  idlog::RunParallelSection();
 
   std::printf("\nGoogle-benchmark microbenches:\n");
   benchmark::Initialize(&argc, argv);

@@ -23,20 +23,21 @@ void ResourceGovernor::Arm(const EvalLimits& limits) {
     deadline_ = armed_at_ + std::chrono::milliseconds(limits.timeout_ms);
   }
   cancelled_.store(false, std::memory_order_relaxed);
-  work_ = 0;
-  next_probe_ = kProbeInterval;
-  tuples_ = 0;
-  memory_bytes_ = 0;
-  iterations_ = 0;
+  work_.store(0, std::memory_order_relaxed);
+  next_probe_.store(kProbeInterval, std::memory_order_relaxed);
+  tuples_.store(0, std::memory_order_relaxed);
+  memory_bytes_.store(0, std::memory_order_relaxed);
+  iterations_.store(0, std::memory_order_relaxed);
   scope_ = "evaluation";
   stratum_ = -1;
   stats_source_ = nullptr;
-  tripped_ = false;
+  tripped_.store(false, std::memory_order_release);
   trip_ = TripInfo();
 }
 
 Status ResourceGovernor::Probe() {
-  next_probe_ = work_ + kProbeInterval;
+  next_probe_.store(work_.load(std::memory_order_relaxed) + kProbeInterval,
+                    std::memory_order_relaxed);
   if (cancelled_.load(std::memory_order_relaxed)) {
     return Trip(BudgetKind::kCancelled);
   }
@@ -47,7 +48,10 @@ Status ResourceGovernor::Probe() {
 }
 
 Status ResourceGovernor::Trip(BudgetKind kind) {
-  tripped_ = true;
+  // Concurrent workers can trip simultaneously; the first one in latches
+  // the diagnostic, everyone else reports the latched trip.
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  if (tripped_.load(std::memory_order_relaxed)) return TripStatus();
   trip_.budget = kind;
   trip_.scope = scope_;
   trip_.stratum = stratum_;
@@ -74,8 +78,9 @@ Status ResourceGovernor::Trip(BudgetKind kind) {
       break;
     case BudgetKind::kMemory:
       msg = "memory budget exceeded (max_memory_bytes=" +
-            std::to_string(limits_.max_memory_bytes) +
-            ", charged=" + std::to_string(memory_bytes_) + ")";
+            std::to_string(limits_.max_memory_bytes) + ", charged=" +
+            std::to_string(memory_bytes_.load(std::memory_order_relaxed)) +
+            ")";
       break;
     case BudgetKind::kIterations:
       msg = "iterations budget exceeded (max_iterations=" +
@@ -94,14 +99,21 @@ Status ResourceGovernor::Trip(BudgetKind kind) {
            ", iterations=" + std::to_string(trip_.stats.iterations);
   }
   trip_.message = std::move(msg);
+  // Publish after the diagnostic is complete: a reader that observes
+  // tripped_ == true (acquire) sees a fully-formed trip_.
+  tripped_.store(true, std::memory_order_release);
   if (trace_sink_ != nullptr) {
     std::vector<TraceArg> args;
     args.push_back(TraceArg::Str("budget", BudgetKindName(kind)));
     args.push_back(TraceArg::Str("scope", scope_));
     args.push_back(TraceArg::Int("stratum", stratum_));
-    args.push_back(TraceArg::Num("tuples_charged", tuples_));
-    args.push_back(TraceArg::Num("memory_charged", memory_bytes_));
-    args.push_back(TraceArg::Num("iterations_charged", iterations_));
+    args.push_back(TraceArg::Num(
+        "tuples_charged", tuples_.load(std::memory_order_relaxed)));
+    args.push_back(TraceArg::Num(
+        "memory_charged", memory_bytes_.load(std::memory_order_relaxed)));
+    args.push_back(TraceArg::Num(
+        "iterations_charged",
+        iterations_.load(std::memory_order_relaxed)));
     args.push_back(TraceArg::Num("elapsed_ns", trip_.elapsed_ns));
     trace_sink_->Instant("governor trip", "governor", std::move(args));
   }
@@ -109,7 +121,7 @@ Status ResourceGovernor::Trip(BudgetKind kind) {
 }
 
 Status ResourceGovernor::TripStatus() const {
-  if (!tripped_) return Status::OK();
+  if (!tripped_.load(std::memory_order_acquire)) return Status::OK();
   return Status::ResourceExhausted(trip_.message);
 }
 

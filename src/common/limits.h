@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -77,12 +78,21 @@ struct TripInfo {
 /// derived-tuple budget, an approximate-memory budget and a
 /// fixpoint-iteration cap.
 ///
-/// The evaluation thread calls CheckPoint()/OnDerived()/OnIteration()
-/// from its hot loops; CheckPoint is amortized — it counts work units
-/// and probes the clock and the cancel flag only once every
-/// kProbeInterval units, so per-tuple cost is one add and one compare.
+/// Evaluation threads call CheckPoint()/OnDerived()/OnIteration() from
+/// their hot loops; CheckPoint is amortized — it counts work units and
+/// probes the clock and the cancel flag only once every kProbeInterval
+/// units, so per-tuple cost is one relaxed atomic add and one compare.
 /// Cancel() may be called from any thread at any time; the evaluation
 /// observes it at its next probe.
+///
+/// Accounting is thread-safe: the parallel stratum executor charges one
+/// shared governor from every worker (counters are relaxed atomics;
+/// budget totals stay exact because each fetch_add observes its own
+/// contribution). The trip latch is guarded by a mutex, so exactly one
+/// thread renders the diagnostic and every other sees it complete.
+/// Arm() and the diagnostic-label setters (set_scope/set_stratum/
+/// set_stats_source) remain single-threaded: call them only between
+/// evaluations or from the coordinating thread while workers are idle.
 ///
 /// Once a budget trips the governor latches: every subsequent check
 /// returns the same structured ResourceExhausted Status, so deep
@@ -119,9 +129,12 @@ class ResourceGovernor {
   /// Counts `units` of work; probes deadline/cancellation every
   /// kProbeInterval units. Returns the trip Status once tripped.
   Status CheckPoint(uint64_t units = 1) {
-    if (tripped_) return TripStatus();
-    work_ += units;
-    if (work_ < next_probe_) return Status::OK();
+    if (tripped_.load(std::memory_order_acquire)) return TripStatus();
+    uint64_t seen =
+        work_.fetch_add(units, std::memory_order_relaxed) + units;
+    if (seen < next_probe_.load(std::memory_order_relaxed)) {
+      return Status::OK();
+    }
     return Probe();
   }
 
@@ -129,14 +142,16 @@ class ResourceGovernor {
   /// states — whatever the subsystem's unit of result is) and `bytes`
   /// of approximate memory against the global budgets.
   Status OnDerived(uint64_t n, uint64_t bytes) {
-    if (tripped_) return TripStatus();
-    tuples_ += n;
-    memory_bytes_ += bytes;
-    if (limits_.max_tuples != 0 && tuples_ > limits_.max_tuples) {
+    if (tripped_.load(std::memory_order_acquire)) return TripStatus();
+    uint64_t tuples =
+        tuples_.fetch_add(n, std::memory_order_relaxed) + n;
+    uint64_t memory =
+        memory_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (limits_.max_tuples != 0 && tuples > limits_.max_tuples) {
       return Trip(BudgetKind::kTuples);
     }
     if (limits_.max_memory_bytes != 0 &&
-        memory_bytes_ > limits_.max_memory_bytes) {
+        memory > limits_.max_memory_bytes) {
       return Trip(BudgetKind::kMemory);
     }
     return CheckPoint(n);
@@ -145,10 +160,10 @@ class ResourceGovernor {
   /// Charges one fixpoint round (or one non-deterministic firing step)
   /// and probes the clock — rounds can be slow, so every round checks.
   Status OnIteration() {
-    if (tripped_) return TripStatus();
-    ++iterations_;
-    if (limits_.max_iterations != 0 &&
-        iterations_ > limits_.max_iterations) {
+    if (tripped_.load(std::memory_order_acquire)) return TripStatus();
+    uint64_t rounds =
+        iterations_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (limits_.max_iterations != 0 && rounds > limits_.max_iterations) {
       return Trip(BudgetKind::kIterations);
     }
     return Probe();
@@ -184,16 +199,24 @@ class ResourceGovernor {
 
   // --- Inspection. ---
 
-  bool tripped() const { return tripped_; }
+  bool tripped() const {
+    return tripped_.load(std::memory_order_acquire);
+  }
   /// Valid only when tripped().
   const TripInfo& trip() const { return trip_; }
   /// ResourceExhausted with the trip diagnostic, or OK if not tripped.
   Status TripStatus() const;
 
   const EvalLimits& limits() const { return limits_; }
-  uint64_t tuples_charged() const { return tuples_; }
-  uint64_t memory_charged() const { return memory_bytes_; }
-  uint64_t iterations_charged() const { return iterations_; }
+  uint64_t tuples_charged() const {
+    return tuples_.load(std::memory_order_relaxed);
+  }
+  uint64_t memory_charged() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t iterations_charged() const {
+    return iterations_.load(std::memory_order_relaxed);
+  }
 
  private:
   Status Probe();                 ///< Slow path of CheckPoint.
@@ -206,17 +229,22 @@ class ResourceGovernor {
   TraceSink* trace_sink_ = nullptr;
   std::atomic<bool> cancelled_{false};
 
-  uint64_t work_ = 0;
-  uint64_t next_probe_ = kProbeInterval;
-  uint64_t tuples_ = 0;
-  uint64_t memory_bytes_ = 0;
-  uint64_t iterations_ = 0;
+  std::atomic<uint64_t> work_{0};
+  std::atomic<uint64_t> next_probe_{kProbeInterval};
+  std::atomic<uint64_t> tuples_{0};
+  std::atomic<uint64_t> memory_bytes_{0};
+  std::atomic<uint64_t> iterations_{0};
 
   std::string scope_ = "evaluation";
   int stratum_ = -1;
   const EvalStats* stats_source_ = nullptr;
 
-  bool tripped_ = false;
+  /// Serializes the trip latch: the first tripping thread fills `trip_`
+  /// and then publishes via `tripped_` (release); readers that saw
+  /// `tripped_` (acquire) may read `trip_` without the mutex because it
+  /// is never written again until the next Arm().
+  std::mutex trip_mu_;
+  std::atomic<bool> tripped_{false};
   TripInfo trip_;
 };
 

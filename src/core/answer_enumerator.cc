@@ -63,6 +63,10 @@ Result<AnswerSet> EnumerateAnswers(const Program& program,
     for (uint64_t r : assigner.radices()) {
       script.push_back(0);
       radix.push_back(r);
+      // A saturated radix (group of >= 21 tuples, n! > 2^64) cannot be
+      // stepped: only its rank-0 permutation is ever explored, so the
+      // result is a sample of the extent, not the whole extent.
+      if (r == UINT64_MAX) result.exhaustive = false;
     }
 
     // Odometer step with truncation.
@@ -80,6 +84,8 @@ Result<AnswerSet> EnumerateAnswers(const Program& program,
   }
   span.AddArg(TraceArg::Num("assignments_tried", result.assignments_tried));
   span.AddArg(TraceArg::Num("distinct_answers", result.answers.size()));
+  span.AddArg(TraceArg::Str("exhaustive",
+                            result.exhaustive ? "true" : "false"));
   return result;
 }
 

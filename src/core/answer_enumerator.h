@@ -32,6 +32,12 @@ struct EnumerateOptions {
 struct AnswerSet {
   std::set<std::vector<Tuple>> answers;
   uint64_t assignments_tried = 0;
+  /// False when some ID-group was too large to enumerate: a group of
+  /// n >= 21 tuples has n! > 2^64 permutations, its radix saturates to
+  /// UINT64_MAX, and the odometer cannot walk past rank 0 for it — so
+  /// `answers` covers only a slice of the choice tree instead of all of
+  /// it. Check before treating `answers` as the complete extent.
+  bool exhaustive = true;
 
   bool ContainsAnswer(std::vector<Tuple> tuples) const;
 };

@@ -20,6 +20,7 @@ Status IdlogEngine::LoadProgram(Program program) {
   impl->set_tid_bound_pushdown(tid_bound_pushdown_);
   impl->set_provenance_enabled(provenance_);
   impl->set_use_indexes(use_indexes_);
+  impl->set_threads(threads_);
   impl->set_trace_sink(trace_);
   impl->set_profiling_enabled(profiling_);
   IDLOG_RETURN_NOT_OK(impl->Prepare());
@@ -47,6 +48,13 @@ void IdlogEngine::SetTidAssigner(std::unique_ptr<TidAssigner> assigner) {
 void IdlogEngine::SetSeminaive(bool seminaive) {
   if (seminaive_ != seminaive) ran_ = false;
   seminaive_ = seminaive;
+}
+
+void IdlogEngine::SetThreads(int n) {
+  if (n < 1) n = 1;
+  if (threads_ != n) ran_ = false;
+  threads_ = n;
+  if (impl_ != nullptr) impl_->set_threads(n);
 }
 
 void IdlogEngine::SetTidBoundPushdown(bool enabled) {

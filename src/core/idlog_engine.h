@@ -74,6 +74,14 @@ class IdlogEngine {
   /// full scans with key filters.
   void SetUseIndexes(bool enabled);
 
+  /// Worker threads for the fixpoint (default 1 = serial; values < 1
+  /// clamp to 1). With n >= 2 each round's independent rule evaluations
+  /// run on a thread pool and merge deterministically — answers, stats,
+  /// profiles and traces are byte-identical to a serial run. Runs with
+  /// provenance enabled stay serial regardless.
+  void SetThreads(int n);
+  int threads() const { return threads_; }
+
   /// Installs resource budgets enforced by every subsequent Run():
   /// wall-clock deadline, derived-tuple budget, approximate-memory
   /// budget and fixpoint-iteration cap. Each Run() re-arms the governor
@@ -175,6 +183,7 @@ class IdlogEngine {
   bool tid_bound_pushdown_ = true;
   bool provenance_ = false;
   bool use_indexes_ = true;
+  int threads_ = 1;
   bool ran_ = false;
 };
 

@@ -191,6 +191,16 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
   ctx.governor = governor_;
   ctx.trace = trace_;
   ctx.profile = profiling_ ? &profile_ : nullptr;
+  // Parallel stratum execution. Provenance recording is not
+  // thread-safe, so those runs stay serial (ctx.pool left null).
+  if (threads_ > 1 && !provenance_enabled_) {
+    if (pool_ == nullptr || pool_->size() != threads_) {
+      pool_ = std::make_unique<ThreadPool>(threads_);
+    }
+    ctx.pool = pool_.get();
+  } else {
+    pool_.reset();
+  }
   // A shared governor can outlive this engine (enumerators create
   // stack-local engines against one long-lived governor); the guard
   // withdraws our stats_ pointer and labels on every exit path so a

@@ -16,6 +16,7 @@
 #include "eval/provenance.h"
 #include "eval/rule_eval.h"
 #include "eval/rule_plan.h"
+#include "exec/thread_pool.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "storage/database.h"
@@ -102,6 +103,15 @@ class EngineImpl {
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
   TraceSink* trace_sink() const { return trace_; }
 
+  /// Worker-thread count for the parallel stratum executor (default 1 =
+  /// serial fixpoint, no pool). With n >= 2, each fixpoint round's
+  /// independent (rule, delta_step) evaluations run concurrently and
+  /// are merged deterministically, so results, stats, profiles and
+  /// traces stay byte-identical to a serial run. Provenance-enabled
+  /// runs always evaluate serially regardless of this setting.
+  void set_threads(int n) { threads_ = n < 1 ? 1 : n; }
+  int threads() const { return threads_; }
+
   /// Enables the per-rule/per-stratum profile (off by default). The
   /// attribution cost is a few clock reads per rule evaluation.
   void set_profiling_enabled(bool enabled) { profiling_ = enabled; }
@@ -130,6 +140,8 @@ class EngineImpl {
 
   mutable std::map<const Relation*, std::unique_ptr<IndexCache>>
       index_caches_;
+  int threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  ///< Lazily sized to threads_.
   EvalStats stats_;
   ResourceGovernor* governor_ = nullptr;
   TraceSink* trace_ = nullptr;

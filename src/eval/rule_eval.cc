@@ -60,6 +60,10 @@ class RuleExecutor {
                               premises_);
     }
     if (out_->Insert(std::move(t))) {
+      // Parallel workers stage into a private relation; whether the
+      // tuple is new globally is only known at the driver's merge,
+      // which does this accounting there in deterministic task order.
+      if (ctx_.parallel_worker) return Status::OK();
       if (ctx_.stats != nullptr) ++ctx_.stats->facts_inserted;
       if (ctx_.governor != nullptr) {
         return ctx_.governor->OnDerived(
@@ -70,9 +74,10 @@ class RuleExecutor {
   }
 
   // Verifies kKey positions against `row` (needed when scanning without
-  // an index; index lookups guarantee them).
+  // an index — the ablation path and the parallel worker's fallback
+  // when a frozen index is unavailable; index lookups guarantee them).
   bool KeysMatch(const PlanStep& step, const Tuple& row) {
-    if (ctx_.use_indexes || step.key_cols.empty()) return true;
+    if (step.key_cols.empty()) return true;
     for (int col : step.key_cols) {
       if (Resolve(step.sources[static_cast<size_t>(col)]) !=
           row[static_cast<size_t>(col)]) {
@@ -123,7 +128,25 @@ class RuleExecutor {
                                ResolveRelation(step, use_delta));
         if (rel == nullptr || rel->empty()) return Status::OK();
 
-        if (step.key_cols.empty() || !ctx_.use_indexes) {
+        // Resolve the index for this scan, if any. Parallel workers may
+        // only read the shared cache (the driver pre-built every index
+        // the round can touch); if one is somehow missing or stale they
+        // fall back to the key-verified full scan below rather than
+        // mutate shared state.
+        const ColumnIndex* index = nullptr;
+        if (ctx_.use_indexes && !step.key_cols.empty()) {
+          if (ctx_.parallel_worker) {
+            auto it = ctx_.index_caches->find(rel);
+            if (it != ctx_.index_caches->end()) {
+              index = it->second->FindFresh(step.key_cols);
+            }
+          } else {
+            index = &const_cast<IndexCache*>(CacheFor(rel))
+                         ->Get(step.key_cols);
+          }
+        }
+
+        if (index == nullptr) {
           for (const Tuple& row : rel->tuples()) {
             if (ctx_.stats != nullptr) ++ctx_.stats->tuples_considered;
             if (ctx_.governor != nullptr) {
@@ -142,9 +165,7 @@ class RuleExecutor {
         for (int col : step.key_cols) {
           key.push_back(Resolve(step.sources[static_cast<size_t>(col)]));
         }
-        const ColumnIndex& index =
-            const_cast<IndexCache*>(CacheFor(rel))->Get(step.key_cols);
-        const std::vector<size_t>* rows = index.Lookup(key);
+        const std::vector<size_t>* rows = index->Lookup(key);
         if (rows == nullptr) return Status::OK();
         for (size_t r : *rows) {
           if (ctx_.stats != nullptr) ++ctx_.stats->tuples_considered;

@@ -19,6 +19,8 @@
 
 namespace idlog {
 
+class ThreadPool;  // exec/thread_pool.h; the context only points at it.
+
 /// Runtime environment a rule executes in. The resolver functions
 /// return nullptr for relations that do not exist yet (treated as
 /// empty for scans, which makes the rule produce nothing, and as empty
@@ -51,6 +53,21 @@ struct EvalContext {
   /// filter full scans instead (bench E4 measures the cost of losing
   /// index nested-loop joins).
   bool use_indexes = true;
+
+  /// Thread pool for the parallel stratum executor (exec/). Null (the
+  /// default) keeps the serial fixpoint; when set, EvaluateStratum runs
+  /// the independent (rule, delta_step) evaluations of each round
+  /// concurrently and merges them deterministically.
+  ThreadPool* pool = nullptr;
+
+  /// Set on the context copies handed to parallel workers. Two effects
+  /// inside RuleExecutor: index access becomes lookup-only against the
+  /// pre-built shared caches (IndexCache::FindFresh; a miss falls back
+  /// to a key-verified full scan), and staged-insert accounting
+  /// (stats->facts_inserted, governor OnDerived charges) is deferred to
+  /// the driver's deterministic merge so totals match serial runs
+  /// exactly even when two rules stage the same tuple in one round.
+  bool parallel_worker = false;
 
   /// Observability (both null by default — the fast path is a pointer
   /// test per *rule evaluation*, never per tuple). `trace` receives one

@@ -1,6 +1,10 @@
 #include "eval/stratum_eval.h"
 
 #include <chrono>
+#include <utility>
+
+#include "exec/round_executor.h"
+#include "exec/thread_pool.h"
 
 namespace idlog {
 
@@ -73,7 +77,10 @@ Status ObservedRuleEval(const RulePlan& plan, const EvalContext& ctx,
 }
 
 // Moves `staged` facts that are new into their full relations and into
-// `next_delta`. Returns true if anything was new.
+// `next_delta`. Returns true if anything was new. Predicates with no
+// new facts get no next_delta entry at all (rather than an empty one):
+// the delta map and the per-round index-cache eviction would otherwise
+// grow with predicate count even on rounds where nothing moved.
 bool Commit(std::map<std::string, Relation>* staged,
             std::map<std::string, Relation>* derived,
             std::map<std::string, Relation>* next_delta) {
@@ -90,7 +97,9 @@ bool Commit(std::map<std::string, Relation>* staged,
         any = true;
       }
     }
-    if (next_delta != nullptr) (*next_delta)[pred] = std::move(fresh);
+    if (next_delta != nullptr && !fresh.empty()) {
+      (*next_delta)[pred] = std::move(fresh);
+    }
   }
   return any;
 }
@@ -124,19 +133,115 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     delta = std::move(next);
   };
 
+  // Shape a staging relation after the existing full relation.
+  auto staging_type = [&](const RulePlan& plan) -> RelationType {
+    const Relation* full = base_ctx.full(plan.head_pred);
+    return full != nullptr ? full->type()
+                           : RelationType(plan.head_args.size(), Sort::kU);
+  };
+
   auto staging_for = [&](std::map<std::string, Relation>* staged,
                          const RulePlan& plan) -> Relation* {
     auto it = staged->find(plan.head_pred);
     if (it == staged->end()) {
-      // Shape the staging relation after the existing full relation.
-      const Relation* full = base_ctx.full(plan.head_pred);
-      RelationType type =
-          full != nullptr
-              ? full->type()
-              : RelationType(plan.head_args.size(), Sort::kU);
-      it = staged->emplace(plan.head_pred, Relation(type)).first;
+      it = staged->emplace(plan.head_pred, Relation(staging_type(plan)))
+               .first;
     }
     return &it->second;
+  };
+
+  // Runs one round's (rule, delta_step) tasks into `staged`. The task
+  // list is built in the exact order the serial loop evaluates; with a
+  // pool installed the evaluations run concurrently into private
+  // relations and are merged back in task order, so fixpoint contents,
+  // stats, profile columns and trace spans come out identical to the
+  // serial path (timing values aside). Parallel workers cannot record
+  // provenance, so a provenance run stays serial.
+  auto run_round = [&](std::vector<RoundTask>&& tasks, uint64_t round,
+                       std::map<std::string, Relation>* staged) -> Status {
+    const bool parallel = ctx.pool != nullptr && tasks.size() > 1 &&
+                          ctx.provenance == nullptr;
+    if (!parallel) {
+      for (const RoundTask& task : tasks) {
+        IDLOG_RETURN_NOT_OK(ObservedRuleEval(*task.plan, ctx,
+                                             task.delta_step, round,
+                                             staging_for(staged, *task.plan)));
+      }
+      return Status::OK();
+    }
+
+    for (RoundTask& task : tasks) {
+      task.staged = Relation(staging_type(*task.plan));
+    }
+    IDLOG_RETURN_NOT_OK(RunRoundTasks(ctx, ctx.pool, &tasks));
+
+    // Deterministic merge: insert each task's private facts into the
+    // shared staging in task order — the same global insertion order
+    // the serial loop produces — and only now account staged inserts
+    // (stats, governor charges) and attribute profile/trace, exactly
+    // as ObservedRuleEval would have.
+    for (RoundTask& task : tasks) {
+      Relation* out = staging_for(staged, *task.plan);
+      Status merge_status = Status::OK();
+      uint64_t inserted = 0;
+      for (const Tuple& t : task.staged.tuples()) {
+        if (out->Insert(t)) {
+          ++inserted;
+          if (ctx.governor != nullptr && merge_status.ok()) {
+            merge_status = ctx.governor->OnDerived(
+                1, ApproxTupleBytes(task.plan->head_args.size()));
+          }
+        }
+      }
+      task.stats.facts_inserted = inserted;
+      if (ctx.stats != nullptr) *ctx.stats += task.stats;
+
+      if (ctx.profile != nullptr && task.plan->clause_index >= 0 &&
+          static_cast<size_t>(task.plan->clause_index) <
+              ctx.profile->rules.size()) {
+        RuleProfile& rp =
+            ctx.profile->rules[static_cast<size_t>(task.plan->clause_index)];
+        ++rp.evals;
+        rp.firings += task.stats.rule_firings;
+        rp.tuples_considered += task.stats.tuples_considered;
+        rp.facts_derived += task.stats.facts_derived;
+        rp.facts_inserted += task.stats.facts_inserted;
+        rp.self_ns += task.self_ns;
+      }
+
+      if (ctx.trace != nullptr) {
+        std::vector<TraceArg> args;
+        args.push_back(TraceArg::Int("clause", task.plan->clause_index));
+        args.push_back(TraceArg::Int("stratum", ctx.stratum));
+        args.push_back(TraceArg::Num("round", round));
+        if (task.delta_step >= 0) {
+          const std::string& pred =
+              task.plan->steps[static_cast<size_t>(task.delta_step)]
+                  .predicate;
+          const Relation* d = ctx.delta ? ctx.delta(pred) : nullptr;
+          args.push_back(TraceArg::Str("delta", pred));
+          args.push_back(
+              TraceArg::Num("delta_size", d != nullptr ? d->size() : 0));
+        }
+        args.push_back(
+            TraceArg::Num("considered", task.stats.tuples_considered));
+        args.push_back(TraceArg::Num("derived", task.stats.facts_derived));
+        args.push_back(TraceArg::Num("inserted", task.stats.facts_inserted));
+        if (!task.status.ok()) {
+          args.push_back(TraceArg::Str("status", task.status.ToString()));
+        }
+        ctx.trace->CompleteWithDuration("rule " + task.plan->head_pred,
+                                        "rule", task.start_us,
+                                        task.self_ns / 1000,
+                                        std::move(args));
+      }
+
+      // Stop where the serial loop would have: later tasks ran, but
+      // their results and attribution are discarded with the round.
+      IDLOG_RETURN_NOT_OK(task.status);
+      IDLOG_RETURN_NOT_OK(merge_status);
+    }
+    return Status::OK();
   };
 
   uint64_t round = 0;
@@ -154,12 +259,16 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     TraceSpan round_span(ctx.trace, "fixpoint round", "fixpoint");
     round_span.AddArg(TraceArg::Int("stratum", ctx.stratum));
     round_span.AddArg(TraceArg::Num("round", round));
-    std::map<std::string, Relation> staged;
+    std::vector<RoundTask> tasks;
+    tasks.reserve(plans.size());
     for (const RulePlan* plan : plans) {
-      IDLOG_RETURN_NOT_OK(
-          ObservedRuleEval(*plan, ctx, /*delta_step=*/-1, round,
-                           staging_for(&staged, *plan)));
+      RoundTask task;
+      task.plan = plan;
+      task.delta_step = -1;
+      tasks.push_back(std::move(task));
     }
+    std::map<std::string, Relation> staged;
+    IDLOG_RETURN_NOT_OK(run_round(std::move(tasks), round, &staged));
     if (ctx.stats != nullptr) ++ctx.stats->iterations;
     if (ctx.governor != nullptr) {
       IDLOG_RETURN_NOT_OK(ctx.governor->OnIteration());
@@ -181,17 +290,17 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     TraceSpan round_span(ctx.trace, "fixpoint round", "fixpoint");
     round_span.AddArg(TraceArg::Int("stratum", ctx.stratum));
     round_span.AddArg(TraceArg::Num("round", round));
-    std::map<std::string, Relation> staged;
-    bool fired = false;
+    std::vector<RoundTask> tasks;
     for (const RulePlan* plan : plans) {
       if (seminaive) {
         for (int step : plan->positive_scan_steps) {
           const std::string& pred =
               plan->steps[static_cast<size_t>(step)].predicate;
           if (stratum_preds.count(pred) == 0) continue;
-          fired = true;
-          IDLOG_RETURN_NOT_OK(ObservedRuleEval(
-              *plan, ctx, step, round, staging_for(&staged, *plan)));
+          RoundTask task;
+          task.plan = plan;
+          task.delta_step = step;
+          tasks.push_back(std::move(task));
         }
       } else {
         // Naive mode: re-run recursive rules in full. Rules with no
@@ -205,13 +314,15 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
           }
         }
         if (!recursive) continue;
-        fired = true;
-        IDLOG_RETURN_NOT_OK(ObservedRuleEval(*plan, ctx, /*delta_step=*/-1,
-                                             round,
-                                             staging_for(&staged, *plan)));
+        RoundTask task;
+        task.plan = plan;
+        task.delta_step = -1;
+        tasks.push_back(std::move(task));
       }
     }
-    if (!fired) return Status::OK();
+    if (tasks.empty()) return Status::OK();
+    std::map<std::string, Relation> staged;
+    IDLOG_RETURN_NOT_OK(run_round(std::move(tasks), round, &staged));
     if (ctx.stats != nullptr) ++ctx.stats->iterations;
     if (ctx.governor != nullptr) {
       IDLOG_RETURN_NOT_OK(ctx.governor->OnIteration());

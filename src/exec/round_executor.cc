@@ -1,0 +1,82 @@
+#include "exec/round_executor.h"
+
+#include <chrono>
+#include <functional>
+#include <memory>
+
+#include "exec/thread_pool.h"
+
+namespace idlog {
+
+namespace {
+
+/// Builds or refreshes, on the calling thread, every column index the
+/// tasks can reach, so workers never mutate the shared cache. The set
+/// is enumerable up front because each plan step scans one fixed
+/// relation (its predicate's full, delta, or ID relation) with fixed
+/// key columns.
+Status PrebuildIndexes(const EvalContext& ctx,
+                       const std::vector<RoundTask>& tasks) {
+  if (!ctx.use_indexes || ctx.index_caches == nullptr) return Status::OK();
+  for (const RoundTask& task : tasks) {
+    const RulePlan& plan = *task.plan;
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+      const PlanStep& step = plan.steps[i];
+      if (step.kind != PlanStep::Kind::kScan || step.key_cols.empty()) {
+        continue;
+      }
+      const Relation* rel = nullptr;
+      if (step.is_id) {
+        IDLOG_ASSIGN_OR_RETURN(rel,
+                               ctx.id_relation(step.predicate, step.group));
+      } else if (static_cast<int>(i) == task.delta_step) {
+        rel = ctx.delta ? ctx.delta(step.predicate) : nullptr;
+      } else {
+        rel = ctx.full(step.predicate);
+      }
+      if (rel == nullptr || rel->empty()) continue;
+      auto it = ctx.index_caches->find(rel);
+      if (it == ctx.index_caches->end()) {
+        it = ctx.index_caches
+                 ->emplace(rel, std::make_unique<IndexCache>(rel))
+                 .first;
+      }
+      (void)it->second->Get(step.key_cols);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunRoundTasks(const EvalContext& base_ctx, ThreadPool* pool,
+                     std::vector<RoundTask>* tasks) {
+  IDLOG_RETURN_NOT_OK(PrebuildIndexes(base_ctx, *tasks));
+
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(tasks->size());
+  for (RoundTask& task : *tasks) {
+    RoundTask* t = &task;
+    jobs.push_back([&base_ctx, t] {
+      EvalContext worker_ctx = base_ctx;
+      worker_ctx.stats = &t->stats;
+      worker_ctx.parallel_worker = true;
+      // Observability attribution happens in the driver's deterministic
+      // merge; workers only measure.
+      worker_ctx.trace = nullptr;
+      worker_ctx.profile = nullptr;
+      if (base_ctx.trace != nullptr) t->start_us = base_ctx.trace->NowUs();
+      auto t0 = std::chrono::steady_clock::now();
+      t->status =
+          EvaluateRuleInto(*t->plan, worker_ctx, t->delta_step, &t->staged);
+      t->self_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    });
+  }
+  pool->Run(std::move(jobs));
+  return Status::OK();
+}
+
+}  // namespace idlog

@@ -1,0 +1,62 @@
+#ifndef IDLOG_EXEC_ROUND_EXECUTOR_H_
+#define IDLOG_EXEC_ROUND_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/eval_stats.h"
+#include "eval/rule_eval.h"
+#include "eval/rule_plan.h"
+#include "storage/relation.h"
+
+namespace idlog {
+
+class ThreadPool;
+
+/// One independent `(rule, delta_step)` evaluation of a fixpoint round.
+/// The driver (EvaluateStratum) builds the task list in the exact order
+/// the serial loop would evaluate, the executor runs the evaluations
+/// concurrently, and the driver merges the private results back in task
+/// order — which is what makes `--jobs N` byte-identical to serial.
+struct RoundTask {
+  const RulePlan* plan = nullptr;
+  int delta_step = -1;          ///< -1 = full evaluation (round 0 / naive).
+
+  // Filled by RunRoundTasks:
+  Relation staged;              ///< Private output; typed by the driver.
+  EvalStats stats;              ///< Private counters (facts_inserted is
+                                ///< left 0 — the merge computes it
+                                ///< against the combined staging).
+  uint64_t start_us = 0;        ///< Trace timestamp at task start.
+  uint64_t self_ns = 0;         ///< Wall time inside the evaluation.
+  Status status;                ///< The evaluation's status.
+};
+
+/// Evaluates every task concurrently on `pool`, each into its private
+/// `staged` relation with private `stats`.
+///
+/// Shared state is read-only for the duration: before dispatching, the
+/// executor pre-builds (serially, via `base_ctx.index_caches`) every
+/// column index any task can touch, and workers run with
+/// `EvalContext::parallel_worker` set, which makes index access
+/// lookup-only (IndexCache::FindFresh) and defers staged-insert
+/// accounting (facts_inserted, governor OnDerived charges) to the
+/// driver's deterministic merge. The shared ResourceGovernor is charged
+/// from all workers (it is thread-safe); `base_ctx.provenance` must be
+/// null — the engine falls back to serial evaluation when provenance
+/// is on.
+///
+/// Always runs every task to completion (a governor trip latches, so
+/// remaining tasks unwind at their next checkpoint). Per-task failures
+/// are reported in RoundTask::status and left to the driver, which
+/// merges results up to the first failing task in task order and then
+/// surfaces that error — the same error a serial run would have
+/// stopped at. The returned Status covers executor-level failures only
+/// (index pre-build).
+Status RunRoundTasks(const EvalContext& base_ctx, ThreadPool* pool,
+                     std::vector<RoundTask>* tasks);
+
+}  // namespace idlog
+
+#endif  // IDLOG_EXEC_ROUND_EXECUTOR_H_

@@ -1,0 +1,63 @@
+#include "exec/thread_pool.h"
+
+namespace idlog {
+
+ThreadPool::ThreadPool(int size) : size_(size < 1 ? 1 : size) {
+  workers_.reserve(static_cast<size_t>(size_ - 1));
+  for (int i = 0; i < size_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::DrainQueue(std::unique_lock<std::mutex>* lock) {
+  while (next_task_ < queue_.size()) {
+    std::function<void()> task = std::move(queue_[next_task_]);
+    ++next_task_;
+    ++tasks_running_;
+    lock->unlock();
+    task();
+    lock->lock();
+    --tasks_running_;
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_ready_.wait(lock, [this] {
+      return shutdown_ || next_task_ < queue_.size();
+    });
+    if (shutdown_) return;
+    DrainQueue(&lock);
+    if (tasks_running_ == 0 && next_task_ == queue_.size()) {
+      batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_ = std::move(tasks);
+  next_task_ = 0;
+  work_ready_.notify_all();
+  // The caller is one of the pool's threads: it executes tasks instead
+  // of blocking, then waits for stragglers claimed by workers.
+  DrainQueue(&lock);
+  batch_done_.wait(lock, [this] {
+    return tasks_running_ == 0 && next_task_ == queue_.size();
+  });
+  queue_.clear();
+  next_task_ = 0;
+}
+
+}  // namespace idlog

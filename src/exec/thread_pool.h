@@ -1,0 +1,62 @@
+#ifndef IDLOG_EXEC_THREAD_POOL_H_
+#define IDLOG_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace idlog {
+
+/// A small fixed-size pool for the parallel stratum executor.
+///
+/// `size` is the total parallelism of a Run() call: the pool spawns
+/// size-1 persistent workers and the calling thread executes tasks too,
+/// so SetThreads(4) means four threads doing rule evaluations, not
+/// five. Run() is a barrier — it returns only after every submitted
+/// task finished — which is exactly the shape a fixpoint round needs
+/// (no task of round r+1 may start before round r committed).
+///
+/// Tasks must not throw; error reporting goes through whatever state
+/// the task closure writes (the stratum executor records a Status per
+/// task). One Run() at a time per pool: the engine that owns the pool
+/// evaluates one stratum at a time, so there is no re-entrancy.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int size);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread).
+  int size() const { return size_; }
+
+  /// Executes every task, on workers and on the calling thread, and
+  /// returns when all have finished. Task index order carries no
+  /// scheduling meaning — callers needing determinism must merge
+  /// results by task index afterwards, not rely on completion order.
+  void Run(std::vector<std::function<void()>> tasks);
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs queued tasks until the queue drains; used by both
+  /// workers and the Run() caller.
+  void DrainQueue(std::unique_lock<std::mutex>* lock);
+
+  const int size_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::vector<std::function<void()>> queue_;
+  size_t next_task_ = 0;       ///< Index of the next unclaimed task.
+  size_t tasks_running_ = 0;   ///< Claimed but not yet finished.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace idlog
+
+#endif  // IDLOG_EXEC_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,7 +44,14 @@ struct TraceEvent {
 /// serializes them as a chrome://tracing-loadable JSON array. Every
 /// instrumentation point in the engine takes a `TraceSink*` and does
 /// nothing when it is null — detached tracing costs one pointer test.
-/// Single-threaded, like the evaluation it observes.
+///
+/// Recording is thread-safe (the event buffer is mutex-guarded), so
+/// governor trips and spans may land from parallel workers. The
+/// deterministic event *ordering* the serial engine produces is
+/// preserved under `--jobs N` by the stratum executor, which measures
+/// rule spans on workers and records them from the coordinating thread
+/// in clause order via CompleteWithDuration(). Reading (events(),
+/// ToJson()) still assumes no concurrent writer.
 class TraceSink {
  public:
   TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
@@ -64,26 +72,40 @@ class TraceSink {
     ev.category = std::move(category);
     ev.ts_us = NowUs();
     ev.args = std::move(args);
-    events_.push_back(std::move(ev));
+    Push(std::move(ev));
   }
 
   /// Records a complete span that started at `start_us` (a prior
   /// NowUs() reading) and ends now.
   void Complete(std::string name, std::string category, uint64_t start_us,
                 std::vector<TraceArg> args = {}) {
+    uint64_t now = NowUs();
+    CompleteWithDuration(std::move(name), std::move(category), start_us,
+                         now >= start_us ? now - start_us : 0,
+                         std::move(args));
+  }
+
+  /// Records a complete span with an explicit duration — for spans
+  /// measured on a worker thread and recorded later, in deterministic
+  /// order, by the coordinating thread.
+  void CompleteWithDuration(std::string name, std::string category,
+                            uint64_t start_us, uint64_t dur_us,
+                            std::vector<TraceArg> args = {}) {
     TraceEvent ev;
     ev.phase = 'X';
     ev.name = std::move(name);
     ev.category = std::move(category);
     ev.ts_us = start_us;
-    uint64_t now = NowUs();
-    ev.dur_us = now >= start_us ? now - start_us : 0;
+    ev.dur_us = dur_us;
     ev.args = std::move(args);
-    events_.push_back(std::move(ev));
+    Push(std::move(ev));
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
 
   /// The whole trace as a bare JSON array of trace events (the array
   /// form chrome://tracing and Perfetto load directly).
@@ -93,7 +115,13 @@ class TraceSink {
   Status WriteJson(const std::string& path) const;
 
  private:
+  void Push(TraceEvent ev) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(ev));
+  }
+
   std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };
 

@@ -15,18 +15,25 @@ void ColumnIndex::Build() {
   }
   built_version_ = relation_->version();
   built_uid_ = relation_->uid();
+  built_clear_generation_ = relation_->clear_generation();
   built_rows_ = rows.size();
 }
 
+bool ColumnIndex::fresh() const {
+  return built_version_ == relation_->version() &&
+         built_uid_ == relation_->uid();
+}
+
 void ColumnIndex::Refresh() {
-  if (built_version_ == relation_->version() &&
-      built_uid_ == relation_->uid()) {
-    return;
-  }
-  // Within one identity (uid), relations only grow except for Clear;
-  // extend incrementally when possible, rebuild otherwise.
+  if (fresh()) return;
+  // Within one identity (uid) and clear generation, relations only
+  // grow; extend incrementally then. A Clear() keeps the uid and may be
+  // followed by regrowth past the old row count, so the generation
+  // check is what forces the rebuild that drops the stale buckets.
   const auto& rows = relation_->tuples();
-  if (built_uid_ == relation_->uid() && rows.size() >= built_rows_) {
+  if (built_uid_ == relation_->uid() &&
+      built_clear_generation_ == relation_->clear_generation() &&
+      rows.size() >= built_rows_) {
     for (size_t i = built_rows_; i < rows.size(); ++i) {
       buckets_[ProjectTuple(rows[i], cols_)].push_back(i);
     }
@@ -36,8 +43,6 @@ void ColumnIndex::Refresh() {
     Build();
   }
 }
-
-// Clear() keeps the uid but shrinks rows; the rebuild branch covers it.
 
 const std::vector<size_t>* ColumnIndex::Lookup(const Tuple& key) const {
   auto it = buckets_.find(key);
@@ -53,6 +58,12 @@ const ColumnIndex& IndexCache::Get(const std::vector<int>& cols) {
     it->second.Refresh();
   }
   return it->second;
+}
+
+const ColumnIndex* IndexCache::FindFresh(const std::vector<int>& cols) const {
+  auto it = indexes_.find(cols);
+  if (it == indexes_.end() || !it->second.fresh()) return nullptr;
+  return &it->second;
 }
 
 }  // namespace idlog

@@ -19,6 +19,10 @@ class ColumnIndex {
   /// Rebuilds if the relation changed since construction/last refresh.
   void Refresh();
 
+  /// True when the index matches the relation's current contents (same
+  /// uid and version), i.e. Lookup() is safe without a Refresh().
+  bool fresh() const;
+
   /// Returns row positions matching `key` (projected values in `cols`
   /// order), or nullptr if none.
   const std::vector<size_t>* Lookup(const Tuple& key) const;
@@ -32,6 +36,7 @@ class ColumnIndex {
   std::vector<int> cols_;
   uint64_t built_version_ = 0;
   uint64_t built_uid_ = 0;
+  uint64_t built_clear_generation_ = 0;
   size_t built_rows_ = 0;
   std::unordered_map<Tuple, std::vector<size_t>, TupleHash> buckets_;
 };
@@ -46,6 +51,13 @@ class IndexCache {
 
   /// Returns a fresh index on `cols` (built or refreshed on demand).
   const ColumnIndex& Get(const std::vector<int>& cols);
+
+  /// Read-only lookup for concurrent readers: the index on `cols` if it
+  /// exists and is fresh for the relation's current contents, nullptr
+  /// otherwise. Never builds or refreshes, so any number of threads may
+  /// call it while no thread mutates the cache. Callers falling back on
+  /// nullptr must verify key columns themselves.
+  const ColumnIndex* FindFresh(const std::vector<int>& cols) const;
 
  private:
   const Relation* relation_;

@@ -40,6 +40,7 @@ void Relation::Clear() {
   rows_.clear();
   set_.clear();
   ++version_;
+  ++clear_generation_;
 }
 
 std::vector<Tuple> Relation::SortedTuples() const {

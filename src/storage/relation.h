@@ -25,24 +25,27 @@ class Relation {
 
   Relation(const Relation& o)
       : type_(o.type_), rows_(o.rows_), set_(o.set_), version_(o.version_),
-        uid_(NextUid()) {}
+        uid_(NextUid()), clear_generation_(o.clear_generation_) {}
   Relation& operator=(const Relation& o) {
     type_ = o.type_;
     rows_ = o.rows_;
     set_ = o.set_;
     version_ = o.version_;
     uid_ = NextUid();  // contents replaced wholesale: new identity
+    clear_generation_ = o.clear_generation_;
     return *this;
   }
   Relation(Relation&& o) noexcept
       : type_(std::move(o.type_)), rows_(std::move(o.rows_)),
-        set_(std::move(o.set_)), version_(o.version_), uid_(NextUid()) {}
+        set_(std::move(o.set_)), version_(o.version_), uid_(NextUid()),
+        clear_generation_(o.clear_generation_) {}
   Relation& operator=(Relation&& o) noexcept {
     type_ = std::move(o.type_);
     rows_ = std::move(o.rows_);
     set_ = std::move(o.set_);
     version_ = o.version_;
     uid_ = NextUid();
+    clear_generation_ = o.clear_generation_;
     return *this;
   }
 
@@ -73,6 +76,12 @@ class Relation {
   /// index caches can detect that incremental refresh is invalid.
   uint64_t uid() const { return uid_; }
 
+  /// Bumped by every Clear(). Within one uid, rows only grow between
+  /// clear generations — an index built at an older generation must
+  /// rebuild even if the row count has grown back past what it indexed
+  /// (the rows at those positions are different tuples now).
+  uint64_t clear_generation() const { return clear_generation_; }
+
   /// Removes all tuples.
   void Clear();
 
@@ -91,6 +100,7 @@ class Relation {
   std::unordered_set<Tuple, TupleHash> set_;
   uint64_t version_ = 0;
   uint64_t uid_ = 0;
+  uint64_t clear_generation_ = 0;
 };
 
 /// Projects `t` onto `cols` (0-based), preserving the column order given.

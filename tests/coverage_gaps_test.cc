@@ -72,6 +72,39 @@ TEST(CoverageGaps, NegatedIdNeedsFullMaterialization) {
   EXPECT_EQ((*r)->size(), 9u);
 }
 
+TEST(CoverageGaps, EnumerationOverSmallGroupsIsExhaustive) {
+  SymbolTable s;
+  Database db(&s);
+  ASSERT_TRUE(db.AddRow("g", {"a", "k"}).ok());
+  ASSERT_TRUE(db.AddRow("g", {"b", "k"}).ok());
+  auto prog = ParseProgram("first(V) :- g[2](V, K, 0).", &s);
+  ASSERT_TRUE(prog.ok());
+  auto answers = EnumerateAnswers(*prog, db, "first");
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->exhaustive);
+  EXPECT_EQ(answers->answers.size(), 2u);
+}
+
+TEST(CoverageGaps, SaturatedGroupMarksEnumerationNonExhaustive) {
+  // A 21-tuple group has 21! > 2^64 permutations: its radix saturates
+  // to UINT64_MAX and the odometer can never step it past rank 0.
+  // The enumeration used to return such a slice silently as if it were
+  // the whole answer set; it must be flagged.
+  SymbolTable s;
+  Database db(&s);
+  for (int i = 0; i < 21; ++i) {
+    ASSERT_TRUE(db.AddRow("g", {"v" + std::to_string(i), "k"}).ok());
+  }
+  auto prog = ParseProgram("first(V) :- g[2](V, K, 0).", &s);
+  ASSERT_TRUE(prog.ok());
+  auto answers = EnumerateAnswers(*prog, db, "first");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_FALSE(answers->exhaustive);
+  // Only the rank-0 permutation of the saturated group was explored.
+  EXPECT_EQ(answers->assignments_tried, 1u);
+  EXPECT_EQ(answers->answers.size(), 1u);
+}
+
 TEST(CoverageGaps, EnumeratorBudgetExceeded) {
   SymbolTable s;
   Database db(&s);

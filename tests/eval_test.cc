@@ -139,6 +139,33 @@ TEST(Eval, StatsCountWork) {
   EXPECT_GT(stats.rule_firings, 0u);
 }
 
+// Commit used to store empty `fresh` relations into next_delta, so
+// predicates that stopped producing kept ghost delta entries alive in
+// every later round. They must neither change the fixpoint nor keep the
+// loop running: the two chains below converge at different rounds, and
+// the stratum still reaches the exact transitive closures.
+TEST(Eval, MixedConvergenceRoundsReachSameFixpoint) {
+  IdlogEngine engine;
+  engine.AddRow("e", {"a", "b"});  // short chain: done after round 1
+  engine.AddRow("f", {"p", "q"});
+  engine.AddRow("f", {"q", "r"});
+  engine.AddRow("f", {"r", "s"});
+  engine.AddRow("f", {"s", "t"});  // long chain keeps iterating
+  ASSERT_TRUE(engine
+                  .LoadProgramText(
+                      "tc1(X, Y) :- e(X, Y)."
+                      "tc1(X, Z) :- tc1(X, Y), e(Y, Z)."
+                      "tc2(X, Y) :- f(X, Y)."
+                      "tc2(X, Z) :- tc2(X, Y), f(Y, Z).")
+                  .ok());
+  auto r1 = engine.Query("tc1");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)->size(), 1u);
+  auto r2 = engine.Query("tc2");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->size(), 10u);  // 4+3+2+1 paths
+}
+
 TEST(Eval, RunIsIdempotentUntilInvalidated) {
   IdlogEngine engine;
   engine.AddRow("p", {"a"});

@@ -129,6 +129,63 @@ TEST(ColumnIndex, RefreshSurvivesWholesaleReplacement) {
   ASSERT_NE(index.Lookup(T(&s, {"b"})), nullptr);
 }
 
+// Regression: Clear() followed by re-inserts that grow the relation
+// back to (at least) its old row count used to satisfy the incremental
+// Refresh branch — same uid, size >= built_rows — so the index kept its
+// pre-Clear buckets and joins read rows that no longer exist. Clear()
+// now bumps a clear generation that forces a full rebuild.
+TEST(ColumnIndex, RefreshRebuildsAfterClear) {
+  SymbolTable s;
+  Relation r(UU());
+  r.Insert(T(&s, {"a", "x"}));
+  r.Insert(T(&s, {"b", "y"}));
+  ColumnIndex index(&r, {0});
+  ASSERT_NE(index.Lookup(T(&s, {"a"})), nullptr);
+
+  r.Clear();
+  r.Insert(T(&s, {"c", "x"}));
+  r.Insert(T(&s, {"d", "y"}));  // same row count as before the Clear
+  index.Refresh();
+
+  EXPECT_EQ(index.Lookup(T(&s, {"a"})), nullptr);
+  const auto* rows = index.Lookup(T(&s, {"c"}));
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], 0u);  // row positions restart after the rebuild
+}
+
+TEST(ColumnIndex, RefreshAfterClearAndRegrowthBeyondOldSize) {
+  SymbolTable s;
+  Relation r(UU());
+  r.Insert(T(&s, {"a", "x"}));
+  ColumnIndex index(&r, {0});
+  r.Clear();
+  r.Insert(T(&s, {"b", "x"}));
+  r.Insert(T(&s, {"a", "y"}));  // "a" reappears, at a different row
+  index.Refresh();
+  const auto* rows = index.Lookup(T(&s, {"a"}));
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], 1u);
+}
+
+TEST(IndexCache, FindFreshIsLookupOnly) {
+  SymbolTable s;
+  Relation r(UU());
+  r.Insert(T(&s, {"a", "x"}));
+  IndexCache cache(&r);
+  // Nothing built yet: FindFresh never creates or refreshes.
+  EXPECT_EQ(cache.FindFresh({0}), nullptr);
+  const ColumnIndex& built = cache.Get({0});
+  EXPECT_EQ(cache.FindFresh({0}), &built);
+  r.Insert(T(&s, {"b", "y"}));  // stale now
+  EXPECT_EQ(cache.FindFresh({0}), nullptr);
+  cache.Get({0});  // refreshes
+  EXPECT_EQ(cache.FindFresh({0}), &built);
+  r.Clear();
+  EXPECT_EQ(cache.FindFresh({0}), nullptr);
+}
+
 TEST(IndexCache, ReusesIndexes) {
   SymbolTable s;
   Relation r(UU());

@@ -3,6 +3,7 @@
 // Batch mode:
 //   idlog run PROGRAM.idl --query PRED [--csv REL=FILE]... [--seed N]
 //             [--enumerate] [--stats] [--naive] [--no-tid-pushdown]
+//             [--jobs N]                (worker threads; 1 = serial)
 //             [--explain "v1 v2 ..."]   (derivation tree of one fact)
 //             [--timeout-ms N] [--max-tuples N] [--max-memory-mb N]
 //             [--max-iterations N]      (resource governor budgets)
@@ -136,6 +137,7 @@ int RunBatch(int argc, char** argv) {
   idlog::EvalLimits limits;
   bool partial = false;
   bool profile = false;
+  uint64_t jobs = 1;
   std::string trace_out;
   std::string metrics_json;
 
@@ -208,6 +210,13 @@ int RunBatch(int argc, char** argv) {
       partial = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--jobs") {
+      auto v = ParseUint64("--jobs", next());
+      if (!v.ok()) return Fail(v.status());
+      if (*v < 1 || *v > 1024) {
+        return Fail(Status::InvalidArgument("--jobs expects 1..1024"));
+      }
+      jobs = *v;
     } else if (arg == "--trace-out") {
       const char* v = next();
       if (v == nullptr || *v == '\0') {
@@ -236,6 +245,7 @@ int RunBatch(int argc, char** argv) {
 
   IdlogEngine engine;
   engine.SetSeminaive(!naive);
+  engine.SetThreads(static_cast<int>(jobs));
   engine.SetTidBoundPushdown(pushdown);
   engine.SetLimits(limits);
   engine.SetPartialResults(partial);
@@ -302,6 +312,12 @@ int RunBatch(int argc, char** argv) {
                 answers->answers.size(),
                 static_cast<unsigned long long>(
                     answers->assignments_tried));
+    if (!answers->exhaustive) {
+      std::fprintf(stderr,
+                   "warning: enumeration not exhaustive — an ID-group "
+                   "exceeds 20 tuples (n! > 2^64 permutations), only a "
+                   "sample of the answer set was explored\n");
+    }
     for (const auto& answer : answers->answers) {
       std::printf("  {");
       for (size_t i = 0; i < answer.size(); ++i) {
@@ -473,6 +489,11 @@ int RunRepl() {
           std::printf("}\n");
         }
         std::printf("(%zu possible answers)\n", answers->answers.size());
+        if (!answers->exhaustive) {
+          std::printf(
+              "warning: not exhaustive — an ID-group exceeds 20 tuples, "
+              "only a sample of the answer set was explored\n");
+        }
       } else if (cmd == ".program") {
         if (engine.has_program()) {
           std::printf("%s", idlog::ProgramToString(engine.program(),
@@ -510,7 +531,7 @@ int main(int argc, char** argv) {
                  "usage: %s                      (interactive)\n"
                  "       %s run PROGRAM.idl --query PRED [--csv REL=FILE]"
                  " [--seed N] [--enumerate] [--stats] [--naive]"
-                 " [--no-tid-pushdown]\n"
+                 " [--no-tid-pushdown] [--jobs N]\n"
                  "           [--timeout-ms N] [--max-tuples N]"
                  " [--max-memory-mb N] [--max-iterations N] [--partial]\n"
                  "           [--profile] [--trace-out FILE]"
