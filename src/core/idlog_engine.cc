@@ -23,6 +23,8 @@ Status IdlogEngine::LoadProgram(Program program) {
   impl->set_threads(threads_);
   impl->set_trace_sink(trace_);
   impl->set_profiling_enabled(profiling_);
+  impl->set_explain_enabled(explain_);
+  impl->set_rewrite_log(rewrite_log_);
   IDLOG_RETURN_NOT_OK(impl->Prepare());
   impl_ = std::move(impl);
   ran_ = false;
@@ -176,6 +178,48 @@ Result<std::string> IdlogEngine::Explain(const std::string& pred,
     return stored.ok() && (*stored)->Contains(t);
   };
   return ExplainFact(impl_->provenance(), symbols_, pred, tuple, is_leaf);
+}
+
+void IdlogEngine::EnableExplain(bool enabled) {
+  if (explain_ != enabled) ran_ = false;
+  explain_ = enabled;
+  if (impl_ != nullptr) impl_->set_explain_enabled(enabled);
+}
+
+void IdlogEngine::SetRewriteLog(RewriteLog log) {
+  rewrite_log_ = std::move(log);
+  if (impl_ != nullptr) impl_->set_rewrite_log(rewrite_log_);
+}
+
+Result<std::string> IdlogEngine::ExplainPlan() {
+  if (impl_ == nullptr) {
+    return Status::InvalidArgument("no program loaded");
+  }
+  return impl_->ExplainPlanText(/*analyze=*/false);
+}
+
+Result<std::string> IdlogEngine::ExplainAnalyze() {
+  if (impl_ == nullptr) {
+    return Status::InvalidArgument("no program loaded");
+  }
+  EnableExplain(true);
+  IDLOG_RETURN_NOT_OK(Run());
+  return impl_->ExplainPlanText(/*analyze=*/true);
+}
+
+Result<std::string> IdlogEngine::ExplainPlanJson(bool analyze) {
+  if (impl_ == nullptr) {
+    return Status::InvalidArgument("no program loaded");
+  }
+  if (!analyze) return impl_->ExplainPlanJson(/*analyze=*/false);
+  EnableExplain(true);
+  IDLOG_RETURN_NOT_OK(Run());
+  return impl_->ExplainPlanJson(/*analyze=*/true);
+}
+
+const PlanAnalysis& IdlogEngine::plan_analysis() const {
+  static const PlanAnalysis kEmpty;
+  return impl_ == nullptr ? kEmpty : impl_->plan_analysis();
 }
 
 const EvalStats& IdlogEngine::stats() const {

@@ -167,6 +167,41 @@ class IdlogEngine {
   /// needed. NotFound if the fact does not hold.
   Result<std::string> Explain(const std::string& pred, const Tuple& tuple);
 
+  /// Enables EXPLAIN ANALYZE per-step counter collection during Run()
+  /// (off by default; zero cost when off — one pointer test per rule
+  /// evaluation).
+  void EnableExplain(bool enabled);
+  bool explain_enabled() const { return explain_; }
+
+  /// Installs rewrite provenance from the opt/ pipeline (MagicSetTransform,
+  /// OptimizeForOutput, etc.): when the caller ran rewrite passes before
+  /// loading the transformed program, passing their RewriteLog here makes
+  /// EXPLAIN annotate each clause with the rewrites that shaped it.
+  /// Takes effect at the next LoadProgram(); the engine adds its own
+  /// tid-pushdown notes during program analysis.
+  void SetRewriteLog(RewriteLog log);
+
+  /// Static EXPLAIN: the compiled plan of every rule as an aligned text
+  /// tree — safe join order, key columns / index choice, ArgModes,
+  /// delta-substitution candidates, plus the rewrite annotations.
+  /// Requires a loaded program; does not run the evaluation.
+  Result<std::string> ExplainPlan();
+
+  /// EXPLAIN ANALYZE: enables explain collection, runs if needed, and
+  /// renders the plan tree with per-step runtime counters (rows in /
+  /// scanned / emitted, observed selectivity, index probes) and
+  /// per-stratum fixpoint round sizes.
+  Result<std::string> ExplainAnalyze();
+
+  /// The deterministic `idlog-explain-v1` JSON document. With `analyze`,
+  /// enables explain collection and runs first (counters included);
+  /// without, renders the static plan only. Byte-identical across
+  /// --jobs settings for the same program and database.
+  Result<std::string> ExplainPlanJson(bool analyze);
+
+  /// Per-step counters of the last Run() (empty unless explain enabled).
+  const PlanAnalysis& plan_analysis() const;
+
  private:
   SymbolTable symbols_;
   Database database_;
@@ -183,6 +218,8 @@ class IdlogEngine {
   bool tid_bound_pushdown_ = true;
   bool provenance_ = false;
   bool use_indexes_ = true;
+  bool explain_ = false;
+  RewriteLog rewrite_log_;
   int threads_ = 1;
   bool ran_ = false;
 };

@@ -39,6 +39,31 @@ Status EngineImpl::Prepare() {
   idb_preds_ = classes.output;
   tid_bounds_ = ComputeTidBounds(*program_);
 
+  // Rewrite provenance for EXPLAIN: note, per clause, which ID-steps
+  // the footnote 6/7 tid-bound pushdown will restrict at
+  // materialization time.
+  pushdown_notes_.Clear();
+  if (tid_bound_pushdown_) {
+    for (const RulePlan& plan : plans_) {
+      for (const PlanStep& step : plan.steps) {
+        if (!step.is_id) continue;
+        auto bound =
+            tid_bounds_.find(TidBoundKey{step.predicate, step.group});
+        if (bound == tid_bounds_.end()) continue;
+        std::string cols;
+        for (int c : step.group) {
+          if (!cols.empty()) cols += ",";
+          cols += std::to_string(c);
+        }
+        pushdown_notes_.Note(
+            "tid-pushdown", plan.clause_index,
+            "id-relation " + step.predicate + "[" + cols +
+                "] materializes only tids <= " +
+                std::to_string(bound->second));
+      }
+    }
+  }
+
   // Does the program read `udom` without defining or storing it?
   udom_needed_ = false;
   for (const Clause& clause : program_->clauses) {
@@ -75,6 +100,17 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
   stats_.Reset();
   provenance_.Clear();
   profile_.Clear();
+  plan_analysis_.Clear();
+
+  if (explain_) {
+    // One counter slot per plan step plus the emit pseudo-step; the
+    // executor checks the size before attaching, so sizing here is what
+    // arms collection for this run.
+    plan_analysis_.rules.resize(plans_.size());
+    for (size_t i = 0; i < plans_.size(); ++i) {
+      plan_analysis_.rules[i].steps.resize(plans_[i].steps.size() + 1);
+    }
+  }
 
   if (profiling_) {
     profile_.rules.resize(plans_.size());
@@ -191,6 +227,7 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
   ctx.governor = governor_;
   ctx.trace = trace_;
   ctx.profile = profiling_ ? &profile_ : nullptr;
+  ctx.analyze = explain_ ? &plan_analysis_ : nullptr;
   // Parallel stratum execution. Provenance recording is not
   // thread-safe, so those runs stay serial (ctx.pool left null).
   if (threads_ > 1 && !provenance_enabled_) {
@@ -309,6 +346,49 @@ Result<bool> EngineImpl::VerifyModel() {
     }
   }
   return true;
+}
+
+Result<std::string> EngineImpl::RenderExplain(bool analyze,
+                                              bool json) const {
+  if (!prepared_) {
+    return Status::InvalidArgument("Prepare() the engine before EXPLAIN");
+  }
+  RewriteLog merged = rewrite_log_;
+  merged.Append(pushdown_notes_);
+
+  std::vector<int> stratum_of(plans_.size(), -1);
+  for (int s = 0; s < strat_.num_strata; ++s) {
+    for (int clause_idx :
+         strat_.clauses_by_stratum[static_cast<size_t>(s)]) {
+      stratum_of[static_cast<size_t>(clause_idx)] = s;
+    }
+  }
+
+  ExplainDoc doc;
+  doc.use_indexes = use_indexes_;
+  doc.rewrites = &merged;
+  doc.rules.reserve(plans_.size());
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    ExplainRule rule;
+    rule.clause_index = plans_[i].clause_index;
+    rule.stratum = stratum_of[i];
+    rule.text = ClauseToString(program_->clauses[i], *database_->symbols());
+    rule.plan = &plans_[i];
+    doc.rules.push_back(std::move(rule));
+  }
+  if (analyze) {
+    doc.analysis = &plan_analysis_;
+    doc.totals = &stats_;
+  }
+  return json ? RenderExplainJson(doc) : RenderExplainText(doc);
+}
+
+Result<std::string> EngineImpl::ExplainPlanText(bool analyze) const {
+  return RenderExplain(analyze, /*json=*/false);
+}
+
+Result<std::string> EngineImpl::ExplainPlanJson(bool analyze) const {
+  return RenderExplain(analyze, /*json=*/true);
 }
 
 Result<const Relation*> EngineImpl::IdRelationOf(

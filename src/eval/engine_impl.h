@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/stratifier.h"
@@ -17,6 +18,7 @@
 #include "eval/rule_eval.h"
 #include "eval/rule_plan.h"
 #include "exec/thread_pool.h"
+#include "obs/explain.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "storage/database.h"
@@ -120,7 +122,32 @@ class EngineImpl {
   /// The profile of the last Evaluate() (empty unless enabled).
   const EvalProfile& profile() const { return profile_; }
 
+  /// Enables EXPLAIN ANALYZE per-step counter collection during
+  /// Evaluate() (off by default; same pointer-test contract as the
+  /// profile — one branch per rule evaluation, counters per tuple only
+  /// when on).
+  void set_explain_enabled(bool enabled) { explain_ = enabled; }
+  bool explain_enabled() const { return explain_; }
+
+  /// Per-step counters of the last Evaluate() (empty unless enabled).
+  const PlanAnalysis& plan_analysis() const { return plan_analysis_; }
+
+  /// Installs rewrite provenance carried in from the opt/ pipeline;
+  /// EXPLAIN renders these notes next to the clauses they touched. The
+  /// engine appends its own tid-pushdown notes during Prepare().
+  void set_rewrite_log(RewriteLog log) { rewrite_log_ = std::move(log); }
+
+  /// Renders the compiled plans as an EXPLAIN document — the aligned
+  /// text tree or the deterministic `idlog-explain-v1` JSON. With
+  /// `analyze`, per-step runtime counters and per-stratum round sizes
+  /// of the last Evaluate() are included (requires explain enabled and
+  /// a completed run for meaningful numbers). Requires Prepare().
+  Result<std::string> ExplainPlanText(bool analyze) const;
+  Result<std::string> ExplainPlanJson(bool analyze) const;
+
  private:
+  Result<std::string> RenderExplain(bool analyze, bool json) const;
+
   const Relation* FullRelation(const std::string& pred) const;
 
   const Program* program_;
@@ -147,6 +174,10 @@ class EngineImpl {
   TraceSink* trace_ = nullptr;
   bool profiling_ = false;
   EvalProfile profile_;
+  bool explain_ = false;
+  PlanAnalysis plan_analysis_;
+  RewriteLog rewrite_log_;    ///< From the opt/ pipeline (caller-set).
+  RewriteLog pushdown_notes_; ///< The engine's own Prepare()-time notes.
   bool provenance_enabled_ = false;
   bool use_indexes_ = true;
   ProvenanceStore provenance_;

@@ -19,6 +19,17 @@ struct EvalStats {
   uint64_t strata_evaluated = 0;    ///< Strata entered by the last run.
   uint64_t id_groups_assigned = 0;  ///< Sub-relations given an ID-function.
   uint64_t id_tuples_materialized = 0;
+  /// Index effectiveness. `index_probes` counts index Lookup calls — a
+  /// logical counter, identical across --jobs settings (parallel rounds
+  /// probe the same pre-built indexes serial rounds probe lazily).
+  /// `index_builds` and `index_cache_misses` count physical work (an
+  /// index constructed or refreshed; a scan that found no fresh cached
+  /// index) and, like wall times, may differ between serial and
+  /// parallel execution: serial runs build lazily at first use, --jobs
+  /// runs build eagerly in the coordinator's pre-build step.
+  uint64_t index_probes = 0;
+  uint64_t index_builds = 0;
+  uint64_t index_cache_misses = 0;
   /// Wall time of the run, monotonic clock. Stamped by the engine when
   /// Evaluate() exits (on every path); inside a run it is 0 except in
   /// the governor's trip snapshot, which fills in the elapsed time at
@@ -36,6 +47,9 @@ struct EvalStats {
     strata_evaluated += o.strata_evaluated;
     id_groups_assigned += o.id_groups_assigned;
     id_tuples_materialized += o.id_tuples_materialized;
+    index_probes += o.index_probes;
+    index_builds += o.index_builds;
+    index_cache_misses += o.index_cache_misses;
     eval_wall_ns += o.eval_wall_ns;
     return *this;
   }

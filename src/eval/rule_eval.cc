@@ -19,6 +19,21 @@ class RuleExecutor {
     if (ctx_.provenance != nullptr) {
       premises_.resize(plan.steps.size());
     }
+    // EXPLAIN ANALYZE counters: one pointer resolved here, so the
+    // disabled path costs nothing per tuple. The buffer (steps+1
+    // entries, sized by the engine/driver) is the worker's private one
+    // when set, else the shared per-clause slot of the PlanAnalysis.
+    if (ctx_.step_stats != nullptr &&
+        ctx_.step_stats->steps.size() == plan.steps.size() + 1) {
+      sc_ = ctx_.step_stats->steps.data();
+    } else if (ctx_.analyze != nullptr && plan.clause_index >= 0 &&
+               static_cast<size_t>(plan.clause_index) <
+                   ctx_.analyze->rules.size()) {
+      auto& steps = ctx_.analyze->rules[static_cast<size_t>(
+                                            plan.clause_index)]
+                        .steps;
+      if (steps.size() == plan.steps.size() + 1) sc_ = steps.data();
+    }
   }
 
   Status Run() {
@@ -51,6 +66,10 @@ class RuleExecutor {
   }
 
   Status EmitHead() {
+    // The emit pseudo-step (index steps.size()): rows_in mirrors
+    // facts_derived, rows_emitted mirrors facts_inserted.
+    StepCounters* emit = sc_ != nullptr ? &sc_[plan_.steps.size()] : nullptr;
+    if (emit != nullptr) ++emit->rows_in;
     Tuple t;
     t.reserve(plan_.head_args.size());
     for (const ArgSource& src : plan_.head_args) t.push_back(Resolve(src));
@@ -62,8 +81,10 @@ class RuleExecutor {
     if (out_->Insert(std::move(t))) {
       // Parallel workers stage into a private relation; whether the
       // tuple is new globally is only known at the driver's merge,
-      // which does this accounting there in deterministic task order.
+      // which does this accounting (rows_emitted included) there in
+      // deterministic task order.
       if (ctx_.parallel_worker) return Status::OK();
+      if (emit != nullptr) ++emit->rows_emitted;
       if (ctx_.stats != nullptr) ++ctx_.stats->facts_inserted;
       if (ctx_.governor != nullptr) {
         return ctx_.governor->OnDerived(
@@ -120,6 +141,8 @@ class RuleExecutor {
   Status RunStep(size_t i) {
     if (i == plan_.steps.size()) return EmitHead();
     const PlanStep& step = plan_.steps[i];
+    StepCounters* sc = sc_ != nullptr ? &sc_[i] : nullptr;
+    if (sc != nullptr) ++sc->rows_in;
 
     switch (step.kind) {
       case PlanStep::Kind::kScan: {
@@ -140,21 +163,39 @@ class RuleExecutor {
             if (it != ctx_.index_caches->end()) {
               index = it->second->FindFresh(step.key_cols);
             }
+            if (index == nullptr) {
+              if (ctx_.stats != nullptr) ++ctx_.stats->index_cache_misses;
+              if (sc != nullptr) ++sc->index_misses;
+            } else if (sc != nullptr) {
+              ++sc->index_hits;
+            }
           } else {
+            bool rebuilt = false;
             index = &const_cast<IndexCache*>(CacheFor(rel))
-                         ->Get(step.key_cols);
+                         ->Get(step.key_cols, &rebuilt);
+            if (rebuilt) {
+              if (ctx_.stats != nullptr) {
+                ++ctx_.stats->index_builds;
+                ++ctx_.stats->index_cache_misses;
+              }
+              if (sc != nullptr) ++sc->index_misses;
+            } else if (sc != nullptr) {
+              ++sc->index_hits;
+            }
           }
         }
 
         if (index == nullptr) {
           for (const Tuple& row : rel->tuples()) {
             if (ctx_.stats != nullptr) ++ctx_.stats->tuples_considered;
+            if (sc != nullptr) ++sc->rows_scanned;
             if (ctx_.governor != nullptr) {
               IDLOG_RETURN_NOT_OK(ctx_.governor->CheckPoint());
             }
             if (!KeysMatch(step, row)) continue;
             if (!BindRow(step, row)) continue;
             if (ctx_.provenance != nullptr) RecordScanPremise(i, step, row);
+            if (sc != nullptr) ++sc->rows_emitted;
             IDLOG_RETURN_NOT_OK(RunStep(i + 1));
           }
           return Status::OK();
@@ -165,16 +206,20 @@ class RuleExecutor {
         for (int col : step.key_cols) {
           key.push_back(Resolve(step.sources[static_cast<size_t>(col)]));
         }
+        if (ctx_.stats != nullptr) ++ctx_.stats->index_probes;
+        if (sc != nullptr) ++sc->index_probes;
         const std::vector<size_t>* rows = index->Lookup(key);
         if (rows == nullptr) return Status::OK();
         for (size_t r : *rows) {
           if (ctx_.stats != nullptr) ++ctx_.stats->tuples_considered;
+          if (sc != nullptr) ++sc->rows_scanned;
           if (ctx_.governor != nullptr) {
             IDLOG_RETURN_NOT_OK(ctx_.governor->CheckPoint());
           }
           const Tuple& row = rel->tuples()[r];
           if (!BindRow(step, row)) continue;
           if (ctx_.provenance != nullptr) RecordScanPremise(i, step, row);
+          if (sc != nullptr) ++sc->rows_emitted;
           IDLOG_RETURN_NOT_OK(RunStep(i + 1));
         }
         return Status::OK();
@@ -187,6 +232,7 @@ class RuleExecutor {
         probe.reserve(step.sources.size());
         for (const ArgSource& src : step.sources) probe.push_back(Resolve(src));
         if (ctx_.stats != nullptr) ++ctx_.stats->tuples_considered;
+        if (sc != nullptr) ++sc->rows_scanned;
         if (ctx_.governor != nullptr) {
           IDLOG_RETURN_NOT_OK(ctx_.governor->CheckPoint());
         }
@@ -198,6 +244,7 @@ class RuleExecutor {
           p.group = step.group;
           p.tuple = std::move(probe);
         }
+        if (sc != nullptr) ++sc->rows_emitted;
         return RunStep(i + 1);
       }
 
@@ -208,10 +255,12 @@ class RuleExecutor {
           for (const ArgSource& src : step.sources) {
             args.push_back(Resolve(src));
           }
+          if (sc != nullptr) ++sc->rows_scanned;
           if (BuiltinHolds(step.builtin, args)) return Status::OK();
           if (ctx_.provenance != nullptr) {
             RecordBuiltinPremise(i, step, args, /*negated=*/true);
           }
+          if (sc != nullptr) ++sc->rows_emitted;
           return RunStep(i + 1);
         }
         std::vector<std::optional<Value>> args(step.sources.size());
@@ -224,6 +273,7 @@ class RuleExecutor {
         Status st = EnumerateBuiltin(
             step.builtin, args, [&](const std::vector<Value>& solution) {
               if (!inner.ok()) return;
+              if (sc != nullptr) ++sc->rows_scanned;
               if (ctx_.governor != nullptr) {
                 inner = ctx_.governor->CheckPoint();
                 if (!inner.ok()) return;
@@ -243,6 +293,7 @@ class RuleExecutor {
               if (ctx_.provenance != nullptr) {
                 RecordBuiltinPremise(i, step, solution, /*negated=*/false);
               }
+              if (sc != nullptr) ++sc->rows_emitted;
               inner = RunStep(i + 1);
             });
         IDLOG_RETURN_NOT_OK(st);
@@ -284,6 +335,9 @@ class RuleExecutor {
   Relation* out_;
   std::vector<Value> slots_;
   std::vector<Premise> premises_;
+  /// EXPLAIN ANALYZE counter array (steps+1 entries, last is the emit
+  /// pseudo-step), or null when analysis is off — see the constructor.
+  StepCounters* sc_ = nullptr;
 };
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "eval/eval_stats.h"
 #include "eval/provenance.h"
 #include "eval/rule_plan.h"
+#include "obs/explain.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "storage/index.h"
@@ -78,6 +79,19 @@ struct EvalContext {
   EvalProfile* profile = nullptr;
   /// Stratum currently evaluating (labels trace events; -1 outside).
   int stratum = -1;
+
+  /// EXPLAIN ANALYZE per-step counters (both null by default — the fast
+  /// path is one pointer test per rule evaluation, the same contract as
+  /// trace/profile). `analyze` is the engine-owned PlanAnalysis, with
+  /// one RuleStepStats per clause sized steps+1 (the extra entry is the
+  /// emit pseudo-step); the executor attributes by clause index.
+  /// Parallel workers instead receive `step_stats` pointing at their
+  /// task's private buffer (with `analyze` nulled so no worker touches
+  /// shared state) and the driver merges buffers in serial task order —
+  /// the emit step's rows_emitted is deferred to that merge, exactly
+  /// like EvalStats::facts_inserted. `step_stats` wins over `analyze`.
+  PlanAnalysis* analyze = nullptr;
+  RuleStepStats* step_stats = nullptr;
 
   /// When set, the first derivation of every new fact is recorded
   /// (clause index + matched premises). `symbols` is only consulted for

@@ -119,6 +119,16 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     return it == delta.end() ? nullptr : &it->second;
   };
 
+  // EXPLAIN ANALYZE: record this stratum's per-round delta sizes. The
+  // series is a logical quantity (fixpoint contents are deterministic),
+  // so it is identical across --jobs settings.
+  StratumRoundStats* round_log = nullptr;
+  if (ctx.analyze != nullptr) {
+    ctx.analyze->strata.emplace_back();
+    ctx.analyze->strata.back().stratum = ctx.stratum;
+    round_log = &ctx.analyze->strata.back();
+  }
+
   // Each round produces fresh delta relations; their index-cache
   // entries must be evicted or the pointer-keyed cache grows with the
   // number of fixpoint rounds (visible on long chains like the E10
@@ -172,6 +182,9 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
 
     for (RoundTask& task : tasks) {
       task.staged = Relation(staging_type(*task.plan));
+      if (ctx.analyze != nullptr) {
+        task.step_stats.steps.resize(task.plan->steps.size() + 1);
+      }
     }
     IDLOG_RETURN_NOT_OK(RunRoundTasks(ctx, ctx.pool, &tasks));
 
@@ -195,6 +208,24 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
       }
       task.stats.facts_inserted = inserted;
       if (ctx.stats != nullptr) *ctx.stats += task.stats;
+
+      // Fold the worker's private per-step counters into the shared
+      // analysis, in this same deterministic task order. The emit
+      // pseudo-step's rows_emitted was deferred to here, exactly like
+      // facts_inserted above.
+      if (ctx.analyze != nullptr && !task.step_stats.steps.empty() &&
+          task.plan->clause_index >= 0 &&
+          static_cast<size_t>(task.plan->clause_index) <
+              ctx.analyze->rules.size()) {
+        auto& dst = ctx.analyze
+                        ->rules[static_cast<size_t>(task.plan->clause_index)]
+                        .steps;
+        const auto& src = task.step_stats.steps;
+        if (dst.size() == src.size()) {
+          for (size_t k = 0; k < src.size(); ++k) dst[k] += src[k];
+          dst.back().rows_emitted += inserted;
+        }
+      }
 
       if (ctx.profile != nullptr && task.plan->clause_index >= 0 &&
           static_cast<size_t>(task.plan->clause_index) <
@@ -276,6 +307,9 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     std::map<std::string, Relation> next_delta;
     bool any = Commit(&staged, derived, &next_delta);
     replace_delta(std::move(next_delta));
+    if (round_log != nullptr) {
+      round_log->new_facts_per_round.push_back(delta_total());
+    }
     if (ctx.trace != nullptr) {
       round_span.AddArg(TraceArg::Num("new_facts", delta_total()));
     }
@@ -330,6 +364,9 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     std::map<std::string, Relation> next_delta;
     bool any = Commit(&staged, derived, &next_delta);
     replace_delta(std::move(next_delta));
+    if (round_log != nullptr) {
+      round_log->new_facts_per_round.push_back(delta_total());
+    }
     if (ctx.trace != nullptr) {
       round_span.AddArg(TraceArg::Num("new_facts", delta_total()));
     }

@@ -41,7 +41,15 @@ Status PrebuildIndexes(const EvalContext& ctx,
                  ->emplace(rel, std::make_unique<IndexCache>(rel))
                  .first;
       }
-      (void)it->second->Get(step.key_cols);
+      bool rebuilt = false;
+      (void)it->second->Get(step.key_cols, &rebuilt);
+      // Physical index work moves into this coordinator pre-build under
+      // --jobs; the counters are physical (like wall times) and are not
+      // compared across serial/parallel runs.
+      if (rebuilt && ctx.stats != nullptr) {
+        ++ctx.stats->index_builds;
+        ++ctx.stats->index_cache_misses;
+      }
     }
   }
   return Status::OK();
@@ -62,9 +70,13 @@ Status RunRoundTasks(const EvalContext& base_ctx, ThreadPool* pool,
       worker_ctx.stats = &t->stats;
       worker_ctx.parallel_worker = true;
       // Observability attribution happens in the driver's deterministic
-      // merge; workers only measure.
+      // merge; workers only measure. Per-step counters go to the task's
+      // private buffer, never the shared PlanAnalysis.
       worker_ctx.trace = nullptr;
       worker_ctx.profile = nullptr;
+      worker_ctx.analyze = nullptr;
+      worker_ctx.step_stats =
+          t->step_stats.steps.empty() ? nullptr : &t->step_stats;
       if (base_ctx.trace != nullptr) t->start_us = base_ctx.trace->NowUs();
       auto t0 = std::chrono::steady_clock::now();
       t->status =

@@ -28,6 +28,12 @@ struct RoundTask {
   EvalStats stats;              ///< Private counters (facts_inserted is
                                 ///< left 0 — the merge computes it
                                 ///< against the combined staging).
+  RuleStepStats step_stats;     ///< EXPLAIN ANALYZE per-step counters.
+                                ///< Sized steps+1 by the driver when
+                                ///< analysis is on (empty = off); the
+                                ///< emit entry's rows_emitted is left 0
+                                ///< — the merge fills it, like
+                                ///< facts_inserted.
   uint64_t start_us = 0;        ///< Trace timestamp at task start.
   uint64_t self_ns = 0;         ///< Wall time inside the evaluation.
   Status status;                ///< The evaluation's status.

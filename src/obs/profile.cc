@@ -85,6 +85,14 @@ void EvalProfile::ToMetrics(MetricsRegistry* metrics) const {
   metrics->AddCounter("totals.id_groups_assigned", totals.id_groups_assigned);
   metrics->AddCounter("totals.id_tuples_materialized",
                       totals.id_tuples_materialized);
+  // index_probes is logical (identical across --jobs); index_builds and
+  // index_cache_misses are physical (serial builds lazily, --jobs
+  // pre-builds eagerly) and, like wall times, are excluded from
+  // serial-vs-parallel equality comparisons.
+  metrics->AddCounter("totals.index_probes", totals.index_probes);
+  metrics->AddCounter("totals.index_builds", totals.index_builds);
+  metrics->AddCounter("totals.index_cache_misses",
+                      totals.index_cache_misses);
   metrics->ObserveDuration("totals.eval_wall", wall_ns);
   for (const StratumProfile& s : strata) {
     std::string prefix = "stratum." + std::to_string(s.index) + ".";

@@ -21,7 +21,8 @@ std::string LiteralKey(const Literal& lit, const SymbolTable& symbols) {
 }  // namespace
 
 Program CleanupProgram(const Program& program, const std::string& output,
-                       CleanupStats* stats) {
+                       CleanupStats* stats, RewriteLog* log,
+                       std::vector<int>* kept_from) {
   CleanupStats local;
   SymbolTable scratch;  // keys only need to be internally consistent
 
@@ -31,8 +32,11 @@ Program CleanupProgram(const Program& program, const std::string& output,
   std::set<std::string> clause_keys;
   std::vector<std::set<std::string>> kept_bodies;  // parallel to clauses
   std::vector<std::string> kept_heads;
+  std::vector<int> origin;  // parallel to out.clauses: input index
 
-  for (const Clause& clause : program.clauses) {
+  for (size_t clause_idx = 0; clause_idx < program.clauses.size();
+       ++clause_idx) {
+    const Clause& clause = program.clauses[clause_idx];
     // 1. Collapse duplicate literals; detect L together with not L.
     Clause cleaned;
     cleaned.head = clause.head;
@@ -86,6 +90,7 @@ Program CleanupProgram(const Program& program, const std::string& output,
 
     kept_heads.push_back(std::move(head_key));
     kept_bodies.push_back(std::move(body_keys));
+    origin.push_back(static_cast<int>(clause_idx));
     out.clauses.push_back(std::move(cleaned));
   }
 
@@ -96,16 +101,35 @@ Program CleanupProgram(const Program& program, const std::string& output,
     restricted.predicates = out.predicates;
     DependencyGraph graph(out);
     std::set<std::string> needed = graph.ReachableFrom(output);
-    for (Clause& clause : out.clauses) {
+    std::vector<int> restricted_origin;
+    for (size_t i = 0; i < out.clauses.size(); ++i) {
+      Clause& clause = out.clauses[i];
       if (needed.count(clause.head.predicate) > 0) {
+        restricted_origin.push_back(origin[i]);
         restricted.clauses.push_back(std::move(clause));
       }
     }
     local.unreachable_clauses_removed =
         static_cast<int>(before - restricted.clauses.size());
     out = std::move(restricted);
+    origin = std::move(restricted_origin);
   }
 
+  if (log != nullptr) {
+    auto note = [log](int count, const std::string& what) {
+      if (count > 0) {
+        log->Note("cleanup", -1,
+                  std::to_string(count) + " " + what + " removed");
+      }
+    };
+    note(local.duplicate_literals_removed, "duplicate body literal(s)");
+    note(local.contradictory_clauses_removed, "contradictory clause(s)");
+    note(local.duplicate_clauses_removed, "duplicate clause(s)");
+    note(local.subsumed_clauses_removed, "subsumed clause(s)");
+    note(local.unreachable_clauses_removed,
+         "clause(s) unreachable from '" + output + "'");
+  }
+  if (kept_from != nullptr) *kept_from = std::move(origin);
   if (stats != nullptr) *stats = local;
   return out;
 }

@@ -2,9 +2,11 @@
 #define IDLOG_OPT_CLEANUP_H_
 
 #include <string>
+#include <vector>
 
 #include "ast/ast.h"
 #include "common/status.h"
+#include "obs/explain.h"
 
 namespace idlog {
 
@@ -35,8 +37,15 @@ struct CleanupStats {
 ///    the paper's P/q) are dropped.
 ///
 /// Returns the cleaned program; `stats` (optional) reports what fired.
+/// When `log` is non-null, one program-wide RewriteNote per non-zero
+/// stat summarizes the pass. When `kept_from` is non-null it receives,
+/// per output clause, the index of the input clause it came from —
+/// callers that chain passes use this to remap earlier per-clause
+/// rewrite notes onto the cleaned program.
 Program CleanupProgram(const Program& program, const std::string& output = "",
-                       CleanupStats* stats = nullptr);
+                       CleanupStats* stats = nullptr,
+                       RewriteLog* log = nullptr,
+                       std::vector<int>* kept_from = nullptr);
 
 }  // namespace idlog
 

@@ -123,7 +123,8 @@ void EmitDefinition(const std::string& pred, int arity,
 
 }  // namespace
 
-Result<DesugarResult> DesugarGroupedIds(const Program& program) {
+Result<DesugarResult> DesugarGroupedIds(const Program& program,
+                                        RewriteLog* log) {
   DesugarResult result;
   result.program.predicates = program.predicates;
 
@@ -137,13 +138,25 @@ Result<DesugarResult> DesugarGroupedIds(const Program& program) {
       const std::string& pred = lit.atom.predicate;
       const std::vector<int> group = lit.atom.group;
       int arity = lit.atom.base_arity();
+      const std::string target = pred + "_id" + GroupSuffix(group);
       if (emitted.insert({pred, group}).second) {
         EmitDefinition(pred, arity, group, &result.program);
+        if (log != nullptr) {
+          log->Note("id-desugar", -1,
+                    "emitted footnote-5 definition of " + target +
+                        " (7 aux clauses) for grouped ID-relation " + pred);
+        }
       }
       // Replace p[s](args, T) with p_id_s(args, T).
-      lit.atom = Atom::Ordinary(pred + "_id" + GroupSuffix(group),
-                                lit.atom.terms);
+      lit.atom = Atom::Ordinary(target, lit.atom.terms);
       ++result.literals_desugared;
+      if (log != nullptr) {
+        // The rewritten clause is pushed after the aux definitions, so
+        // its output index is the current clause count.
+        log->Note("id-desugar",
+                  static_cast<int>(result.program.clauses.size()),
+                  "grouped ID-literal " + pred + " -> " + target);
+      }
     }
     result.program.GetOrAddPredicate(rewritten.head.predicate,
                                      rewritten.head.arity());

@@ -3,6 +3,7 @@
 
 #include "ast/ast.h"
 #include "common/status.h"
+#include "obs/explain.h"
 
 namespace idlog {
 
@@ -36,7 +37,12 @@ struct DesugarResult {
   int literals_desugared = 0;
 };
 
-Result<DesugarResult> DesugarGroupedIds(const Program& program);
+/// When `log` is non-null, the transform records one program-wide note
+/// per emitted footnote-5 definition block and one per-clause note per
+/// rewritten grouped ID-literal (clause indices refer to the returned
+/// program).
+Result<DesugarResult> DesugarGroupedIds(const Program& program,
+                                        RewriteLog* log = nullptr);
 
 }  // namespace idlog
 

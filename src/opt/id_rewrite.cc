@@ -10,7 +10,8 @@
 namespace idlog {
 
 Result<IdRewriteResult> RewriteExistentialToId(
-    const Program& program, const ExistentialAnalysis& analysis) {
+    const Program& program, const ExistentialAnalysis& analysis,
+    RewriteLog* log) {
   PredicateClassification classes = ClassifyPredicates(program);
 
   IdRewriteResult result;
@@ -40,6 +41,19 @@ Result<IdRewriteResult> RewriteExistentialToId(
       rewritten.body[l] =
           Literal::Pos(Atom::Id(lit.atom.predicate, group, std::move(args)));
       ++result.literals_rewritten;
+      if (log != nullptr) {
+        std::string cols;
+        for (int c : group) {
+          if (!cols.empty()) cols += ",";
+          cols += std::to_string(c);
+        }
+        log->Note("id-rewrite",
+                  static_cast<int>(result.program.clauses.size()),
+                  lit.atom.predicate + " -> " + lit.atom.predicate + "[" +
+                      cols + "](.., 0): " + std::to_string(existential) +
+                      " existential position(s), one tuple per group "
+                      "feeds the join");
+      }
     }
     result.program.clauses.push_back(std::move(rewritten));
   }
@@ -48,14 +62,20 @@ Result<IdRewriteResult> RewriteExistentialToId(
 }
 
 Result<OptimizeResult> OptimizeForOutput(const Program& program,
-                                         const std::string& output_pred) {
+                                         const std::string& output_pred,
+                                         RewriteLog* log) {
   OptimizeResult out;
+  // Projection and ID-rewrite are 1:1 on clauses, so notes from both
+  // stages share the pre-cleanup indexing; the cleanup's kept_from map
+  // then remaps them onto the final program.
+  RewriteLog stage_log;
+  RewriteLog* stage = log != nullptr ? &stage_log : nullptr;
 
   // Step 1: RBK88 adornment + projection pushing through the IDB.
   ExistentialAnalysis analysis =
       DetectExistentialArguments(program, output_pred);
   IDLOG_ASSIGN_OR_RETURN(ProjectionResult projected,
-                         PushProjections(program, analysis));
+                         PushProjections(program, analysis, stage));
   out.renamed = projected.renamed;
   for (const auto& [pred, pos] : analysis.positions) {
     (void)pos;
@@ -68,12 +88,37 @@ Result<OptimizeResult> OptimizeForOutput(const Program& program,
       DetectExistentialArguments(projected.program, output_pred);
   IDLOG_ASSIGN_OR_RETURN(
       IdRewriteResult rewritten,
-      RewriteExistentialToId(projected.program, analysis2));
+      RewriteExistentialToId(projected.program, analysis2, stage));
   out.literals_rewritten = rewritten.literals_rewritten;
 
   // Step 4: rule cleanup (the Algorithm D.1 role) restricted to the
   // output's program portion.
-  out.program = CleanupProgram(rewritten.program, output_pred);
+  std::vector<int> kept_from;
+  out.program = CleanupProgram(rewritten.program, output_pred,
+                               /*stats=*/nullptr, stage, &kept_from);
+
+  if (log != nullptr) {
+    // Remap the stages' pre-cleanup clause indices onto the final
+    // program. Notes on clauses the cleanup dropped stay visible, but
+    // program-wide and flagged as removed.
+    std::map<int, int> final_index;
+    for (size_t i = 0; i < kept_from.size(); ++i) {
+      final_index[kept_from[i]] = static_cast<int>(i);
+    }
+    for (const RewriteNote& note : stage_log.notes()) {
+      if (note.clause_index < 0) {
+        log->Note(note.pass, -1, note.detail);
+        continue;
+      }
+      auto it = final_index.find(note.clause_index);
+      if (it != final_index.end()) {
+        log->Note(note.pass, it->second, note.detail);
+      } else {
+        log->Note(note.pass, -1,
+                  note.detail + " (clause later removed by cleanup)");
+      }
+    }
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "ast/ast.h"
 #include "common/status.h"
+#include "obs/explain.h"
 #include "opt/adornment.h"
 
 namespace idlog {
@@ -26,8 +27,12 @@ struct IdRewriteResult {
   int literals_rewritten = 0;
 };
 
+/// When `log` is non-null, records one per-clause note per literal
+/// turned into an ID-literal (the mapping is 1:1, so indices are shared
+/// between input and output program).
 Result<IdRewriteResult> RewriteExistentialToId(
-    const Program& program, const ExistentialAnalysis& analysis);
+    const Program& program, const ExistentialAnalysis& analysis,
+    RewriteLog* log = nullptr);
 
 /// The full strategy (steps 1 and 3; step 2's output-schema pruning is
 /// intentionally skipped so the query type is preserved): detect
@@ -43,8 +48,14 @@ struct OptimizeResult {
   int literals_rewritten = 0;
 };
 
+/// When `log` is non-null, the sub-passes' notes are collected and
+/// remapped onto the final cleaned program's clause indices (notes on
+/// clauses the cleanup removed are kept program-wide, marked as such) —
+/// hand the log to IdlogEngine::SetRewriteLog so EXPLAIN annotates the
+/// optimized program with its rewrite history.
 Result<OptimizeResult> OptimizeForOutput(const Program& program,
-                                         const std::string& output_pred);
+                                         const std::string& output_pred,
+                                         RewriteLog* log = nullptr);
 
 }  // namespace idlog
 

@@ -43,7 +43,8 @@ Adornment AtomAdornment(const Atom& atom,
 }  // namespace
 
 Result<MagicResult> MagicSetTransform(const Program& program,
-                                      const MagicQuery& query) {
+                                      const MagicQuery& query,
+                                      RewriteLog* log) {
   // Validate the fragment.
   for (const Clause& clause : program.clauses) {
     for (const Literal& lit : clause.body) {
@@ -92,6 +93,14 @@ Result<MagicResult> MagicSetTransform(const Program& program,
     }
     seed.head = Atom::Ordinary(result.seed_pred, std::move(consts));
     out.clauses.push_back(std::move(seed));
+    if (log != nullptr) {
+      log->Note("magic-sets", 0,
+                "seed fact " + result.seed_pred +
+                    " from the query's bound constants");
+      log->Note("magic-sets", -1,
+                "query " + query.predicate + " adorned " + query_adornment +
+                    "; answers in " + result.answer_pred);
+    }
   }
 
   // Worklist over (predicate, adornment).
@@ -145,6 +154,12 @@ Result<MagicResult> MagicSetTransform(const Program& program,
                              BoundArgs(lit.atom, body_adornment));
           magic_rule.body.push_back(Literal::Pos(magic_guard));
           for (const Literal& p : prefix) magic_rule.body.push_back(p);
+          if (log != nullptr) {
+            log->Note("magic-sets",
+                      static_cast<int>(out.clauses.size()),
+                      "magic rule for " + body_pred + "__" +
+                          body_adornment + " (left-to-right SIP)");
+          }
           out.clauses.push_back(std::move(magic_rule));
           worklist.push_back({body_pred, body_adornment});
 
@@ -159,6 +174,11 @@ Result<MagicResult> MagicSetTransform(const Program& program,
         for (const Term& t : lit.atom.terms) {
           if (t.is_variable()) bound_vars.insert(t.var_name());
         }
+      }
+      if (log != nullptr) {
+        log->Note("magic-sets", static_cast<int>(out.clauses.size()),
+                  "adorned rule " + AdornedName(pred, adornment) +
+                      " guarded by " + MagicName(pred, adornment));
       }
       out.clauses.push_back(std::move(rewritten));
     }

@@ -8,6 +8,7 @@
 #include "ast/ast.h"
 #include "common/status.h"
 #include "common/value.h"
+#include "obs/explain.h"
 
 namespace idlog {
 
@@ -40,8 +41,13 @@ struct MagicResult {
 /// query's bound constants: magic predicates carry the reachable
 /// binding sets, every original rule is guarded by its head's magic
 /// atom, and the query's constants seed the magic fixpoint.
+/// When `log` is non-null, the transform records the query seed as a
+/// program-wide note and a per-clause note for every magic rule and
+/// guarded adorned rule it emits (clause indices refer to the returned
+/// program).
 Result<MagicResult> MagicSetTransform(const Program& program,
-                                      const MagicQuery& query);
+                                      const MagicQuery& query,
+                                      RewriteLog* log = nullptr);
 
 }  // namespace idlog
 

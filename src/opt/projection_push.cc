@@ -9,7 +9,8 @@
 namespace idlog {
 
 Result<ProjectionResult> PushProjections(const Program& program,
-                                         const ExistentialAnalysis& analysis) {
+                                         const ExistentialAnalysis& analysis,
+                                         RewriteLog* log) {
   PredicateClassification classes = ClassifyPredicates(program);
 
   // Which IDB predicates lose which columns.
@@ -24,8 +25,17 @@ Result<ProjectionResult> PushProjections(const Program& program,
     return result;
   }
   for (const auto& [pred, cols] : dropped) {
-    (void)cols;
     result.renamed[pred] = pred + "_x";
+    if (log != nullptr) {
+      std::string positions;
+      for (int c : cols) {
+        if (!positions.empty()) positions += ",";
+        positions += std::to_string(c);
+      }
+      log->Note("projection-push", -1,
+                pred + " -> " + result.renamed[pred] +
+                    " dropping existential columns {" + positions + "}");
+    }
   }
 
   auto rewrite_atom = [&](const Atom& atom) -> Atom {
@@ -44,8 +54,13 @@ Result<ProjectionResult> PushProjections(const Program& program,
   Program& out = result.program;
   for (const Clause& clause : program.clauses) {
     Clause rewritten;
+    bool touched = dropped.count(clause.head.predicate) > 0;
     rewritten.head = rewrite_atom(clause.head);
     for (const Literal& lit : clause.body) {
+      if (lit.atom.kind == AtomKind::kOrdinary &&
+          dropped.count(lit.atom.predicate) > 0) {
+        touched = true;
+      }
       if (lit.atom.kind == AtomKind::kOrdinary &&
           dropped.count(lit.atom.predicate) > 0 && lit.negated) {
         // Dropping columns under negation is unsound; the adornment
@@ -57,6 +72,10 @@ Result<ProjectionResult> PushProjections(const Program& program,
       }
       rewritten.body.push_back(
           Literal{rewrite_atom(lit.atom), lit.negated});
+    }
+    if (touched && log != nullptr) {
+      log->Note("projection-push", static_cast<int>(out.clauses.size()),
+                "narrowed projected predicates in head/body");
     }
     out.clauses.push_back(std::move(rewritten));
   }

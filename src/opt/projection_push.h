@@ -6,6 +6,7 @@
 
 #include "ast/ast.h"
 #include "common/status.h"
+#include "obs/explain.h"
 #include "opt/adornment.h"
 
 namespace idlog {
@@ -26,8 +27,13 @@ struct ProjectionResult {
 /// redundant columns are handled by RewriteExistentialToId instead.
 /// Projected predicates are renamed `<name>_x` to keep the original
 /// visible for comparison runs.
+/// When `log` is non-null, records one program-wide note per narrowed
+/// predicate and one per-clause note per clause whose head or body was
+/// rewritten (the mapping is 1:1, so indices are shared between input
+/// and output program).
 Result<ProjectionResult> PushProjections(const Program& program,
-                                         const ExistentialAnalysis& analysis);
+                                         const ExistentialAnalysis& analysis,
+                                         RewriteLog* log = nullptr);
 
 }  // namespace idlog
 

@@ -50,12 +50,15 @@ const std::vector<size_t>* ColumnIndex::Lookup(const Tuple& key) const {
   return &it->second;
 }
 
-const ColumnIndex& IndexCache::Get(const std::vector<int>& cols) {
+const ColumnIndex& IndexCache::Get(const std::vector<int>& cols,
+                                   bool* rebuilt) {
   auto it = indexes_.find(cols);
   if (it == indexes_.end()) {
     it = indexes_.emplace(cols, ColumnIndex(relation_, cols)).first;
-  } else {
+    if (rebuilt != nullptr) *rebuilt = true;
+  } else if (!it->second.fresh()) {
     it->second.Refresh();
+    if (rebuilt != nullptr) *rebuilt = true;
   }
   return it->second;
 }

@@ -50,7 +50,12 @@ class IndexCache {
   IndexCache& operator=(const IndexCache&) = delete;
 
   /// Returns a fresh index on `cols` (built or refreshed on demand).
-  const ColumnIndex& Get(const std::vector<int>& cols);
+  /// When `rebuilt` is non-null it is set to true if the call did
+  /// physical work — constructed the index or refreshed a stale one —
+  /// and left untouched otherwise (callers initialize it false), which
+  /// is what backs the index_builds/index_cache_misses counters.
+  const ColumnIndex& Get(const std::vector<int>& cols,
+                         bool* rebuilt = nullptr);
 
   /// Read-only lookup for concurrent readers: the index on `cols` if it
   /// exists and is fresh for the relation's current contents, nullptr

@@ -71,6 +71,7 @@ struct RunOutcome {
   EvalStats stats;
   EvalProfile profile;
   std::vector<std::string> trace;  ///< Events minus timing fields.
+  std::string explain_json;     ///< idlog-explain-v1 document.
 };
 
 // Renders the deterministic part of a trace event (everything except
@@ -99,6 +100,7 @@ RunOutcome RunWith(int threads, const std::string& program,
   }
   engine.SetThreads(threads);
   engine.EnableProfiling(true);
+  engine.EnableExplain(true);
   TraceSink sink;
   engine.SetTraceSink(&sink);
   Status st = engine.LoadProgramText(program);
@@ -115,6 +117,9 @@ RunOutcome RunWith(int threads, const std::string& program,
   out.stats = engine.stats();
   out.profile = engine.profile();
   out.trace = TraceShape(sink);
+  auto doc = engine.ExplainPlanJson(/*analyze=*/true);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  if (doc.ok()) out.explain_json = *doc;
   return out;
 }
 
@@ -128,6 +133,13 @@ void ExpectSameStats(const EvalStats& serial, const EvalStats& parallel) {
   EXPECT_EQ(serial.id_groups_assigned, parallel.id_groups_assigned);
   EXPECT_EQ(serial.id_tuples_materialized,
             parallel.id_tuples_materialized);
+  // index_probes is a logical counter: the same joins probe the same
+  // keys regardless of --jobs. index_builds and index_cache_misses are
+  // NOT compared — they are physical (the serial path builds indexes
+  // lazily inside the executor, the parallel coordinator pre-builds
+  // them eagerly before the round), so they legitimately differ, like
+  // eval_wall_ns.
+  EXPECT_EQ(serial.index_probes, parallel.index_probes);
 }
 
 // Profile columns must sum to the engine totals in both modes — the
@@ -170,6 +182,9 @@ void ExpectEquivalent(const std::string& program,
     EXPECT_EQ(s.facts_inserted, p.facts_inserted) << "rule " << i;
   }
   EXPECT_EQ(serial.trace, parallel.trace);
+  // The EXPLAIN ANALYZE document contains only logical counters, so it
+  // must come out byte-identical regardless of the thread count.
+  EXPECT_EQ(serial.explain_json, parallel.explain_json);
 }
 
 // --------------------------------------------------------------------

@@ -4,7 +4,17 @@
 //   idlog run PROGRAM.idl --query PRED [--csv REL=FILE]... [--seed N]
 //             [--enumerate] [--stats] [--naive] [--no-tid-pushdown]
 //             [--jobs N]                (worker threads; 1 = serial)
-//             [--explain "v1 v2 ..."]   (derivation tree of one fact)
+//             [--explain "v1 v2 ..."]   (derivation tree of one fact;
+//             [--why "v1 v2 ..."]        --why is an alias)
+//             [--explain-plan]          (static EXPLAIN of every rule
+//                                        plan; no evaluation, --query
+//                                        optional)
+//             [--explain-analyze]       (EXPLAIN ANALYZE: plan tree
+//                                        with per-step runtime counters
+//                                        after the query runs)
+//             [--explain-json FILE]     (idlog-explain-v1 JSON; implies
+//                                        --explain-analyze unless
+//                                        --explain-plan is given)
 //             [--timeout-ms N] [--max-tuples N] [--max-memory-mb N]
 //             [--max-iterations N]      (resource governor budgets)
 //             [--partial]               (keep partial results on a trip)
@@ -134,6 +144,9 @@ int RunBatch(int argc, char** argv) {
   bool random = false;
   std::string explain_fields;
   bool explain = false;
+  bool explain_plan = false;
+  bool explain_analyze = false;
+  std::string explain_json;
   idlog::EvalLimits limits;
   bool partial = false;
   bool profile = false;
@@ -177,13 +190,23 @@ int RunBatch(int argc, char** argv) {
       random = true;
     } else if (arg == "--enumerate") {
       enumerate = true;
-    } else if (arg == "--explain") {
+    } else if (arg == "--explain" || arg == "--why") {
       const char* v = next();
       if (v == nullptr) {
-        return Fail(Status::InvalidArgument("--explain \"v1 v2 ...\""));
+        return Fail(Status::InvalidArgument(arg + " \"v1 v2 ...\""));
       }
       explain_fields = v;
       explain = true;
+    } else if (arg == "--explain-plan") {
+      explain_plan = true;
+    } else if (arg == "--explain-analyze") {
+      explain_analyze = true;
+    } else if (arg == "--explain-json") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--explain-json FILE"));
+      }
+      explain_json = v;
     } else if (arg == "--timeout-ms") {
       auto v = ParseUint64("--timeout-ms", next());
       if (!v.ok()) return Fail(v.status());
@@ -239,8 +262,15 @@ int RunBatch(int argc, char** argv) {
       return Fail(Status::InvalidArgument("unknown flag '" + arg + "'"));
     }
   }
-  if (query.empty()) {
+  // --explain-json without --explain-plan means EXPLAIN ANALYZE.
+  if (!explain_json.empty() && !explain_plan) explain_analyze = true;
+  if (query.empty() && !explain_plan) {
     return Fail(Status::InvalidArgument("--query PRED is required"));
+  }
+  if (explain_analyze && query.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--explain-analyze needs --query PRED (use --explain-plan for "
+        "the static plan)"));
   }
 
   IdlogEngine engine;
@@ -250,6 +280,7 @@ int RunBatch(int argc, char** argv) {
   engine.SetLimits(limits);
   engine.SetPartialResults(partial);
   if (explain) engine.EnableProvenance(true);
+  if (explain_analyze) engine.EnableExplain(true);
   idlog::TraceSink trace_sink;
   const bool tracing = !trace_out.empty();
   if (tracing) engine.SetTraceSink(&trace_sink);
@@ -271,6 +302,18 @@ int RunBatch(int argc, char** argv) {
     if (!metrics_json.empty()) {
       Status wst =
           WriteFile(metrics_json, engine.profile().ToMetricsJson());
+      if (!wst.ok()) {
+        std::fprintf(stderr, "error: %s\n", wst.ToString().c_str());
+        if (code == 0) code = 1;
+      }
+    }
+    if (!explain_json.empty()) {
+      // Written on trips and failures too — like the trace and metrics,
+      // the plan counters of a truncated run are exactly what a
+      // post-mortem wants. Static document when --explain-plan.
+      auto doc = engine.ExplainPlanJson(/*analyze=*/!explain_plan);
+      Status wst =
+          doc.ok() ? WriteFile(explain_json, *doc) : doc.status();
       if (!wst.ok()) {
         std::fprintf(stderr, "error: %s\n", wst.ToString().c_str());
         if (code == 0) code = 1;
@@ -298,6 +341,13 @@ int RunBatch(int argc, char** argv) {
   if (!st.ok()) return finish(Fail(st));
   if (random) {
     engine.SetTidAssigner(std::make_unique<idlog::RandomTidAssigner>(seed));
+  }
+
+  if (explain_plan) {
+    auto plan = engine.ExplainPlan();
+    if (!plan.ok()) return finish(Fail(plan.status()));
+    std::printf("%s", plan->c_str());
+    return finish(0);
   }
 
   if (enumerate) {
@@ -362,6 +412,11 @@ int RunBatch(int argc, char** argv) {
   }
   PrintRelation(**result, engine.symbols());
   if (stats) PrintStats(engine.stats());
+  if (explain_analyze) {
+    auto analyzed = engine.ExplainAnalyze();
+    if (!analyzed.ok()) return finish(Fail(analyzed.status()));
+    std::printf("%s", analyzed->c_str());
+  }
   return finish(0);
 }
 
@@ -532,6 +587,9 @@ int main(int argc, char** argv) {
                  "       %s run PROGRAM.idl --query PRED [--csv REL=FILE]"
                  " [--seed N] [--enumerate] [--stats] [--naive]"
                  " [--no-tid-pushdown] [--jobs N]\n"
+                 "           [--explain \"v1 v2 ...\"] [--why \"v1 v2 ...\"]"
+                 " [--explain-plan] [--explain-analyze]"
+                 " [--explain-json FILE]\n"
                  "           [--timeout-ms N] [--max-tuples N]"
                  " [--max-memory-mb N] [--max-iterations N] [--partial]\n"
                  "           [--profile] [--trace-out FILE]"
