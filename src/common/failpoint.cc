@@ -1,0 +1,119 @@
+#include "common/failpoint.h"
+
+#include <stdexcept>
+
+namespace idlog {
+
+std::atomic<int> Failpoints::armed_count_{0};
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+const std::vector<std::string>& Failpoints::Catalog() {
+  // Every IDLOG_FAILPOINT site in the library and the snapshot/output
+  // I/O helpers. tests/failpoint_test.cc greps the sources and fails if
+  // this list and the planted sites ever diverge.
+  static const std::vector<std::string>* catalog =
+      new std::vector<std::string>{
+          "csv.load.open",           // CSV file open
+          "csv.load.row",            // per-row CSV ingestion
+          "engine.checkpoint.frame", // round-boundary frame serialization
+          "eval.emit.insert",        // staged insert of a derived fact
+          "eval.index.build",        // column-index (re)build for a scan
+          "exec.round.task",         // parallel round task boundary
+          "storage.relation.insert", // checked EDB tuple insert
+          "store.read.header",       // snapshot magic/version check
+          "store.read.open",         // snapshot file open
+          "store.read.section",      // snapshot section decode
+          "store.write.data",        // temp-file payload write
+          "store.write.fsync",       // temp-file fsync
+          "store.write.open",        // temp-file creation
+          "store.write.rename",      // atomic rename into place
+      };
+  return *catalog;
+}
+
+Status Failpoints::ArmFromSpec(const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  bool throws = false;
+  std::string rest = spec;
+  if (colon != std::string::npos && spec.substr(colon + 1) == "throw") {
+    throws = true;
+    rest = spec.substr(0, colon);
+    colon = rest.rfind(':');
+  } else {
+    colon = rest.rfind(':');
+  }
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+    return Status::InvalidArgument(
+        "failpoint spec must be 'site:nth' or 'site:nth:throw', got '" +
+        spec + "'");
+  }
+  const std::string site = rest.substr(0, colon);
+  const std::string count = rest.substr(colon + 1);
+  uint64_t nth = 0;
+  for (char c : count) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("failpoint count '" + count +
+                                     "' is not a number in '" + spec + "'");
+    }
+    nth = nth * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (nth == 0) {
+    return Status::InvalidArgument(
+        "failpoint count is 1-based; ':0' never fires in '" + spec + "'");
+  }
+  bool known = false;
+  for (const std::string& s : Catalog()) {
+    if (s == site) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    return Status::InvalidArgument("unknown failpoint site '" + site +
+                                   "' (see Failpoints::Catalog())");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_.emplace(site, Armed{nth, throws, 0}).second) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    armed_[site] = Armed{nth, throws, 0};
+  }
+  return Status::OK();
+}
+
+void Failpoints::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(static_cast<int>(armed_.size()),
+                         std::memory_order_relaxed);
+  armed_.clear();
+}
+
+uint64_t Failpoints::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(site);
+  return it == armed_.end() ? 0 : it->second.hits;
+}
+
+Status Failpoints::OnHit(const char* site) {
+  bool throws = false;
+  uint64_t fired_hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = armed_.find(site);
+    if (it == armed_.end()) return Status::OK();
+    ++it->second.hits;
+    if (it->second.hits != it->second.nth) return Status::OK();
+    throws = it->second.throws;
+    fired_hit = it->second.hits;
+  }
+  std::string what = std::string("injected failure at failpoint '") + site +
+                     "' (execution " + std::to_string(fired_hit) + ")";
+  if (throws) throw std::runtime_error(what);
+  return Status::Internal(std::move(what));
+}
+
+}  // namespace idlog

@@ -1,0 +1,90 @@
+#ifndef IDLOG_COMMON_FAILPOINT_H_
+#define IDLOG_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idlog {
+
+/// Deterministic fault-injection registry.
+///
+/// Code that can fail plants named failure points with
+/// `IDLOG_FAILPOINT("store.write.rename")`; tests and the CLI arm a
+/// point with a spec `site:nth[:throw]`, meaning the nth execution of
+/// that site fails (returning an Internal Status, or throwing when the
+/// `throw` action is requested — the latter exists to exercise the
+/// thread pool's exception hardening). Every site must be listed in the
+/// central Catalog(); arming an unknown site is an InvalidArgument, so
+/// a typo in `--fail-at` cannot silently test nothing, and a drift test
+/// greps the sources to keep the catalog complete.
+///
+/// Cost when disarmed: one relaxed atomic load per site execution
+/// (AnyArmed()), no lock, no map lookup. The registry is process-global
+/// and thread-safe; sweep tests arm one site at a time and Reset()
+/// between iterations.
+class Failpoints {
+ public:
+  static Failpoints& Instance();
+
+  /// Arms from a spec string `site:nth[:throw]` (nth is 1-based: the
+  /// nth execution of the site fails; earlier and later ones pass).
+  /// Unknown sites, malformed counts and unknown actions are
+  /// InvalidArgument. Several sites may be armed at once.
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Disarms every site and zeroes hit counters.
+  void Reset();
+
+  /// Executions of `site` so far (armed sites only; 0 otherwise).
+  uint64_t HitCount(const std::string& site) const;
+
+  /// Every registered site name, sorted. The sweep test iterates this;
+  /// the drift test checks it against IDLOG_FAILPOINT uses in src/.
+  static const std::vector<std::string>& Catalog();
+
+  /// Fast path for the IDLOG_FAILPOINT macro: false unless some site is
+  /// armed anywhere in the process.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Slow path: counts one execution of `site` and returns the injected
+  /// error if this execution is the armed one (or throws, for the
+  /// `throw` action). OK when the site is not armed.
+  Status OnHit(const char* site);
+
+ private:
+  Failpoints() = default;
+
+  struct Armed {
+    uint64_t nth = 1;      ///< 1-based execution index that fails.
+    bool throws = false;   ///< Throw instead of returning a Status.
+    uint64_t hits = 0;
+  };
+
+  static std::atomic<int> armed_count_;
+  mutable std::mutex mu_;
+  std::map<std::string, Armed> armed_;
+};
+
+/// Plants a failure point: in the nth execution of an armed site, the
+/// enclosing function returns an Internal Status (or, for Result<T>
+/// returns, an error Result). Near-zero cost while nothing is armed.
+#define IDLOG_FAILPOINT(site)                                          \
+  do {                                                                 \
+    if (::idlog::Failpoints::AnyArmed()) {                             \
+      ::idlog::Status _idlog_fp =                                      \
+          ::idlog::Failpoints::Instance().OnHit(site);                 \
+      if (!_idlog_fp.ok()) return _idlog_fp;                           \
+    }                                                                  \
+  } while (0)
+
+}  // namespace idlog
+
+#endif  // IDLOG_COMMON_FAILPOINT_H_

@@ -1,9 +1,27 @@
 #include "core/idlog_engine.h"
 
 #include "analysis/dependency_graph.h"
+#include "ast/printer.h"
+#include "common/failpoint.h"
 #include "parser/parser.h"
+#include "store/atomic_file.h"
 
 namespace idlog {
+namespace {
+
+/// 64-bit FNV-1a over the round-tripped program text: cheap, stable
+/// across processes, and exactly as precise as the printer (two
+/// programs hash alike iff they print alike).
+uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
 
 IdlogEngine::IdlogEngine()
     : database_(&symbols_),
@@ -16,6 +34,17 @@ Status IdlogEngine::LoadProgramText(std::string_view text) {
 
 Status IdlogEngine::LoadProgram(Program program) {
   program_ = std::move(program);
+  program_hash_ = Fnv1a64(ProgramToString(program_, symbols_));
+  // Hash 0 marks a cold-start snapshot taken before any program was
+  // loaded; it carries no fixpoint progress, so any program may follow.
+  if (pending_resume_ != nullptr &&
+      pending_resume_->config.program_hash != 0 &&
+      pending_resume_->config.program_hash != program_hash_) {
+    return Status::InvalidArgument(
+        "program does not match the checkpoint being resumed (program "
+        "hash mismatch); resume with the same program text the snapshot "
+        "was taken under");
+  }
   auto impl = std::make_unique<EngineImpl>(&program_, &database_);
   impl->set_tid_bound_pushdown(tid_bound_pushdown_);
   impl->set_provenance_enabled(provenance_);
@@ -70,11 +99,183 @@ void IdlogEngine::SetLimits(const EvalLimits& limits) {
   ran_ = false;
 }
 
+void IdlogEngine::SetCheckpoint(std::string path, uint64_t every_rounds) {
+  checkpoint_path_ = std::move(path);
+  checkpoint_every_ = every_rounds < 1 ? 1 : every_rounds;
+}
+
+SnapshotConfig IdlogEngine::CurrentConfig() const {
+  SnapshotConfig config;
+  config.program_hash = program_hash_;
+  config.seminaive = seminaive_;
+  config.tid_bound_pushdown = tid_bound_pushdown_;
+  config.use_indexes = use_indexes_;
+  if (assigner_ != nullptr) {
+    config.assigner_kind = assigner_->kind();
+    config.assigner_state = assigner_->SaveState();
+  } else {
+    config.assigner_kind = "identity";
+  }
+  return config;
+}
+
+std::string IdlogEngine::SerializeCurrentState(
+    const SnapshotProgress& progress) const {
+  SnapshotView view;
+  view.symbols = &symbols_;
+  view.database = &database_;
+  view.derived = &impl_->derived();
+  view.id_relations = &impl_->id_relations();
+  view.delta = nullptr;
+  view.stats = &impl_->stats();
+  view.analysis = impl_->explain_enabled() ? &impl_->plan_analysis() : nullptr;
+  view.profile = impl_->profiling_enabled() ? &impl_->profile() : nullptr;
+  view.config = CurrentConfig();
+  view.progress = progress;
+  return SerializeSnapshot(view);
+}
+
+Status IdlogEngine::OnCheckpointFrame(
+    const FixpointFrame& frame,
+    const std::map<std::string, Relation>& delta) {
+  IDLOG_FAILPOINT("engine.checkpoint.frame");
+  SnapshotView view;
+  view.symbols = &symbols_;
+  view.database = &database_;
+  view.derived = &impl_->derived();
+  view.id_relations = &impl_->id_relations();
+  view.delta = frame.in_stratum ? &delta : nullptr;
+  view.stats = &impl_->stats();
+  view.analysis = impl_->explain_enabled() ? &impl_->plan_analysis() : nullptr;
+  view.profile = impl_->profiling_enabled() ? &impl_->profile() : nullptr;
+  view.config = CurrentConfig();
+  view.progress.completed = frame.completed;
+  view.progress.stratum = frame.stratum;
+  view.progress.round = frame.round;
+  view.progress.in_stratum = frame.in_stratum;
+  last_frame_ = SerializeSnapshot(view);
+  if (++frames_since_write_ >= checkpoint_every_) {
+    frames_since_write_ = 0;
+    return WriteFileAtomic(checkpoint_path_, last_frame_);
+  }
+  return Status::OK();
+}
+
+Status IdlogEngine::SaveCheckpoint(const std::string& path) {
+  // ran_ implies a loaded program; the cold-start branch below handles
+  // an engine with no program at all (config hash 0, database only).
+  if (ran_ && last_trip_.ok()) {
+    SnapshotProgress done;
+    done.completed = true;
+    done.stratum = impl_->stratification().num_strata;
+    return WriteFileAtomic(path, SerializeCurrentState(done));
+  }
+  if (!last_frame_.empty()) {
+    // Last consistent round boundary of the (tripped or in-flight) run.
+    return WriteFileAtomic(path, last_frame_);
+  }
+  if (!ran_) {
+    // Cold start: program config + database, no progress. A resume of
+    // this snapshot evaluates from scratch against the restored state.
+    static const std::map<std::string, Relation> kNoDerived;
+    static const std::map<std::pair<std::string, std::vector<int>>, Relation>
+        kNoIdRels;
+    static const EvalStats kNoStats;
+    SnapshotView view;
+    view.symbols = &symbols_;
+    view.database = &database_;
+    view.derived = &kNoDerived;
+    view.id_relations = &kNoIdRels;
+    view.stats = &kNoStats;
+    view.config = CurrentConfig();
+    return WriteFileAtomic(path, SerializeSnapshot(view));
+  }
+  return Status::InvalidArgument(
+      "the tripped run was not checkpointing, so no consistent round "
+      "frame exists; arm SetCheckpoint() before Run() to make trips "
+      "resumable");
+}
+
+Status IdlogEngine::RestoreAssigner(const SnapshotConfig& config) {
+  if (assigner_ == nullptr || assigner_->kind() != config.assigner_kind) {
+    if (config.assigner_kind == "identity") {
+      assigner_ = std::make_unique<IdentityTidAssigner>();
+    } else if (config.assigner_kind == "random") {
+      assigner_ = std::make_unique<RandomTidAssigner>(0);
+    } else if (config.assigner_kind == "scripted") {
+      assigner_ = std::make_unique<ScriptedTidAssigner>();
+    } else {
+      return Status::InvalidArgument(
+          "snapshot was taken under a custom tid assigner ('" +
+          config.assigner_kind +
+          "'); install a matching assigner with SetTidAssigner() before "
+          "resuming");
+    }
+  }
+  return assigner_->RestoreState(config.assigner_state);
+}
+
+Status IdlogEngine::ResumeFromCheckpoint(const std::string& path) {
+  if (impl_ != nullptr || symbols_.size() != 0 ||
+      !database_.relation_names().empty()) {
+    return Status::InvalidArgument(
+        "ResumeFromCheckpoint() needs a fresh engine: no program loaded "
+        "and an empty database");
+  }
+  IDLOG_ASSIGN_OR_RETURN(SnapshotData snap, LoadSnapshotFile(path));
+  symbols_ = snap.symbols;
+  for (const SnapshotData::NamedRelation& nr : snap.edb) {
+    IDLOG_RETURN_NOT_OK(database_.CreateRelation(nr.name, nr.relation.type()));
+    for (const Tuple& t : nr.relation.tuples()) {
+      IDLOG_RETURN_NOT_OK(database_.AddTuple(nr.name, t));
+    }
+  }
+  for (SymbolId id : snap.u_domain) database_.AddDomainConstant(id);
+  // Fixpoint-content switches come from the snapshot (they change what
+  // is computed); --jobs stays physical and caller-chosen.
+  SetSeminaive(snap.config.seminaive);
+  SetTidBoundPushdown(snap.config.tid_bound_pushdown);
+  SetUseIndexes(snap.config.use_indexes);
+  pending_resume_ = std::make_unique<SnapshotData>(std::move(snap));
+  ran_ = false;
+  return Status::OK();
+}
+
 Status IdlogEngine::Run() {
   if (impl_ == nullptr) {
     return Status::InvalidArgument("no program loaded");
   }
   if (ran_) return Status::OK();
+  if (pending_resume_ != nullptr) {
+    std::unique_ptr<SnapshotData> snap = std::move(pending_resume_);
+    IDLOG_RETURN_NOT_OK(RestoreAssigner(snap->config));
+    EvalResumeState state;
+    state.derived = std::move(snap->derived);
+    state.id_relations = std::move(snap->id_relations);
+    state.delta = std::move(snap->delta);
+    state.stats = snap->stats;
+    state.has_analysis = snap->has_analysis;
+    state.analysis = std::move(snap->analysis);
+    state.has_profile = snap->has_profile;
+    state.profile = std::move(snap->profile);
+    state.stratum = snap->progress.stratum;
+    state.round = snap->progress.round;
+    state.in_stratum = snap->progress.in_stratum;
+    impl_->InstallResumeState(std::move(state));
+    // A completed snapshot resumes at stratum == num_strata, so the
+    // Evaluate() below adopts the finished model without doing work.
+  }
+  if (!checkpoint_path_.empty()) {
+    impl_->set_checkpoint_hook(
+        [this](const FixpointFrame& frame,
+               const std::map<std::string, Relation>& delta) {
+          return OnCheckpointFrame(frame, delta);
+        });
+  } else {
+    impl_->set_checkpoint_hook(nullptr);
+  }
+  last_frame_.clear();
+  frames_since_write_ = 0;
   // Arm per run: the deadline counts from here, and a trip or Cancel()
   // from a previous run does not poison this one.
   governor_.Arm(limits_);
@@ -82,16 +283,28 @@ Status IdlogEngine::Run() {
   last_trip_ = Status::OK();
   Status st = impl_->Evaluate(assigner_.get(), seminaive_);
   if (!st.ok()) {
+    // Durability on the way down: put the last consistent frame (if
+    // any) on disk so the run is resumable past this failure.
+    Status final_write = Status::OK();
+    if (!checkpoint_path_.empty() && !last_frame_.empty()) {
+      final_write = WriteFileAtomic(checkpoint_path_, last_frame_);
+    }
     if (partial_results_ && st.code() == StatusCode::kResourceExhausted) {
       // Keep the model computed so far queryable; the diagnostic is
       // available via last_trip().
       last_trip_ = std::move(st);
       ran_ = true;
-      return Status::OK();
+      return final_write;
     }
     return st;
   }
   ran_ = true;
+  if (!checkpoint_path_.empty()) {
+    SnapshotProgress done;
+    done.completed = true;
+    done.stratum = impl_->stratification().num_strata;
+    return WriteFileAtomic(checkpoint_path_, SerializeCurrentState(done));
+  }
   return Status::OK();
 }
 

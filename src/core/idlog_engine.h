@@ -13,6 +13,7 @@
 #include "eval/engine_impl.h"
 #include "storage/database.h"
 #include "storage/tid_assigner.h"
+#include "store/snapshot.h"
 
 namespace idlog {
 
@@ -107,6 +108,32 @@ class IdlogEngine {
   /// The trip diagnostic of the last Run() in partial-results mode, or
   /// OK if the run completed within budget.
   const Status& last_trip() const { return last_trip_; }
+
+  /// Arms durable round-boundary checkpointing for subsequent Run()s:
+  /// at every fixpoint round boundary a consistent `idlog-snap-v1`
+  /// frame is serialized, and every `every_rounds`-th frame is written
+  /// atomically to `path` (plus the last frame when a governor trips or
+  /// the evaluation fails, and a final completed frame on success).
+  /// An empty path disarms. `every_rounds` < 1 clamps to 1.
+  void SetCheckpoint(std::string path, uint64_t every_rounds = 1);
+  const std::string& checkpoint_path() const { return checkpoint_path_; }
+
+  /// Writes a snapshot of the engine to `path` on demand: the finished
+  /// model after a clean Run(), the last consistent round frame after a
+  /// trip under SetCheckpoint(), or a cold-start frame (program config
+  /// + database, no progress) before any run. A tripped run without
+  /// checkpointing armed has no consistent frame and is an error.
+  Status SaveCheckpoint(const std::string& path);
+
+  /// Restores the snapshot at `path` into this engine, which must be
+  /// fresh (no program loaded, empty database). The caller then loads
+  /// the *same* program text — guarded by a program hash — after which
+  /// Run() continues the checkpointed fixpoint exactly where it
+  /// stopped (or adopts the finished model without re-evaluating).
+  /// Fixpoint-content switches (semi-naive, tid-bound pushdown, index
+  /// use) and the tid-assigner state are adopted from the snapshot;
+  /// thread count stays caller-chosen, as it never changes answers.
+  Status ResumeFromCheckpoint(const std::string& path);
 
   /// Evaluates the program (all strata). Idempotent until the program,
   /// database, assigner or mode changes.
@@ -203,6 +230,12 @@ class IdlogEngine {
   const PlanAnalysis& plan_analysis() const;
 
  private:
+  SnapshotConfig CurrentConfig() const;
+  std::string SerializeCurrentState(const SnapshotProgress& progress) const;
+  Status OnCheckpointFrame(const FixpointFrame& frame,
+                           const std::map<std::string, Relation>& delta);
+  Status RestoreAssigner(const SnapshotConfig& config);
+
   SymbolTable symbols_;
   Database database_;
   Program program_;
@@ -222,6 +255,14 @@ class IdlogEngine {
   RewriteLog rewrite_log_;
   int threads_ = 1;
   bool ran_ = false;
+
+  std::string checkpoint_path_;       ///< Empty: checkpointing off.
+  uint64_t checkpoint_every_ = 1;     ///< Write cadence in round frames.
+  uint64_t frames_since_write_ = 0;
+  std::string last_frame_;            ///< Last serialized round frame.
+  uint64_t program_hash_ = 0;         ///< FNV-1a of the printed program.
+  /// Decoded snapshot awaiting the matching LoadProgram + Run.
+  std::unique_ptr<SnapshotData> pending_resume_;
 };
 
 }  // namespace idlog

@@ -90,30 +90,55 @@ const Relation* EngineImpl::FullRelation(const std::string& pred) const {
   return nullptr;
 }
 
+void EngineImpl::InstallResumeState(EvalResumeState state) {
+  derived_ = std::move(state.derived);
+  id_relations_ = std::move(state.id_relations);
+  stats_ = state.stats;
+  plan_analysis_ =
+      state.has_analysis ? std::move(state.analysis) : PlanAnalysis();
+  profile_ = state.has_profile ? std::move(state.profile) : EvalProfile();
+  index_caches_.clear();
+  provenance_.Clear();
+  pending_resume_ = std::make_unique<PendingResume>();
+  pending_resume_->delta = std::move(state.delta);
+  pending_resume_->stratum = state.stratum;
+  pending_resume_->round = state.round;
+  pending_resume_->in_stratum = state.in_stratum;
+}
+
 Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
   if (!prepared_) {
     return Status::InvalidArgument("Prepare() the engine before Evaluate()");
   }
-  derived_.clear();
-  id_relations_.clear();
-  index_caches_.clear();
-  stats_.Reset();
-  provenance_.Clear();
-  profile_.Clear();
-  plan_analysis_.Clear();
+  std::unique_ptr<PendingResume> resume = std::move(pending_resume_);
+  if (resume == nullptr) {
+    derived_.clear();
+    id_relations_.clear();
+    index_caches_.clear();
+    stats_.Reset();
+    provenance_.Clear();
+    profile_.Clear();
+    plan_analysis_.Clear();
+  }
 
-  if (explain_) {
+  if (explain_ && plan_analysis_.rules.size() != plans_.size()) {
     // One counter slot per plan step plus the emit pseudo-step; the
     // executor checks the size before attaching, so sizing here is what
-    // arms collection for this run.
-    plan_analysis_.rules.resize(plans_.size());
+    // arms collection for this run. A resume whose snapshot carried an
+    // analysis of this program keeps the restored counters instead.
+    plan_analysis_.rules.assign(plans_.size(), RuleStepStats());
     for (size_t i = 0; i < plans_.size(); ++i) {
       plan_analysis_.rules[i].steps.resize(plans_[i].steps.size() + 1);
     }
   }
 
   if (profiling_) {
-    profile_.rules.resize(plans_.size());
+    // Same resume contract as the analysis: a restored profile of the
+    // right shape keeps its counters, only the static columns are
+    // re-derived (they depend on the program text, not the run).
+    if (profile_.rules.size() != plans_.size()) {
+      profile_.rules.assign(plans_.size(), RuleProfile());
+    }
     for (size_t i = 0; i < plans_.size(); ++i) {
       RuleProfile& rp = profile_.rules[i];
       rp.clause_index = plans_[i].clause_index;
@@ -248,12 +273,20 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
     ctx.symbols = database_->symbols();
   }
 
-  for (int s = 0; s < strat_.num_strata; ++s) {
-    ++stats_.strata_evaluated;
+  const int start_stratum = resume != nullptr ? resume->stratum : 0;
+  for (int s = start_stratum; s < strat_.num_strata; ++s) {
+    // A mid-stratum resume re-enters the checkpointed stratum: its
+    // entry was already counted before the frame was cut, and its
+    // pre-checkpoint rounds (0..round) belong to this stratum's profile
+    // row even though this Evaluate() did not run them.
+    const bool mid_stratum_resume =
+        resume != nullptr && resume->in_stratum && s == resume->stratum;
+    if (!mid_stratum_resume) ++stats_.strata_evaluated;
     ctx.stratum = s;
     TraceSpan stratum_span(trace_, "stratum " + std::to_string(s),
                            "stratum");
-    const uint64_t rounds_before = stats_.iterations;
+    uint64_t rounds_before = stats_.iterations;
+    if (mid_stratum_resume) rounds_before -= resume->round + 1;
     const uint64_t inserted_before = stats_.facts_inserted;
     auto stratum_t0 = std::chrono::steady_clock::now();
     if (governor_ != nullptr) {
@@ -281,10 +314,39 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
       stratum_plans.push_back(&plans_[static_cast<size_t>(clause_idx)]);
       stratum_preds.insert(plans_[static_cast<size_t>(clause_idx)].head_pred);
     }
+    // The checkpointer sees every round boundary as a resumable frame:
+    // mid-stratum boundaries carry (stratum, round, delta); the
+    // fixpoint boundary advances to the next stratum (and marks the
+    // whole run complete after the last one).
+    RoundBoundaryHook on_round = nullptr;
+    if (checkpoint_hook_ != nullptr) {
+      on_round = [this, s](uint64_t round, bool fixpoint,
+                           const std::map<std::string, Relation>& delta)
+          -> Status {
+        FixpointFrame frame;
+        if (fixpoint) {
+          frame.stratum = s + 1;
+          frame.completed = s + 1 == strat_.num_strata;
+        } else {
+          frame.stratum = s;
+          frame.round = round;
+          frame.in_stratum = true;
+        }
+        static const std::map<std::string, Relation> kNoDelta;
+        return checkpoint_hook_(frame, fixpoint ? kNoDelta : delta);
+      };
+    }
+
+    StratumResume stratum_resume;
+    if (mid_stratum_resume) {
+      stratum_resume.round = resume->round;
+      stratum_resume.delta = std::move(resume->delta);
+    }
     Status stratum_status = Status::OK();
     if (!stratum_plans.empty()) {
-      stratum_status = EvaluateStratum(stratum_plans, stratum_preds, ctx,
-                                       &derived_, seminaive);
+      stratum_status = EvaluateStratum(
+          stratum_plans, stratum_preds, ctx, &derived_, seminaive,
+          mid_stratum_resume ? &stratum_resume : nullptr, on_round);
     }
     if (profiling_) {
       StratumProfile sp;

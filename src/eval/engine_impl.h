@@ -17,6 +17,7 @@
 #include "eval/provenance.h"
 #include "eval/rule_eval.h"
 #include "eval/rule_plan.h"
+#include "eval/stratum_eval.h"
 #include "exec/thread_pool.h"
 #include "obs/explain.h"
 #include "obs/profile.h"
@@ -26,6 +27,35 @@
 #include "storage/tid_assigner.h"
 
 namespace idlog {
+
+/// A position in the stratified fixpoint at a round boundary, as
+/// reported to the checkpoint hook. `in_stratum` distinguishes "resume
+/// stratum `stratum` at round `round`+1 with the frame's delta" from
+/// "enter stratum `stratum` fresh"; `completed` marks the boundary that
+/// finished the last stratum.
+struct FixpointFrame {
+  int stratum = 0;
+  uint64_t round = 0;
+  bool in_stratum = false;
+  bool completed = false;
+};
+
+/// Continuation state decoded from a checkpoint. The maps are adopted
+/// wholesale; `stratum`/`round`/`in_stratum` say where Evaluate() picks
+/// the fixpoint back up.
+struct EvalResumeState {
+  std::map<std::string, Relation> derived;
+  std::map<std::pair<std::string, std::vector<int>>, Relation> id_relations;
+  std::map<std::string, Relation> delta;
+  EvalStats stats;
+  bool has_analysis = false;
+  PlanAnalysis analysis;
+  bool has_profile = false;
+  EvalProfile profile;
+  int stratum = 0;
+  uint64_t round = 0;
+  bool in_stratum = false;
+};
 
 /// One prepared evaluation of a stratified IDLOG program against a
 /// database: stratification + compiled rule plans, reusable across runs
@@ -43,9 +73,35 @@ class EngineImpl {
   Status Prepare();
 
   /// Computes the perfect model under `assigner`'s ID-functions.
-  /// Clears previous results first. `seminaive=false` selects the naive
+  /// Clears previous results first — unless a resume state is pending
+  /// (InstallResumeState), in which case it continues the checkpointed
+  /// fixpoint from its frame. `seminaive=false` selects the naive
   /// fixpoint (ablation only).
   Status Evaluate(TidAssigner* assigner, bool seminaive = true);
+
+  /// Adopts checkpointed evaluation state: the derived/ID-relations,
+  /// stats and observability counters become current immediately (so a
+  /// completed snapshot is queryable without evaluating), and the next
+  /// Evaluate() continues from the frame instead of starting over. The
+  /// pending continuation is consumed by that Evaluate(); later ones
+  /// start fresh as usual.
+  void InstallResumeState(EvalResumeState state);
+
+  /// Observes every fixpoint round boundary of Evaluate() with a
+  /// consistent frame (the checkpointer). A non-OK return aborts the
+  /// run. Null (default) disables.
+  using CheckpointHook = std::function<Status(
+      const FixpointFrame&, const std::map<std::string, Relation>& delta)>;
+  void set_checkpoint_hook(CheckpointHook hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+
+  /// The evaluated state, for snapshot serialization.
+  const std::map<std::string, Relation>& derived() const { return derived_; }
+  const std::map<std::pair<std::string, std::vector<int>>, Relation>&
+  id_relations() const {
+    return id_relations_;
+  }
 
   /// The relation of `pred` after Evaluate: derived if IDB, database
   /// contents if EDB, NotFound otherwise. The special predicate `udom`
@@ -181,6 +237,17 @@ class EngineImpl {
   bool provenance_enabled_ = false;
   bool use_indexes_ = true;
   ProvenanceStore provenance_;
+  CheckpointHook checkpoint_hook_;
+  /// Pending continuation from InstallResumeState; consumed by the next
+  /// Evaluate(). Only the frame coordinates and delta live here — the
+  /// bulky state was adopted into the members directly.
+  struct PendingResume {
+    std::map<std::string, Relation> delta;
+    int stratum = 0;
+    uint64_t round = 0;
+    bool in_stratum = false;
+  };
+  std::unique_ptr<PendingResume> pending_resume_;
 };
 
 }  // namespace idlog

@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "eval/builtin_eval.h"
 
 namespace idlog {
@@ -66,6 +67,7 @@ class RuleExecutor {
   }
 
   Status EmitHead() {
+    IDLOG_FAILPOINT("eval.emit.insert");
     // The emit pseudo-step (index steps.size()): rows_in mirrors
     // facts_derived, rows_emitted mirrors facts_inserted.
     StepCounters* emit = sc_ != nullptr ? &sc_[plan_.steps.size()] : nullptr;
@@ -170,6 +172,7 @@ class RuleExecutor {
               ++sc->index_hits;
             }
           } else {
+            IDLOG_FAILPOINT("eval.index.build");
             bool rebuilt = false;
             index = &const_cast<IndexCache*>(CacheFor(rel))
                          ->Get(step.key_cols, &rebuilt);

@@ -110,8 +110,19 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
                        const std::set<std::string>& stratum_preds,
                        const EvalContext& base_ctx,
                        std::map<std::string, Relation>* derived,
-                       bool seminaive) {
+                       bool seminaive,
+                       StratumResume* resume,
+                       const RoundBoundaryHook& on_round) {
   std::map<std::string, Relation> delta;
+  uint64_t round = 0;
+  const bool resuming = resume != nullptr;
+  if (resuming) {
+    // Continue at the checkpointed boundary: the saved round's delta
+    // feeds round+1's differentiated scans, and round 0 (all rules over
+    // full relations) already ran before the frame was cut.
+    delta = std::move(resume->delta);
+    round = resume->round;
+  }
 
   EvalContext ctx = base_ctx;
   ctx.delta = [&delta](const std::string& pred) -> const Relation* {
@@ -124,9 +135,17 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
   // so it is identical across --jobs settings.
   StratumRoundStats* round_log = nullptr;
   if (ctx.analyze != nullptr) {
-    ctx.analyze->strata.emplace_back();
-    ctx.analyze->strata.back().stratum = ctx.stratum;
-    round_log = &ctx.analyze->strata.back();
+    // On resume this stratum's entry already exists (restored from the
+    // snapshot with the pre-checkpoint rounds); append to it rather
+    // than opening a duplicate.
+    if (resuming && !ctx.analyze->strata.empty() &&
+        ctx.analyze->strata.back().stratum == ctx.stratum) {
+      round_log = &ctx.analyze->strata.back();
+    } else {
+      ctx.analyze->strata.emplace_back();
+      ctx.analyze->strata.back().stratum = ctx.stratum;
+      round_log = &ctx.analyze->strata.back();
+    }
   }
 
   // Each round produces fresh delta relations; their index-cache
@@ -275,7 +294,6 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     return Status::OK();
   };
 
-  uint64_t round = 0;
   auto delta_total = [&delta]() {
     uint64_t n = 0;
     for (const auto& [pred, rel] : delta) {
@@ -285,8 +303,9 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     return n;
   };
 
-  // Round 0: all rules over full relations.
-  {
+  // Round 0: all rules over full relations. A resumed stratum skips it
+  // — it ran before the checkpoint frame was cut.
+  if (!resuming) {
     TraceSpan round_span(ctx.trace, "fixpoint round", "fixpoint");
     round_span.AddArg(TraceArg::Int("stratum", ctx.stratum));
     round_span.AddArg(TraceArg::Num("round", round));
@@ -312,6 +331,9 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     }
     if (ctx.trace != nullptr) {
       round_span.AddArg(TraceArg::Num("new_facts", delta_total()));
+    }
+    if (on_round != nullptr) {
+      IDLOG_RETURN_NOT_OK(on_round(round, !any, delta));
     }
     if (!any) return Status::OK();
   }
@@ -354,7 +376,15 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
         tasks.push_back(std::move(task));
       }
     }
-    if (tasks.empty()) return Status::OK();
+    if (tasks.empty()) {
+      // No recursive rules: the stratum is complete without this round
+      // having run. The terminal hook call lets the checkpointer record
+      // the stratum as finished.
+      if (on_round != nullptr) {
+        IDLOG_RETURN_NOT_OK(on_round(round, /*fixpoint=*/true, delta));
+      }
+      return Status::OK();
+    }
     std::map<std::string, Relation> staged;
     IDLOG_RETURN_NOT_OK(run_round(std::move(tasks), round, &staged));
     if (ctx.stats != nullptr) ++ctx.stats->iterations;
@@ -369,6 +399,9 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     }
     if (ctx.trace != nullptr) {
       round_span.AddArg(TraceArg::Num("new_facts", delta_total()));
+    }
+    if (on_round != nullptr) {
+      IDLOG_RETURN_NOT_OK(on_round(round, !any, delta));
     }
     if (!any) return Status::OK();
   }

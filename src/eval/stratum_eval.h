@@ -1,6 +1,8 @@
 #ifndef IDLOG_EVAL_STRATUM_EVAL_H_
 #define IDLOG_EVAL_STRATUM_EVAL_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -13,6 +15,27 @@
 
 namespace idlog {
 
+/// Mid-stratum continuation state for checkpoint resume: the last
+/// committed round and its post-commit delta, exactly as a
+/// RoundBoundaryHook observed them. EvaluateStratum picks up at round
+/// `round + 1` and skips the round-0 full evaluation (it already ran
+/// before the frame was cut).
+struct StratumResume {
+  uint64_t round = 0;
+  std::map<std::string, Relation> delta;
+};
+
+/// Called at every round boundary — after Commit() moved the round's
+/// new facts into the full relations and the delta was swapped — the
+/// one point where derived relations, deltas and stats are mutually
+/// consistent and a checkpoint frame can be cut. `fixpoint` is true on
+/// the call that ends the stratum (no new facts, or no recursive rules
+/// left to run). A non-OK return aborts the evaluation (a checkpoint
+/// that cannot be written is an error the caller must see).
+using RoundBoundaryHook = std::function<Status(
+    uint64_t round, bool fixpoint,
+    const std::map<std::string, Relation>& delta)>;
+
 /// Evaluates one stratum to its least fixpoint.
 ///
 /// `plans` are the compiled rules whose heads belong to this stratum;
@@ -22,11 +45,18 @@ namespace idlog {
 /// `seminaive=false` every rule re-runs in full each round (the naive
 /// ablation baseline of bench E4); otherwise rounds after the first use
 /// delta differentiation on intra-stratum positive scans.
+///
+/// `resume`, when set, continues a checkpointed fixpoint instead of
+/// starting at round 0 (the caller must have restored `derived` to the
+/// matching round boundary); it is consumed (the delta is moved out).
+/// `on_round`, when set, observes every round boundary.
 Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
                        const std::set<std::string>& stratum_preds,
                        const EvalContext& base_ctx,
                        std::map<std::string, Relation>* derived,
-                       bool seminaive);
+                       bool seminaive,
+                       StratumResume* resume = nullptr,
+                       const RoundBoundaryHook& on_round = nullptr);
 
 }  // namespace idlog
 

@@ -1,9 +1,13 @@
 #include "exec/round_executor.h"
 
+#include <atomic>
 #include <chrono>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <string>
 
+#include "common/failpoint.h"
 #include "exec/thread_pool.h"
 
 namespace idlog {
@@ -61,11 +65,24 @@ Status RunRoundTasks(const EvalContext& base_ctx, ThreadPool* pool,
                      std::vector<RoundTask>* tasks) {
   IDLOG_RETURN_NOT_OK(PrebuildIndexes(base_ctx, *tasks));
 
+  // One failed (or throwing) task cancels the round: tasks not yet
+  // started when the flag goes up return a "round aborted" status
+  // instead of evaluating. Because the pool claims tasks in index order,
+  // every skipped task has a higher index than the first failure, so the
+  // driver's in-order merge always surfaces the real error, never an
+  // abort marker.
+  std::atomic<bool> abort{false};
+
   std::vector<std::function<void()>> jobs;
   jobs.reserve(tasks->size());
   for (RoundTask& task : *tasks) {
     RoundTask* t = &task;
-    jobs.push_back([&base_ctx, t] {
+    jobs.push_back([&base_ctx, &abort, t] {
+      if (abort.load(std::memory_order_relaxed)) {
+        t->status = Status::Internal(
+            "round aborted: an earlier task in this round failed");
+        return;
+      }
       EvalContext worker_ctx = base_ctx;
       worker_ctx.stats = &t->stats;
       worker_ctx.parallel_worker = true;
@@ -79,12 +96,30 @@ Status RunRoundTasks(const EvalContext& base_ctx, ThreadPool* pool,
           t->step_stats.steps.empty() ? nullptr : &t->step_stats;
       if (base_ctx.trace != nullptr) t->start_us = base_ctx.trace->NowUs();
       auto t0 = std::chrono::steady_clock::now();
-      t->status =
-          EvaluateRuleInto(*t->plan, worker_ctx, t->delta_step, &t->staged);
+      // Rule evaluation reports through Status, but anything it calls
+      // could still throw (and the fault-injection harness does, on
+      // purpose): convert to a Status here so exactly one error reaches
+      // the driver and the pool never sees an exception.
+      try {
+        Status fp = Status::OK();
+        if (Failpoints::AnyArmed()) {
+          fp = Failpoints::Instance().OnHit("exec.round.task");
+        }
+        t->status = fp.ok() ? EvaluateRuleInto(*t->plan, worker_ctx,
+                                               t->delta_step, &t->staged)
+                            : fp;
+      } catch (const std::exception& e) {
+        t->status =
+            Status::Internal(std::string("round task threw: ") + e.what());
+      } catch (...) {
+        t->status = Status::Internal("round task threw a non-standard "
+                                     "exception");
+      }
       t->self_ns = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
               .count());
+      if (!t->status.ok()) abort.store(true, std::memory_order_relaxed);
     });
   }
   pool->Run(std::move(jobs));

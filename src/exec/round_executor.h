@@ -53,13 +53,17 @@ struct RoundTask {
 /// null — the engine falls back to serial evaluation when provenance
 /// is on.
 ///
-/// Always runs every task to completion (a governor trip latches, so
-/// remaining tasks unwind at their next checkpoint). Per-task failures
-/// are reported in RoundTask::status and left to the driver, which
-/// merges results up to the first failing task in task order and then
-/// surfaces that error — the same error a serial run would have
-/// stopped at. The returned Status covers executor-level failures only
-/// (index pre-build).
+/// Per-task failures are reported in RoundTask::status and left to the
+/// driver, which merges results up to the first failing task in task
+/// order and then surfaces that error — the same error a serial run
+/// would have stopped at. A failing (or throwing — exceptions are
+/// converted to Status inside the task) evaluation cancels the round:
+/// tasks not yet started are marked aborted instead of running, and
+/// since the pool claims tasks in index order every aborted task sits
+/// after the first failure, so the in-order merge never surfaces an
+/// abort marker. A governor trip additionally latches, so tasks already
+/// running unwind at their next checkpoint. The returned Status covers
+/// executor-level failures only (index pre-build).
 Status RunRoundTasks(const EvalContext& base_ctx, ThreadPool* pool,
                      std::vector<RoundTask>* tasks);
 

@@ -24,7 +24,14 @@ void ThreadPool::DrainQueue(std::unique_lock<std::mutex>* lock) {
     ++next_task_;
     ++tasks_running_;
     lock->unlock();
-    task();
+    // Tasks are supposed to report errors through their own state, but a
+    // throw must not take the process down or corrupt the batch
+    // accounting (a stuck tasks_running_ would deadlock Run() forever).
+    try {
+      task();
+    } catch (...) {
+      // Swallowed: the submitter sees the task's unset/failed result.
+    }
     lock->lock();
     --tasks_running_;
   }

@@ -19,10 +19,14 @@ namespace idlog {
 /// task finished — which is exactly the shape a fixpoint round needs
 /// (no task of round r+1 may start before round r committed).
 ///
-/// Tasks must not throw; error reporting goes through whatever state
-/// the task closure writes (the stratum executor records a Status per
-/// task). One Run() at a time per pool: the engine that owns the pool
-/// evaluates one stratum at a time, so there is no re-entrancy.
+/// Error reporting goes through whatever state the task closure writes
+/// (the stratum executor records a Status per task). A task that throws
+/// anyway is contained: the exception is swallowed at the pool boundary
+/// so it can neither terminate the process nor wedge the batch
+/// accounting — submitters that may throw should catch inside the task
+/// and record a Status, as RunRoundTasks does. One Run() at a time per
+/// pool: the engine that owns the pool evaluates one stratum at a time,
+/// so there is no re-entrancy.
 class ThreadPool {
  public:
   explicit ThreadPool(int size);

@@ -1,8 +1,7 @@
 #include "obs/trace.h"
 
-#include <fstream>
-
 #include "obs/json.h"
+#include "store/atomic_file.h"
 
 namespace idlog {
 
@@ -44,12 +43,9 @@ std::string TraceSink::ToJson() const {
 }
 
 Status TraceSink::WriteJson(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::InvalidArgument("cannot open '" + path + "'");
-  out << ToJson();
-  out.flush();
-  if (!out) return Status::Internal("failed writing '" + path + "'");
-  return Status::OK();
+  // Atomic: readers (and crash recovery) see the previous trace or the
+  // complete new one, never a truncated JSON document.
+  return WriteFileAtomic(path, ToJson());
 }
 
 }  // namespace idlog

@@ -3,6 +3,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
+#include "store/atomic_file.h"
+
 namespace idlog {
 
 std::vector<std::string> SplitCsvLine(const std::string& line) {
@@ -133,6 +136,7 @@ Status LoadFromStream(Database* database, const std::string& name,
   };
   while (std::getline(in, line)) {
     ++line_no;
+    IDLOG_FAILPOINT("csv.load.row");
     if (skip_header && line_no == 1) continue;
     if (line.empty() || line == "\r") continue;
     Result<std::vector<std::string>> fields = ParseCsvRecord(line);
@@ -160,6 +164,7 @@ Status LoadFromStream(Database* database, const std::string& name,
 Status LoadCsvRelation(Database* database, const std::string& name,
                        const std::string& path, bool skip_header,
                        ResourceGovernor* governor) {
+  IDLOG_FAILPOINT("csv.load.open");
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open CSV file '" + path + "'");
@@ -178,10 +183,9 @@ Status LoadCsvRelationFromString(Database* database, const std::string& name,
 
 Status SaveRelationCsv(const Relation& rel, const SymbolTable& symbols,
                        const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::InvalidArgument("cannot write CSV file '" + path + "'");
-  }
+  // Rendered in memory and written atomically: a crash mid-save leaves
+  // either the previous file or the new one, never a torn CSV.
+  std::ostringstream out;
   for (const Tuple& t : rel.SortedTuples()) {
     for (size_t i = 0; i < t.size(); ++i) {
       if (i > 0) out << ',';
@@ -201,7 +205,7 @@ Status SaveRelationCsv(const Relation& rel, const SymbolTable& symbols,
     }
     out << '\n';
   }
-  return Status::OK();
+  return WriteFileAtomic(path, out.str());
 }
 
 }  // namespace idlog

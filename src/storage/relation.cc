@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/failpoint.h"
+
 namespace idlog {
 
 uint64_t Relation::NextUid() {
@@ -21,6 +23,7 @@ bool Relation::Insert(Tuple t) {
 }
 
 Status Relation::InsertChecked(Tuple t) {
+  IDLOG_FAILPOINT("storage.relation.insert");
   if (t.size() != type_.size()) {
     return Status::TypeError("tuple arity " + std::to_string(t.size()) +
                              " does not match relation arity " +

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
 namespace idlog {
 
@@ -18,6 +19,51 @@ void RandomTidAssigner::AssignGroup(const GroupContext& ctx, size_t n,
   tids->resize(n);
   std::iota(tids->begin(), tids->end(), 0u);
   std::shuffle(tids->begin(), tids->end(), rng_);
+}
+
+std::string RandomTidAssigner::SaveState() const {
+  std::ostringstream out;
+  out << rng_;
+  return out.str();
+}
+
+Status RandomTidAssigner::RestoreState(const std::string& state) {
+  std::istringstream in(state);
+  in >> rng_;
+  if (in.fail()) {
+    return Status::InvalidArgument(
+        "snapshot carries a malformed random-assigner RNG state");
+  }
+  return Status::OK();
+}
+
+std::string ScriptedTidAssigner::SaveState() const {
+  std::ostringstream out;
+  out << pos_ << ' ' << script_.size();
+  for (uint64_t r : script_) out << ' ' << r;
+  out << ' ' << radices_.size();
+  for (uint64_t r : radices_) out << ' ' << r;
+  return out.str();
+}
+
+Status ScriptedTidAssigner::RestoreState(const std::string& state) {
+  std::istringstream in(state);
+  size_t pos = 0;
+  size_t n = 0;
+  in >> pos >> n;
+  std::vector<uint64_t> script(n);
+  for (uint64_t& r : script) in >> r;
+  in >> n;
+  std::vector<uint64_t> radices(n);
+  for (uint64_t& r : radices) in >> r;
+  if (in.fail()) {
+    return Status::InvalidArgument(
+        "snapshot carries a malformed scripted-assigner state");
+  }
+  pos_ = pos;
+  script_ = std::move(script);
+  radices_ = std::move(radices);
+  return Status::OK();
 }
 
 void ScriptedTidAssigner::SetScript(std::vector<uint64_t> ranks) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/value.h"
 
 namespace idlog {
@@ -31,6 +32,25 @@ class TidAssigner {
 
   virtual void AssignGroup(const GroupContext& ctx, size_t n,
                            std::vector<uint32_t>* tids) = 0;
+
+  /// Checkpoint support. Snapshots record kind() + SaveState() so a
+  /// resumed run reconstructs the assigner exactly where it stopped and
+  /// draws the same ID-functions for strata not yet materialized (the
+  /// tid-stability invariant — already-materialized ID-relations are
+  /// serialized outright and never re-drawn). The defaults make a
+  /// stateless custom assigner checkpointable for free; a *stateful*
+  /// custom assigner must override all three or resumes fail loudly in
+  /// RestoreState rather than silently diverging.
+  virtual std::string kind() const { return "custom"; }
+  virtual std::string SaveState() const { return std::string(); }
+  virtual Status RestoreState(const std::string& state) {
+    if (!state.empty()) {
+      return Status::Unsupported(
+          "this TidAssigner does not implement RestoreState but the "
+          "snapshot carries assigner state");
+    }
+    return Status::OK();
+  }
 };
 
 /// Canonical assignment: tuple i gets tid i. Deterministic and
@@ -39,6 +59,8 @@ class IdentityTidAssigner : public TidAssigner {
  public:
   void AssignGroup(const GroupContext& ctx, size_t n,
                    std::vector<uint32_t>* tids) override;
+
+  std::string kind() const override { return "identity"; }
 };
 
 /// Uniformly random permutation per group, seeded once. Because groups
@@ -51,6 +73,12 @@ class RandomTidAssigner : public TidAssigner {
 
   void AssignGroup(const GroupContext& ctx, size_t n,
                    std::vector<uint32_t>* tids) override;
+
+  std::string kind() const override { return "random"; }
+  /// The mt19937_64 stream state (std::ostream operator<< format), so a
+  /// resumed run continues the same permutation sequence.
+  std::string SaveState() const override;
+  Status RestoreState(const std::string& state) override;
 
  private:
   std::mt19937_64 rng_;
@@ -80,6 +108,11 @@ class ScriptedTidAssigner : public TidAssigner {
 
   /// Clears recorded radices (call before the first discovery run).
   void ResetRadices() { radices_.clear(); }
+
+  std::string kind() const override { return "scripted"; }
+  /// Script, replay position and recorded radices, space-separated.
+  std::string SaveState() const override;
+  Status RestoreState(const std::string& state) override;
 
  private:
   std::vector<uint64_t> script_;

@@ -1,0 +1,126 @@
+#include "store/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/failpoint.h"
+
+namespace idlog {
+
+namespace {
+
+std::string Errno(const char* op, const std::string& path) {
+  return std::string(op) + " '" + path + "' failed: " + std::strerror(errno);
+}
+
+/// The containing directory of `path` ("." for a bare filename).
+std::string DirOf(const std::string& path) {
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("write", path));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  // The temporary lives in the target's directory so the rename below
+  // cannot cross filesystems; the pid keeps concurrent processes from
+  // clobbering each other's temporaries.
+  const std::string tmp =
+      path + "." + std::to_string(static_cast<long>(::getpid())) + ".tmp";
+  auto fail = [&tmp](Status st) {
+    ::unlink(tmp.c_str());
+    return st;
+  };
+
+  IDLOG_FAILPOINT("store.write.open");
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Internal(Errno("open", tmp));
+
+  Status st = Status::OK();
+  if (Failpoints::AnyArmed()) {
+    st = Failpoints::Instance().OnHit("store.write.data");
+  }
+  if (st.ok()) st = WriteAll(fd, data, tmp);
+  if (st.ok() && Failpoints::AnyArmed()) {
+    st = Failpoints::Instance().OnHit("store.write.fsync");
+  }
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::Internal(Errno("fsync", tmp));
+  }
+  if (::close(fd) != 0 && st.ok()) {
+    st = Status::Internal(Errno("close", tmp));
+  }
+  if (!st.ok()) return fail(std::move(st));
+
+  if (Failpoints::AnyArmed()) {
+    st = Failpoints::Instance().OnHit("store.write.rename");
+    if (!st.ok()) return fail(std::move(st));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail(Status::Internal(Errno("rename", tmp)));
+  }
+
+  // Persist the directory entry; without this a crash can lose the
+  // rename itself even though both file versions were durable.
+  int dirfd = ::open(DirOf(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    (void)::fsync(dirfd);
+    (void)::close(dirfd);
+  }
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  IDLOG_FAILPOINT("store.read.open");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::Internal("read of '" + path + "' failed");
+  *out = buf.str();
+  return Status::OK();
+}
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  static const uint32_t* table = [] {
+    uint32_t* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (unsigned char c : data) {
+    crc = table[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace idlog

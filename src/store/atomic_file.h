@@ -1,0 +1,33 @@
+#ifndef IDLOG_STORE_ATOMIC_FILE_H_
+#define IDLOG_STORE_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace idlog {
+
+/// Writes `data` to `path` atomically: the bytes go to a temporary file
+/// in the same directory, are fsynced, and the temporary is renamed
+/// over `path` (then the directory entry is fsynced). A reader — or a
+/// crash at any instant — therefore sees either the previous complete
+/// file or the new complete file, never a torn prefix. Every snapshot,
+/// metrics/explain/trace JSON and CSV export goes through here.
+///
+/// On any failure the temporary is removed and `path` is untouched.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// Reads the whole of `path` into `out`. NotFound if it cannot be
+/// opened, Internal on a short read.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `data`, seeded with
+/// `seed` so checksums can be chained across buffers. Self-contained —
+/// no zlib dependency.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace idlog
+
+#endif  // IDLOG_STORE_ATOMIC_FILE_H_

@@ -1,0 +1,117 @@
+#ifndef IDLOG_STORE_SNAPSHOT_H_
+#define IDLOG_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/symbol_table.h"
+#include "common/value.h"
+#include "eval/eval_stats.h"
+#include "obs/explain.h"
+#include "obs/profile.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace idlog {
+
+/// The `idlog-snap-v1` binary checkpoint format.
+///
+/// Layout: an 8-byte magic ("IDLGSNAP"), a little-endian u32 version,
+/// then a sequence of sections `[tag u32][len u64][payload][crc32]`
+/// where the CRC covers tag, length and payload, closed by an END
+/// section (tag 0, empty). Sections appear in a fixed order (META,
+/// SYMBOLS, DATABASE, DERIVED, IDRELS, DELTA, ANALYSIS, PROFILE, END);
+/// any reordering, truncation, bit flip or trailing garbage is rejected
+/// with a precise error naming the damage. Snapshot files are written
+/// only through WriteFileAtomic, so a crash mid-write can never leave a
+/// torn file at the target path.
+constexpr char kSnapshotMagic[8] = {'I', 'D', 'L', 'G',
+                                    'S', 'N', 'A', 'P'};
+constexpr uint32_t kSnapshotVersion = 1;
+
+/// Run configuration captured at save time. A resumed run adopts these
+/// (they change fixpoint *content*, unlike --jobs which is physical),
+/// and the program hash guards against resuming under a different
+/// program, whose plans the saved progress would be meaningless for.
+struct SnapshotConfig {
+  uint64_t program_hash = 0;
+  bool seminaive = true;
+  bool tid_bound_pushdown = true;
+  bool use_indexes = true;
+  std::string assigner_kind;   ///< TidAssigner::kind() at save time.
+  std::string assigner_state;  ///< TidAssigner::SaveState() at save time.
+};
+
+/// Where in the stratified fixpoint the snapshot was taken. Frames are
+/// only ever cut at round boundaries (after a round's Commit), the one
+/// point where derived relations, deltas and stats are all consistent.
+struct SnapshotProgress {
+  bool completed = false;  ///< The run finished; nothing left to resume.
+  int stratum = 0;         ///< Stratum to (re-)enter on resume.
+  uint64_t round = 0;      ///< Last committed round within it.
+  bool in_stratum = false; ///< True: resume mid-stratum with `delta`.
+};
+
+/// Borrowed engine state to serialize (the engine's own maps; nothing
+/// is copied). Null observability pointers serialize as absent.
+struct SnapshotView {
+  const SymbolTable* symbols = nullptr;
+  const Database* database = nullptr;
+  const std::map<std::string, Relation>* derived = nullptr;
+  const std::map<std::pair<std::string, std::vector<int>>, Relation>*
+      id_relations = nullptr;
+  const std::map<std::string, Relation>* delta = nullptr;  ///< May be null.
+  const EvalStats* stats = nullptr;
+  const PlanAnalysis* analysis = nullptr;  ///< May be null.
+  const EvalProfile* profile = nullptr;    ///< May be null.
+  SnapshotConfig config;
+  SnapshotProgress progress;
+};
+
+/// A fully decoded snapshot, owning its state.
+struct SnapshotData {
+  struct NamedRelation {
+    std::string name;
+    Relation relation;
+  };
+
+  SymbolTable symbols;
+  std::vector<NamedRelation> edb;      ///< In database creation order.
+  std::vector<SymbolId> u_domain;      ///< Includes tuple-less extras.
+  std::map<std::string, Relation> derived;
+  std::map<std::pair<std::string, std::vector<int>>, Relation> id_relations;
+  std::map<std::string, Relation> delta;
+  EvalStats stats;
+  bool has_analysis = false;
+  PlanAnalysis analysis;
+  bool has_profile = false;
+  EvalProfile profile;
+  SnapshotConfig config;
+  SnapshotProgress progress;
+};
+
+/// Serializes `view` into an idlog-snap-v1 byte string.
+std::string SerializeSnapshot(const SnapshotView& view);
+
+/// Decodes a snapshot byte string, checking magic, version, section
+/// framing and CRCs, plus semantic invariants (symbol ids in range,
+/// delta tuples committed in their derived relations, ID-relation
+/// tuples consistent with their bases).
+Result<SnapshotData> ParseSnapshot(std::string_view bytes);
+
+/// Reads and decodes the snapshot at `path`.
+Result<SnapshotData> LoadSnapshotFile(const std::string& path);
+
+/// Structural + invariant check of the file at `path` without keeping
+/// the decoded state (the fault-injection sweep's "no torn snapshot"
+/// assertion).
+Status ValidateSnapshotFile(const std::string& path);
+
+}  // namespace idlog
+
+#endif  // IDLOG_STORE_SNAPSHOT_H_

@@ -115,5 +115,20 @@ TEST(CliUsage, UsageStringMatchesParser) {
                      "main()'s usage string");
 }
 
+// The durability surface must stay wired into the CLI: these flags are
+// load-bearing for the kill-and-resume workflow (a rename would break
+// scripts and the CI smoke), so their removal should be a deliberate,
+// test-visible act rather than parser drift.
+TEST(CliUsage, CheckpointAndFaultFlagsExist) {
+  std::string source = ReadCliSource();
+  ASSERT_FALSE(source.empty());
+  std::set<std::string> parser = ParserFlags(source);
+  for (const char* flag : {"--checkpoint", "--checkpoint-every-rounds",
+                           "--resume", "--fail-at"}) {
+    EXPECT_TRUE(parser.count(flag) > 0)
+        << flag << " is no longer accepted by the batch-mode parser";
+  }
+}
+
 }  // namespace
 }  // namespace idlog

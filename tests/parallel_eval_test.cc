@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/idlog_engine.h"
 #include "exec/thread_pool.h"
 #include "obs/trace.h"
@@ -61,6 +62,28 @@ TEST(ThreadPool, SizeOneRunsOnCaller) {
 TEST(ThreadPool, EmptyBatchIsANoop) {
   ThreadPool pool(2);
   pool.Run({});
+}
+
+// Error hardening: a throwing task is contained at the pool boundary —
+// it neither terminates the process nor wedges the batch accounting,
+// and the pool stays usable for later batches.
+TEST(ThreadPool, ThrowingTaskIsContained) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    if (i % 4 == 1) {
+      tasks.push_back([] { throw std::runtime_error("task boom"); });
+    } else {
+      tasks.push_back([&ran] { ++ran; });
+    }
+  }
+  pool.Run(std::move(tasks));
+  EXPECT_EQ(ran.load(), 12);
+  // The pool must still drain a fresh batch after swallowing throws.
+  std::atomic<int> again{0};
+  pool.Run({[&again] { ++again; }, [&again] { ++again; }});
+  EXPECT_EQ(again.load(), 2);
 }
 
 // --------------------------------------------------------------------
@@ -414,105 +437,80 @@ INSTANTIATE_TEST_SUITE_P(Examples, ParallelPaperExamples,
                          });
 
 // --------------------------------------------------------------------
-// Randomized corpus: layered stratified programs with recursion,
-// negation and ID-literals (a compact cousin of fuzz_test's generator,
-// biased toward multi-rule strata so the parallel path engages).
-
-class CorpusGenerator {
- public:
-  explicit CorpusGenerator(uint64_t seed) : rng_(seed) {}
-
-  std::string Generate() {
-    std::string text;
-    std::vector<std::pair<std::string, int>> lower = {{"e0", 2}, {"e1", 1}};
-    int layers = 2 + static_cast<int>(rng_() % 3);
-    for (int layer = 0; layer < layers; ++layer) {
-      std::string p = "p" + std::to_string(layer);
-      std::string q = "q" + std::to_string(layer);
-      int arity = 2;
-      // Negation (and ID-literals, whose base must be complete before
-      // the stratum) may only reach strictly lower layers — predicates
-      // added for *this* layer share p's stratum.
-      const std::vector<std::pair<std::string, int>> strictly_lower = lower;
-      // Base rules (1-2) from lower layers.
-      int bases = 1 + static_cast<int>(rng_() % 2);
-      for (int b = 0; b < bases; ++b) {
-        text += BaseRule(p, arity, lower);
-      }
-      switch (rng_() % 3) {
-        case 0:  // direct recursion
-          text += p + "(X, Z) :- " + p + "(X, Y), e0(Y, Z).\n";
-          break;
-        case 1:  // mutual recursion: p and q share a stratum
-          text += q + "(X, Y) :- " + p + "(X, Y).\n";
-          text += p + "(X, Z) :- " + q + "(X, Y), e0(Y, Z).\n";
-          lower.push_back({q, arity});
-          break;
-        default:  // non-recursive layer
-          break;
-      }
-      // Optional negation of a lower-layer predicate.
-      if (layer > 0 && rng_() % 2 == 0) {
-        auto [neg, neg_arity] =
-            strictly_lower[rng_() % strictly_lower.size()];
-        if (neg_arity == 2) {
-          text += p + "(X, X) :- e1(X), not " + neg + "(X, X).\n";
-        } else {
-          text += p + "(X, X) :- e1(X), not " + neg + "(X).\n";
-        }
-      }
-      // Optional ID-literal over a lower-layer predicate.
-      if (rng_() % 3 == 0) {
-        auto [base, base_arity] =
-            strictly_lower[rng_() % strictly_lower.size()];
-        if (base_arity == 2) {
-          text += p + "(A, B) :- " + base + "[1](A, B, 0).\n";
-        }
-      }
-      lower.push_back({p, arity});
-      queries_.push_back(p);
-    }
-    return text;
-  }
-
-  const std::vector<std::string>& queries() const { return queries_; }
-
- private:
-  std::string BaseRule(
-      const std::string& head, int arity,
-      const std::vector<std::pair<std::string, int>>& lower) {
-    auto [b, b_arity] = lower[rng_() % lower.size()];
-    if (b_arity == 2) {
-      return head + "(X, Y) :- " + b + "(X, Y).\n";
-    }
-    (void)arity;
-    return head + "(X, X) :- " + b + "(X).\n";
-  }
-
-  std::mt19937_64 rng_;
-  std::vector<std::string> queries_;
-};
+// Randomized corpus (testing_util::CorpusGenerator): layered stratified
+// programs with recursion, negation and ID-literals.
 
 class ParallelCorpus : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParallelCorpus, SerialAndParallelAgree) {
   uint64_t seed = static_cast<uint64_t>(GetParam());
-  CorpusGenerator gen(seed);
+  testing_util::CorpusGenerator gen(seed);
   std::string text = gen.Generate();
-
-  std::vector<std::vector<std::string>> edb;
-  std::mt19937_64 rng(seed * 31 + 7);
-  for (int i = 0; i < 14; ++i) {
-    edb.push_back({"e0", "c" + std::to_string(rng() % 6),
-                   "c" + std::to_string(rng() % 6)});
-  }
-  for (int i = 0; i < 5; ++i) {
-    edb.push_back({"e1", "c" + std::to_string(rng() % 6)});
-  }
-  ExpectEquivalent(text, edb, gen.queries());
+  ExpectEquivalent(text, testing_util::CorpusEdb(seed), gen.queries());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelCorpus, ::testing::Range(0, 40));
+
+// --------------------------------------------------------------------
+// Round-task error hardening, driven by the fault-injection harness.
+
+void SetUpParallelChainEngine(IdlogEngine* engine) {
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(engine
+                    ->AddRow("edge", {"n" + std::to_string(i),
+                                      "n" + std::to_string(i + 1)})
+                    .ok());
+  }
+  ASSERT_TRUE(engine
+                  ->LoadProgramText("tc(X, Y) :- edge(X, Y).\n"
+                                    "tc(X, Z) :- tc(X, Y), edge(Y, Z).\n"
+                                    "also(X, Y) :- tc(X, Y).\n")
+                  .ok());
+  engine->SetThreads(4);
+}
+
+// A RoundTask whose evaluation fails cancels the round and surfaces
+// exactly one Status — the injected one — through Run().
+TEST(RoundTaskHardening, FailingTaskSurfacesOneStatus) {
+  Failpoints::Instance().Reset();
+  ASSERT_TRUE(Failpoints::Instance().ArmFromSpec("exec.round.task:1").ok());
+  IdlogEngine engine;
+  SetUpParallelChainEngine(&engine);
+  Status st = engine.Run();
+  Failpoints::Instance().Reset();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("exec.round.task"), std::string::npos)
+      << st.ToString();
+  // The engine recovers: the next run (no failpoints) is clean and
+  // matches a serial evaluation.
+  engine.InvalidateRun();
+  ASSERT_TRUE(engine.Run().ok());
+  IdlogEngine serial;
+  SetUpParallelChainEngine(&serial);
+  serial.SetThreads(1);
+  auto par = engine.Query("tc");
+  auto ser = serial.Query("tc");
+  ASSERT_TRUE(par.ok() && ser.ok());
+  EXPECT_EQ(Dump(**par, engine.symbols()), Dump(**ser, serial.symbols()));
+}
+
+// The same via an exception: the :throw action makes the failpoint
+// throw from inside the worker; the task wrapper converts it into a
+// Status and no exception reaches the pool (run under TSan in CI).
+TEST(RoundTaskHardening, ThrowingTaskBecomesStatus) {
+  Failpoints::Instance().Reset();
+  ASSERT_TRUE(
+      Failpoints::Instance().ArmFromSpec("exec.round.task:1:throw").ok());
+  IdlogEngine engine;
+  SetUpParallelChainEngine(&engine);
+  Status st = engine.Run();
+  Failpoints::Instance().Reset();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("round task threw"), std::string::npos)
+      << st.ToString();
+  engine.InvalidateRun();
+  EXPECT_TRUE(engine.Run().ok());
+}
 
 }  // namespace
 }  // namespace idlog

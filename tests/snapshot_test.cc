@@ -1,0 +1,323 @@
+// idlog-snap-v1 format tests: round-trip fidelity, exhaustive
+// corruption rejection (every single-byte flip, every truncation
+// length, wrong magic/version, trailing garbage), and the atomicity of
+// WriteFileAtomic — the primitive behind checkpoints and every
+// machine-readable output file.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/idlog_engine.h"
+#include "obs/trace.h"
+#include "storage/csv.h"
+#include "store/atomic_file.h"
+#include "store/snapshot.h"
+#include "test_util.h"
+
+namespace idlog {
+namespace {
+
+using testing_util::Dump;
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    dir_ = fs::temp_directory_path() /
+           ("idlog_snapshot_test_" + tag + "_" +
+            std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  const fs::path& dir() const { return dir_; }
+
+ private:
+  fs::path dir_;
+};
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int TmpFileCount(const fs::path& dir) {
+  int n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().string().find(".tmp") != std::string::npos) ++n;
+  }
+  return n;
+}
+
+/// A small program exercising every snapshot section: interned symbols,
+/// numbers, two strata (negation), and an ID-literal whose tids come
+/// from a random assigner.
+constexpr const char* kSampleProgram =
+    "one(N, D) :- emp[2](N, D, 0).\n"
+    "senior(N) :- lvl(N, L), L > 4.\n"
+    "both(N) :- one(N, D), not senior(N).\n";
+
+void SetUpSampleEngine(IdlogEngine* engine) {
+  ASSERT_TRUE(engine->AddRow("emp", {"ann", "sales"}).ok());
+  ASSERT_TRUE(engine->AddRow("emp", {"bob", "sales"}).ok());
+  ASSERT_TRUE(engine->AddRow("emp", {"cal", "dev"}).ok());
+  ASSERT_TRUE(engine->AddRow("lvl", {"ann", "3"}).ok());
+  ASSERT_TRUE(engine->AddRow("lvl", {"bob", "5"}).ok());
+  ASSERT_TRUE(engine->LoadProgramText(kSampleProgram).ok());
+  engine->SetTidAssigner(std::make_unique<RandomTidAssigner>(11));
+  engine->EnableExplain(true);
+  engine->EnableProfiling(true);
+}
+
+std::string QueryDump(IdlogEngine* engine, const std::string& pred) {
+  auto rel = engine->Query(pred);
+  EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+  return rel.ok() ? Dump(**rel, engine->symbols()) : std::string();
+}
+
+TEST(Snapshot, CompletedRunRoundTrips) {
+  ScratchDir scratch("roundtrip");
+  std::string snap = scratch.Path("done.snap");
+
+  IdlogEngine source;
+  SetUpSampleEngine(&source);
+  ASSERT_TRUE(source.Run().ok());
+  ASSERT_TRUE(source.SaveCheckpoint(snap).ok());
+
+  // The file parses and its sections carry what was saved.
+  auto data = LoadSnapshotFile(snap);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_TRUE(data->progress.completed);
+  EXPECT_EQ(data->symbols.size(), source.symbols().size());
+  EXPECT_EQ(data->edb.size(), 2u);
+  EXPECT_TRUE(data->has_analysis);
+  EXPECT_TRUE(data->has_profile);
+  EXPECT_EQ(data->config.assigner_kind, "random");
+  EXPECT_EQ(data->stats.facts_derived, source.stats().facts_derived);
+
+  // A fresh engine resumed from it answers identically without
+  // re-evaluating, down to tid assignments (the ID-relation contents).
+  IdlogEngine resumed;
+  ASSERT_TRUE(resumed.ResumeFromCheckpoint(snap).ok());
+  ASSERT_TRUE(resumed.LoadProgramText(kSampleProgram).ok());
+  for (const char* pred : {"one", "senior", "both"}) {
+    EXPECT_EQ(QueryDump(&resumed, pred), QueryDump(&source, pred)) << pred;
+  }
+  // emp[2] groups by the second attribute, keyed 0-based internally.
+  auto src_id = source.QueryIdRelation("emp", {1});
+  auto res_id = resumed.QueryIdRelation("emp", {1});
+  ASSERT_TRUE(src_id.ok() && res_id.ok());
+  EXPECT_EQ(Dump(**res_id, resumed.symbols()),
+            Dump(**src_id, source.symbols()));
+  EXPECT_EQ(resumed.stats().facts_derived, source.stats().facts_derived);
+  EXPECT_EQ(resumed.stats().iterations, source.stats().iterations);
+}
+
+TEST(Snapshot, ResumeNeedsFreshEngine) {
+  ScratchDir scratch("fresh");
+  std::string snap = scratch.Path("done.snap");
+  IdlogEngine source;
+  SetUpSampleEngine(&source);
+  ASSERT_TRUE(source.Run().ok());
+  ASSERT_TRUE(source.SaveCheckpoint(snap).ok());
+
+  Status st = source.ResumeFromCheckpoint(snap);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("fresh engine"), std::string::npos);
+
+  IdlogEngine dirty;
+  ASSERT_TRUE(dirty.AddRow("x", {"a"}).ok());
+  EXPECT_FALSE(dirty.ResumeFromCheckpoint(snap).ok());
+}
+
+TEST(Snapshot, ProgramHashGuardsResume) {
+  ScratchDir scratch("hash");
+  std::string snap = scratch.Path("done.snap");
+  IdlogEngine source;
+  SetUpSampleEngine(&source);
+  ASSERT_TRUE(source.Run().ok());
+  ASSERT_TRUE(source.SaveCheckpoint(snap).ok());
+
+  IdlogEngine resumed;
+  ASSERT_TRUE(resumed.ResumeFromCheckpoint(snap).ok());
+  Status st = resumed.LoadProgramText("other(X) :- lvl(X, L).\n");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("hash mismatch"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Corruption: every damage mode must be rejected, never crash, and
+// carry a precise message.
+
+std::string SampleSnapshotBytes(ScratchDir* scratch) {
+  std::string snap = scratch->Path("sample.snap");
+  IdlogEngine source;
+  SetUpSampleEngine(&source);
+  EXPECT_TRUE(source.Run().ok());
+  EXPECT_TRUE(source.SaveCheckpoint(snap).ok());
+  return Slurp(snap);
+}
+
+TEST(SnapshotCorruption, EverySingleByteFlipIsRejected) {
+  ScratchDir scratch("flip");
+  std::string bytes = SampleSnapshotBytes(&scratch);
+  ASSERT_GT(bytes.size(), 100u);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string damaged = bytes;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x01);
+    auto parsed = ParseSnapshot(damaged);
+    EXPECT_FALSE(parsed.ok()) << "flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(SnapshotCorruption, EveryTruncationIsRejected) {
+  ScratchDir scratch("trunc");
+  std::string bytes = SampleSnapshotBytes(&scratch);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto parsed = ParseSnapshot(std::string_view(bytes.data(), len));
+    EXPECT_FALSE(parsed.ok()) << "truncation to " << len << " accepted";
+  }
+}
+
+TEST(SnapshotCorruption, PreciseMessages) {
+  ScratchDir scratch("messages");
+  std::string bytes = SampleSnapshotBytes(&scratch);
+
+  auto not_snap = ParseSnapshot("definitely not a snapshot");
+  ASSERT_FALSE(not_snap.ok());
+  EXPECT_NE(not_snap.status().message().find("magic"), std::string::npos);
+
+  std::string wrong_version = bytes;
+  wrong_version[8] = 9;  // little-endian u32 version after the magic
+  auto versioned = ParseSnapshot(wrong_version);
+  ASSERT_FALSE(versioned.ok());
+  EXPECT_NE(versioned.status().message().find("idlog-snap-v1"),
+            std::string::npos);
+
+  auto trailing = ParseSnapshot(bytes + "x");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().message().find("trailing"),
+            std::string::npos);
+
+  // Byte 24 is the first payload byte of the META section (8 magic +
+  // 4 version + 4 tag + 8 length), safely past the framing fields.
+  std::string crc_flip = bytes;
+  crc_flip[24] = static_cast<char>(crc_flip[24] ^ 0x40);
+  auto crc = ParseSnapshot(crc_flip);
+  ASSERT_FALSE(crc.ok());
+  EXPECT_NE(crc.status().message().find("CRC mismatch"),
+            std::string::npos);
+
+  auto missing = LoadSnapshotFile(scratch.Path("nope.snap"));
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  EXPECT_TRUE(ValidateSnapshotFile(scratch.Path("sample.snap")).ok());
+}
+
+// --------------------------------------------------------------------
+// WriteFileAtomic and the outputs built on it.
+
+TEST(AtomicFile, Crc32KnownAnswer) {
+  // The CRC-32 check value from the ITU-T V.42 / zlib test vector.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(AtomicFile, WritesAndReplaces) {
+  ScratchDir scratch("atomic");
+  std::string path = scratch.Path("out.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "first").ok());
+  EXPECT_EQ(Slurp(path), "first");
+  ASSERT_TRUE(WriteFileAtomic(path, "second").ok());
+  EXPECT_EQ(Slurp(path), "second");
+  EXPECT_EQ(TmpFileCount(scratch.dir()), 0);
+
+  Status st = WriteFileAtomic(scratch.Path("no/such/dir/out.txt"), "x");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(AtomicFile, FailedWriteLeavesTargetUntouched) {
+  ScratchDir scratch("atomic_fail");
+  std::string path = scratch.Path("out.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "precious").ok());
+
+  // Injected failures at each stage of the atomic write protocol must
+  // leave the previous contents in place and no temp file behind.
+  for (const char* site :
+       {"store.write.open", "store.write.data", "store.write.fsync",
+        "store.write.rename"}) {
+    Failpoints::Instance().Reset();
+    ASSERT_TRUE(Failpoints::Instance()
+                    .ArmFromSpec(std::string(site) + ":1")
+                    .ok());
+    Status st = WriteFileAtomic(path, "replacement");
+    EXPECT_FALSE(st.ok()) << site;
+    EXPECT_NE(st.message().find(site), std::string::npos) << st.ToString();
+    EXPECT_EQ(Slurp(path), "precious") << site;
+    EXPECT_EQ(TmpFileCount(scratch.dir()), 0) << site;
+  }
+  Failpoints::Instance().Reset();
+  ASSERT_TRUE(WriteFileAtomic(path, "replacement").ok());
+  EXPECT_EQ(Slurp(path), "replacement");
+}
+
+// Regression: the CSV saver and the trace sink write through the atomic
+// path, so a failure mid-write preserves the previous file intact.
+TEST(AtomicFile, CsvAndTraceOutputsAreAtomic) {
+  ScratchDir scratch("outputs");
+
+  SymbolTable symbols;
+  Relation rel(RelationType{Sort::kU, Sort::kU});
+  rel.Insert(testing_util::T(&symbols, {"a", "b"}));
+  std::string csv_path = scratch.Path("rel.csv");
+  ASSERT_TRUE(SaveRelationCsv(rel, symbols, csv_path).ok());
+  std::string before = Slurp(csv_path);
+  EXPECT_EQ(before, "a,b\n");
+
+  rel.Insert(testing_util::T(&symbols, {"c, quoted", "d"}));
+  Failpoints::Instance().Reset();
+  ASSERT_TRUE(
+      Failpoints::Instance().ArmFromSpec("store.write.rename:1").ok());
+  EXPECT_FALSE(SaveRelationCsv(rel, symbols, csv_path).ok());
+  EXPECT_EQ(Slurp(csv_path), before);
+  EXPECT_EQ(TmpFileCount(scratch.dir()), 0);
+  Failpoints::Instance().Reset();
+  ASSERT_TRUE(SaveRelationCsv(rel, symbols, csv_path).ok());
+  std::string after = Slurp(csv_path);
+  EXPECT_NE(after, before);
+  EXPECT_NE(after.find("\"c, quoted\",d"), std::string::npos);
+
+  TraceSink sink;
+  std::string trace_path = scratch.Path("trace.json");
+  ASSERT_TRUE(sink.WriteJson(trace_path).ok());
+  std::string trace_before = Slurp(trace_path);
+  Failpoints::Instance().Reset();
+  ASSERT_TRUE(
+      Failpoints::Instance().ArmFromSpec("store.write.data:1").ok());
+  EXPECT_FALSE(sink.WriteJson(trace_path).ok());
+  EXPECT_EQ(Slurp(trace_path), trace_before);
+  EXPECT_EQ(TmpFileCount(scratch.dir()), 0);
+  Failpoints::Instance().Reset();
+}
+
+}  // namespace
+}  // namespace idlog

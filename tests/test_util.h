@@ -1,7 +1,10 @@
 #ifndef IDLOG_TESTS_TEST_UTIL_H_
 #define IDLOG_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
+#include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/symbol_table.h"
@@ -22,6 +25,31 @@ std::string Dump(const Relation& rel, const SymbolTable& symbols);
 /// Returns the tuples of `rel` rendered "(a, b)" style, sorted.
 std::vector<std::string> Rows(const Relation& rel,
                               const SymbolTable& symbols);
+
+/// Randomized corpus generator shared by the parallel-equivalence and
+/// checkpoint-resume tests: layered stratified programs with recursion,
+/// negation and ID-literals (a compact cousin of fuzz_test's generator,
+/// biased toward multi-rule strata so the parallel path engages).
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// Generates one program; queries() names the layer predicates.
+  std::string Generate();
+
+  const std::vector<std::string>& queries() const { return queries_; }
+
+ private:
+  std::string BaseRule(
+      const std::string& head, int arity,
+      const std::vector<std::pair<std::string, int>>& lower);
+
+  std::mt19937_64 rng_;
+  std::vector<std::string> queries_;
+};
+
+/// The matching EDB for corpus seed `seed`: rows over e0/2 and e1/1.
+std::vector<std::vector<std::string>> CorpusEdb(uint64_t seed);
 
 }  // namespace testing_util
 }  // namespace idlog

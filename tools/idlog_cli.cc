@@ -21,6 +21,18 @@
 //             [--profile]               (per-rule/per-stratum table)
 //             [--trace-out FILE]        (chrome://tracing JSON trace)
 //             [--metrics-json FILE]     (flat idlog-metrics-v1 report)
+//             [--checkpoint FILE]       (durable idlog-snap-v1 snapshot,
+//                                        written atomically at round
+//                                        boundaries and on trips)
+//             [--checkpoint-every-rounds N]  (write cadence; default 1)
+//             [--resume FILE]           (continue a checkpointed run;
+//                                        carries database, assigner and
+//                                        mode switches — contradicting
+//                                        flags are usage errors)
+//             [--fail-at SITE:N[:throw]] (deterministic fault injection:
+//                                        fail the Nth execution of the
+//                                        named site; repeatable, also
+//                                        via IDLOG_FAIL_AT env var)
 //
 // Value flags accept both "--flag value" and "--flag=value".
 //
@@ -49,11 +61,15 @@
 #include <string>
 #include <vector>
 
+#include <cstdlib>
+
 #include "ast/printer.h"
+#include "common/failpoint.h"
 #include "core/answer_enumerator.h"
 #include "core/idlog_engine.h"
 #include "obs/trace.h"
 #include "storage/csv.h"
+#include "store/atomic_file.h"
 
 namespace {
 
@@ -98,14 +114,9 @@ idlog::Result<std::string> ReadFile(const std::string& path) {
 }
 
 Status WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::NotFound("cannot open '" + path + "' for writing");
-  }
-  out << content;
-  out.flush();
-  if (!out) return Status::Internal("failed writing '" + path + "'");
-  return Status::OK();
+  // Atomic (temp + fsync + rename): every machine-readable output the
+  // CLI produces is either the previous complete file or the new one.
+  return idlog::WriteFileAtomic(path, content);
 }
 
 void PrintRelation(const idlog::Relation& rel,
@@ -153,6 +164,11 @@ int RunBatch(int argc, char** argv) {
   uint64_t jobs = 1;
   std::string trace_out;
   std::string metrics_json;
+  std::string checkpoint_path;
+  uint64_t checkpoint_every = 1;
+  bool checkpoint_every_given = false;
+  std::string resume_path;
+  std::vector<std::string> fail_specs;
 
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
@@ -252,6 +268,33 @@ int RunBatch(int argc, char** argv) {
         return Fail(Status::InvalidArgument("--metrics-json FILE"));
       }
       metrics_json = v;
+    } else if (arg == "--checkpoint") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--checkpoint FILE"));
+      }
+      checkpoint_path = v;
+    } else if (arg == "--checkpoint-every-rounds") {
+      auto v = ParseUint64("--checkpoint-every-rounds", next());
+      if (!v.ok()) return Fail(v.status());
+      if (*v < 1) {
+        return Fail(Status::InvalidArgument(
+            "--checkpoint-every-rounds expects a positive round count"));
+      }
+      checkpoint_every = *v;
+      checkpoint_every_given = true;
+    } else if (arg == "--resume") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--resume FILE"));
+      }
+      resume_path = v;
+    } else if (arg == "--fail-at") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--fail-at SITE:N[:throw]"));
+      }
+      fail_specs.emplace_back(v);
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--naive") {
@@ -271,6 +314,75 @@ int RunBatch(int argc, char** argv) {
     return Fail(Status::InvalidArgument(
         "--explain-analyze needs --query PRED (use --explain-plan for "
         "the static plan)"));
+  }
+  // Checkpoint/resume combinations that contradict each other are usage
+  // errors rather than silent overrides.
+  if (!resume_path.empty()) {
+    if (!csvs.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--resume restores the snapshot's database; it cannot be "
+          "combined with --csv"));
+    }
+    if (random) {
+      return Fail(Status::InvalidArgument(
+          "--resume restores the snapshot's tid-assigner state; it "
+          "cannot be combined with --seed"));
+    }
+    if (naive || !pushdown) {
+      return Fail(Status::InvalidArgument(
+          "--resume adopts the snapshot's evaluation mode; it cannot be "
+          "combined with --naive or --no-tid-pushdown"));
+    }
+    if (enumerate) {
+      return Fail(Status::InvalidArgument(
+          "--resume continues one checkpointed run; it cannot be "
+          "combined with --enumerate"));
+    }
+    if (explain) {
+      return Fail(Status::InvalidArgument(
+          "--explain needs provenance recorded from round 0, which a "
+          "resumed run no longer has; it cannot be combined with "
+          "--resume"));
+    }
+    if (explain_plan) {
+      return Fail(Status::InvalidArgument(
+          "--explain-plan does not evaluate, so there is nothing for "
+          "--resume to continue"));
+    }
+    if (checkpoint_path == resume_path) {
+      return Fail(Status::InvalidArgument(
+          "--checkpoint must not equal the --resume path (a failed "
+          "resume would overwrite the snapshot it resumes from)"));
+    }
+  }
+  if (checkpoint_every_given && checkpoint_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--checkpoint-every-rounds needs --checkpoint FILE"));
+  }
+  if (!checkpoint_path.empty() && (enumerate || explain_plan)) {
+    return Fail(Status::InvalidArgument(
+        "--checkpoint records one evaluation; it cannot be combined "
+        "with --enumerate or --explain-plan"));
+  }
+  // Deterministic fault injection: flag specs first, then the
+  // IDLOG_FAIL_AT environment variable (comma-separated specs).
+  for (const std::string& spec : fail_specs) {
+    Status st = idlog::Failpoints::Instance().ArmFromSpec(spec);
+    if (!st.ok()) return Fail(st);
+  }
+  if (const char* env = std::getenv("IDLOG_FAIL_AT")) {
+    std::string specs(env);
+    size_t start = 0;
+    while (start <= specs.size()) {
+      size_t comma = specs.find(',', start);
+      if (comma == std::string::npos) comma = specs.size();
+      std::string spec = specs.substr(start, comma - start);
+      if (!spec.empty()) {
+        Status st = idlog::Failpoints::Instance().ArmFromSpec(spec);
+        if (!st.ok()) return Fail(st);
+      }
+      start = comma + 1;
+    }
   }
 
   IdlogEngine engine;
@@ -335,12 +447,21 @@ int RunBatch(int argc, char** argv) {
                                        &engine.governor());
     if (!st.ok()) return finish(Fail(st));
   }
+  // Resume before the program loads: the snapshot restores symbols and
+  // database first, then the (hash-guarded) program parses against them.
+  if (!resume_path.empty()) {
+    Status rst = engine.ResumeFromCheckpoint(resume_path);
+    if (!rst.ok()) return finish(Fail(rst));
+  }
   auto text = ReadFile(program_path);
   if (!text.ok()) return finish(Fail(text.status()));
   Status st = engine.LoadProgramText(*text);
   if (!st.ok()) return finish(Fail(st));
   if (random) {
     engine.SetTidAssigner(std::make_unique<idlog::RandomTidAssigner>(seed));
+  }
+  if (!checkpoint_path.empty()) {
+    engine.SetCheckpoint(checkpoint_path, checkpoint_every);
   }
 
   if (explain_plan) {
@@ -593,7 +714,10 @@ int main(int argc, char** argv) {
                  "           [--timeout-ms N] [--max-tuples N]"
                  " [--max-memory-mb N] [--max-iterations N] [--partial]\n"
                  "           [--profile] [--trace-out FILE]"
-                 " [--metrics-json FILE]\n",
+                 " [--metrics-json FILE]\n"
+                 "           [--checkpoint FILE]"
+                 " [--checkpoint-every-rounds N] [--resume FILE]"
+                 " [--fail-at SITE:N[:throw]]\n",
                  argv[0], argv[0]);
     return 2;
   }
