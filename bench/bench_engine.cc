@@ -227,6 +227,87 @@ void RunExplainSection() {
   bench_util::WriteBenchMetrics("explain", profiles);
 }
 
+// E6: provenance overhead. Recording the first derivation of every
+// inserted fact costs one id-keyed hash insert per emit on the hot
+// path; with provenance off the executor null-tests a single pointer,
+// so the off path must stay at full speed (<10% target). Parallel runs
+// record into per-task stores merged in task order, so --jobs 4 pays
+// the same logical cost plus the merge.
+double RunTcProvenance(Shape shape, int nodes, int edges, bool provenance,
+                       int jobs, size_t* answer, uint64_t* prov_nodes) {
+  IdlogEngine engine;
+  FillGraph(&engine.database(), shape, nodes, edges, /*seed=*/13);
+  engine.EnableProvenance(provenance);
+  engine.SetThreads(jobs);
+  if (!engine.LoadProgramText(kTc).ok()) return 0;
+  auto t0 = Clock::now();
+  auto q = engine.Query("path");
+  double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  *answer = q.ok() ? (*q)->size() : 0;
+  *prov_nodes = engine.stats().provenance_nodes;
+  return ms;
+}
+
+EvalProfile ProfileTcProvenance(Shape shape, int nodes, int edges,
+                                bool provenance, int jobs) {
+  IdlogEngine engine;
+  FillGraph(&engine.database(), shape, nodes, edges, /*seed=*/13);
+  engine.EnableProvenance(provenance);
+  engine.SetThreads(jobs);
+  engine.EnableProfiling(true);
+  if (!engine.LoadProgramText(kTc).ok()) return {};
+  (void)engine.Query("path");
+  return engine.profile();
+}
+
+void RunProvenanceSection() {
+  std::printf(
+      "\nE6: provenance overhead — semi-naive TC, lineage recording off "
+      "vs on, serial and --jobs 4 (best of 5, no profiling in the timed "
+      "runs)\n");
+  bench_util::PrintHeader({"graph", "jobs", "|path|", "off ms", "on ms",
+                           "overhead", "prov nodes", "equal"});
+  std::vector<bench_util::LabeledProfile> profiles;
+  struct Config {
+    const char* label;
+    Shape shape;
+    int nodes, edges;
+  };
+  for (const Config& c :
+       {Config{"chain", Shape::kChain, 256, 0},
+        Config{"random", Shape::kRandom, 200, 800}}) {
+    for (int jobs : {1, 4}) {
+      double off = 1e18, on = 1e18;
+      size_t answer_off = 0, answer_on = 0;
+      uint64_t nodes_off = 0, nodes_on = 0;
+      for (int rep = 0; rep < 5; ++rep) {
+        off = std::min(off, RunTcProvenance(c.shape, c.nodes, c.edges,
+                                            false, jobs, &answer_off,
+                                            &nodes_off));
+        on = std::min(on, RunTcProvenance(c.shape, c.nodes, c.edges, true,
+                                          jobs, &answer_on, &nodes_on));
+      }
+      double overhead = off > 0 ? (on - off) / off * 100.0 : 0;
+      auto fmt = [](double v) { return std::to_string(v).substr(0, 7); };
+      bench_util::PrintRow(
+          {std::string(c.label) + " " + std::to_string(c.nodes),
+           std::to_string(jobs), std::to_string(answer_off), fmt(off),
+           fmt(on), fmt(overhead) + "%", std::to_string(nodes_on),
+           answer_off == answer_on && nodes_off == 0 ? "yes" : "NO"});
+      std::string tag = std::string(c.label) + std::to_string(c.nodes) +
+                        ".jobs" + std::to_string(jobs);
+      profiles.emplace_back("prov_off_" + tag,
+                            ProfileTcProvenance(c.shape, c.nodes, c.edges,
+                                                false, jobs));
+      profiles.emplace_back("prov_on_" + tag,
+                            ProfileTcProvenance(c.shape, c.nodes, c.edges,
+                                                true, jobs));
+    }
+  }
+  bench_util::WriteBenchMetrics("provenance", profiles);
+}
+
 // Microbench: one full TC evaluation, semi-naive.
 void BM_TransitiveClosureSeminaive(benchmark::State& state) {
   for (auto _ : state) {
@@ -289,6 +370,7 @@ int main(int argc, char** argv) {
 
   idlog::RunParallelSection();
   idlog::RunExplainSection();
+  idlog::RunProvenanceSection();
 
   std::printf("\nGoogle-benchmark microbenches:\n");
   benchmark::Initialize(&argc, argv);

@@ -130,6 +130,7 @@ std::string IdlogEngine::SerializeCurrentState(
   view.stats = &impl_->stats();
   view.analysis = impl_->explain_enabled() ? &impl_->plan_analysis() : nullptr;
   view.profile = impl_->profiling_enabled() ? &impl_->profile() : nullptr;
+  view.provenance = provenance_ ? &impl_->provenance() : nullptr;
   view.config = CurrentConfig();
   view.progress = progress;
   return SerializeSnapshot(view);
@@ -148,6 +149,7 @@ Status IdlogEngine::OnCheckpointFrame(
   view.stats = &impl_->stats();
   view.analysis = impl_->explain_enabled() ? &impl_->plan_analysis() : nullptr;
   view.profile = impl_->profiling_enabled() ? &impl_->profile() : nullptr;
+  view.provenance = provenance_ ? &impl_->provenance() : nullptr;
   view.config = CurrentConfig();
   view.progress.completed = frame.completed;
   view.progress.stratum = frame.stratum;
@@ -258,6 +260,8 @@ Status IdlogEngine::Run() {
     state.analysis = std::move(snap->analysis);
     state.has_profile = snap->has_profile;
     state.profile = std::move(snap->profile);
+    state.has_provenance = snap->has_provenance;
+    state.provenance = std::move(snap->provenance);
     state.stratum = snap->progress.stratum;
     state.round = snap->progress.round;
     state.in_stratum = snap->progress.in_stratum;
@@ -391,6 +395,86 @@ Result<std::string> IdlogEngine::Explain(const std::string& pred,
     return stored.ok() && (*stored)->Contains(t);
   };
   return ExplainFact(impl_->provenance(), symbols_, pred, tuple, is_leaf);
+}
+
+Result<ProofTree> IdlogEngine::BuildWhy(const std::string& pred,
+                                        const Tuple& tuple,
+                                        const WhyBudget& budget) {
+  if (!provenance_) {
+    return Status::InvalidArgument(
+        "call EnableProvenance(true) before Run() to use Why()");
+  }
+  IDLOG_RETURN_NOT_OK(Run());
+  IDLOG_ASSIGN_OR_RETURN(const Relation* rel, impl_->RelationOf(pred));
+  if (!rel->Contains(tuple)) {
+    return Status::NotFound(pred + TupleToString(tuple, symbols_) +
+                            " does not hold in the computed model; use "
+                            "WhyNot() for absent facts");
+  }
+  auto is_leaf = [this](const std::string& p, const Tuple& t) {
+    Result<const Relation*> stored = database_.Get(p);
+    return stored.ok() && (*stored)->Contains(t);
+  };
+  return BuildProofTree(impl_->provenance(), symbols_, pred, tuple, is_leaf,
+                        budget);
+}
+
+Result<std::string> IdlogEngine::Why(const std::string& pred,
+                                     const Tuple& tuple,
+                                     const WhyBudget& budget) {
+  IDLOG_ASSIGN_OR_RETURN(ProofTree tree, BuildWhy(pred, tuple, budget));
+  return RenderWhyText(tree);
+}
+
+Result<std::string> IdlogEngine::WhyJson(const std::string& pred,
+                                         const Tuple& tuple,
+                                         const WhyBudget& budget) {
+  IDLOG_ASSIGN_OR_RETURN(ProofTree tree, BuildWhy(pred, tuple, budget));
+  return RenderWhyJson(tree);
+}
+
+Result<WhyNotReport> IdlogEngine::BuildWhyNotReport(const std::string& pred,
+                                                    const Tuple& tuple,
+                                                    const WhyBudget& budget) {
+  if (impl_ == nullptr) {
+    return Status::InvalidArgument("no program loaded");
+  }
+  IDLOG_RETURN_NOT_OK(Run());
+  std::vector<std::string> rule_texts;
+  rule_texts.reserve(program_.clauses.size());
+  for (const Clause& clause : program_.clauses) {
+    rule_texts.push_back(ClauseToString(clause, symbols_));
+  }
+  WhyNotContext ctx;
+  ctx.plans = &impl_->plans();
+  ctx.rule_texts = &rule_texts;
+  ctx.symbols = &symbols_;
+  ctx.full = [this](const std::string& p) -> const Relation* {
+    Result<const Relation*> r = impl_->RelationOf(p);
+    return r.ok() ? *r : nullptr;
+  };
+  ctx.id_relation = [this](const std::string& p,
+                           const std::vector<int>& g) -> const Relation* {
+    Result<const Relation*> r = impl_->IdRelationOf(p, g);
+    return r.ok() ? *r : nullptr;
+  };
+  return BuildWhyNot(ctx, pred, tuple, budget);
+}
+
+Result<std::string> IdlogEngine::WhyNot(const std::string& pred,
+                                        const Tuple& tuple,
+                                        const WhyBudget& budget) {
+  IDLOG_ASSIGN_OR_RETURN(WhyNotReport report,
+                         BuildWhyNotReport(pred, tuple, budget));
+  return RenderWhyNotText(report);
+}
+
+Result<std::string> IdlogEngine::WhyNotJson(const std::string& pred,
+                                            const Tuple& tuple,
+                                            const WhyBudget& budget) {
+  IDLOG_ASSIGN_OR_RETURN(WhyNotReport report,
+                         BuildWhyNotReport(pred, tuple, budget));
+  return RenderWhyNotJson(report);
 }
 
 void IdlogEngine::EnableExplain(bool enabled) {

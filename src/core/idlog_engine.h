@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/symbol_table.h"
 #include "eval/engine_impl.h"
+#include "obs/why.h"
 #include "storage/database.h"
 #include "storage/tid_assigner.h"
 #include "store/snapshot.h"
@@ -78,8 +79,8 @@ class IdlogEngine {
   /// Worker threads for the fixpoint (default 1 = serial; values < 1
   /// clamp to 1). With n >= 2 each round's independent rule evaluations
   /// run on a thread pool and merge deterministically — answers, stats,
-  /// profiles and traces are byte-identical to a serial run. Runs with
-  /// provenance enabled stay serial regardless.
+  /// profiles, traces and the provenance store (so proof trees and WHY
+  /// JSON) are byte-identical to a serial run.
   void SetThreads(int n);
   int threads() const { return threads_; }
 
@@ -194,6 +195,28 @@ class IdlogEngine {
   /// needed. NotFound if the fact does not hold.
   Result<std::string> Explain(const std::string& pred, const Tuple& tuple);
 
+  /// WHY: renders a bounded proof tree for `pred(tuple)` — the budgeted
+  /// successor of Explain(), with an explicit depth/node budget, cycle
+  /// safety, and a deterministic `idlog-why-v1` JSON twin. Requires
+  /// EnableProvenance(true); runs first if needed. NotFound if the fact
+  /// does not hold (use WhyNot for those).
+  Result<std::string> Why(const std::string& pred, const Tuple& tuple,
+                          const WhyBudget& budget = WhyBudget());
+  Result<std::string> WhyJson(const std::string& pred, const Tuple& tuple,
+                              const WhyBudget& budget = WhyBudget());
+
+  /// WHY NOT: explains why `pred(tuple)` is absent from the computed
+  /// model. Walks every rule whose head unifies with the query and
+  /// reports its first failing premise — a missing subgoal (recursing,
+  /// bounded, when it is ground), a blocking negation, an unsatisfied
+  /// built-in, or a tid mismatch against the model's ID choice. Does
+  /// not require provenance; runs first if needed. If the fact holds
+  /// after all, the report says so (not an error).
+  Result<std::string> WhyNot(const std::string& pred, const Tuple& tuple,
+                             const WhyBudget& budget = WhyBudget());
+  Result<std::string> WhyNotJson(const std::string& pred, const Tuple& tuple,
+                                 const WhyBudget& budget = WhyBudget());
+
   /// Enables EXPLAIN ANALYZE per-step counter collection during Run()
   /// (off by default; zero cost when off — one pointer test per rule
   /// evaluation).
@@ -230,6 +253,11 @@ class IdlogEngine {
   const PlanAnalysis& plan_analysis() const;
 
  private:
+  Result<ProofTree> BuildWhy(const std::string& pred, const Tuple& tuple,
+                             const WhyBudget& budget);
+  Result<WhyNotReport> BuildWhyNotReport(const std::string& pred,
+                                         const Tuple& tuple,
+                                         const WhyBudget& budget);
   SnapshotConfig CurrentConfig() const;
   std::string SerializeCurrentState(const SnapshotProgress& progress) const;
   Status OnCheckpointFrame(const FixpointFrame& frame,

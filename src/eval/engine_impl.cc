@@ -98,7 +98,13 @@ void EngineImpl::InstallResumeState(EvalResumeState state) {
       state.has_analysis ? std::move(state.analysis) : PlanAnalysis();
   profile_ = state.has_profile ? std::move(state.profile) : EvalProfile();
   index_caches_.clear();
-  provenance_.Clear();
+  // A snapshot cut from a provenance-enabled run carries the store;
+  // adopting it keeps pre-checkpoint facts explainable after resume.
+  if (state.has_provenance) {
+    provenance_ = std::move(state.provenance);
+  } else {
+    provenance_.Clear();
+  }
   pending_resume_ = std::make_unique<PendingResume>();
   pending_resume_->delta = std::move(state.delta);
   pending_resume_->stratum = state.stratum;
@@ -166,6 +172,12 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
               std::chrono::steady_clock::now() - t0)
               .count());
       engine->stats_.eval_wall_ns = ns;
+      // Provenance footprint: logical quantities of the merged store
+      // (identical across --jobs), surfaced as provenance.* metrics.
+      engine->stats_.provenance_nodes = engine->provenance_.size();
+      engine->stats_.provenance_premises =
+          engine->provenance_.num_premises();
+      engine->stats_.provenance_bytes = engine->provenance_.approx_bytes();
       if (engine->profiling_) {
         engine->profile_.wall_ns = ns;
         engine->profile_.totals = engine->stats_;
@@ -253,9 +265,10 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
   ctx.trace = trace_;
   ctx.profile = profiling_ ? &profile_ : nullptr;
   ctx.analyze = explain_ ? &plan_analysis_ : nullptr;
-  // Parallel stratum execution. Provenance recording is not
-  // thread-safe, so those runs stay serial (ctx.pool left null).
-  if (threads_ > 1 && !provenance_enabled_) {
+  // Parallel stratum execution. Provenance-enabled runs parallelize
+  // too: workers record into private per-task stores that the round
+  // merge absorbs in serial task order (see stratum_eval.cc).
+  if (threads_ > 1) {
     if (pool_ == nullptr || pool_->size() != threads_) {
       pool_ = std::make_unique<ThreadPool>(threads_);
     }

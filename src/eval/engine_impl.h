@@ -52,6 +52,8 @@ struct EvalResumeState {
   PlanAnalysis analysis;
   bool has_profile = false;
   EvalProfile profile;
+  bool has_provenance = false;
+  ProvenanceStore provenance;
   int stratum = 0;
   uint64_t round = 0;
   bool in_stratum = false;
@@ -123,6 +125,10 @@ class EngineImpl {
   const Stratification& stratification() const { return strat_; }
   bool prepared() const { return prepared_; }
 
+  /// The compiled plans, one per program clause (the WHY NOT walker
+  /// unifies a missing tuple against their heads). Requires Prepare().
+  const std::vector<RulePlan>& plans() const { return plans_; }
+
   /// Enables/disables the footnote 6/7 tid-bound pushdown (default on):
   /// ID-relations whose tids are provably bounded materialize only the
   /// needed prefix per group. Call before Evaluate.
@@ -164,9 +170,8 @@ class EngineImpl {
   /// Worker-thread count for the parallel stratum executor (default 1 =
   /// serial fixpoint, no pool). With n >= 2, each fixpoint round's
   /// independent (rule, delta_step) evaluations run concurrently and
-  /// are merged deterministically, so results, stats, profiles and
-  /// traces stay byte-identical to a serial run. Provenance-enabled
-  /// runs always evaluate serially regardless of this setting.
+  /// are merged deterministically, so results, stats, profiles, traces
+  /// and the provenance store stay byte-identical to a serial run.
   void set_threads(int n) { threads_ = n < 1 ? 1 : n; }
   int threads() const { return threads_; }
 

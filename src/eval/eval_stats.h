@@ -35,6 +35,13 @@ struct EvalStats {
   /// the governor's trip snapshot, which fills in the elapsed time at
   /// the moment the budget tripped.
   uint64_t eval_wall_ns = 0;
+  /// Provenance store footprint, stamped by the engine at Evaluate()
+  /// exit from the (merged) store. Logical quantities: the parallel
+  /// merge reproduces the serial store exactly, so all three are
+  /// identical across --jobs settings. Zero when provenance is off.
+  uint64_t provenance_nodes = 0;     ///< Recorded derivations retained.
+  uint64_t provenance_premises = 0;  ///< Total premises across them.
+  uint64_t provenance_bytes = 0;     ///< Approximate retained bytes.
 
   void Reset() { *this = EvalStats(); }
 
@@ -51,6 +58,9 @@ struct EvalStats {
     index_builds += o.index_builds;
     index_cache_misses += o.index_cache_misses;
     eval_wall_ns += o.eval_wall_ns;
+    provenance_nodes += o.provenance_nodes;
+    provenance_premises += o.provenance_premises;
+    provenance_bytes += o.provenance_bytes;
     return *this;
   }
 };

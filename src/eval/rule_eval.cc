@@ -76,21 +76,31 @@ class RuleExecutor {
     t.reserve(plan_.head_args.size());
     for (const ArgSource& src : plan_.head_args) t.push_back(Resolve(src));
     if (ctx_.stats != nullptr) ++ctx_.stats->facts_derived;
+    size_t prov_bytes = 0;
     if (ctx_.provenance != nullptr) {
-      ctx_.provenance->Record(plan_.head_pred, t, plan_.clause_index,
-                              premises_);
+      // Interned at first emit, not construction: the store's predicate
+      // table must hold exactly the predicates with recorded nodes, in
+      // first-record order, or the parallel task-order merge (which only
+      // sees recorded nodes) would diverge from a serial run. Cached, so
+      // later emits stay id-keyed with no string hashing/copies.
+      if (head_pred_id_ == ProvenanceStore::kNoPred) {
+        head_pred_id_ = ctx_.provenance->InternPredicate(plan_.head_pred);
+      }
+      prov_bytes = ctx_.provenance->Record(head_pred_id_, t,
+                                           plan_.clause_index, premises_);
     }
     if (out_->Insert(std::move(t))) {
       // Parallel workers stage into a private relation; whether the
       // tuple is new globally is only known at the driver's merge,
       // which does this accounting (rows_emitted included) there in
-      // deterministic task order.
+      // deterministic task order. Provenance bytes are likewise charged
+      // at the merge, when the private store is absorbed.
       if (ctx_.parallel_worker) return Status::OK();
       if (emit != nullptr) ++emit->rows_emitted;
       if (ctx_.stats != nullptr) ++ctx_.stats->facts_inserted;
       if (ctx_.governor != nullptr) {
         return ctx_.governor->OnDerived(
-            1, ApproxTupleBytes(plan_.head_args.size()));
+            1, ApproxTupleBytes(plan_.head_args.size()) + prov_bytes);
       }
     }
     return Status::OK();
@@ -338,6 +348,8 @@ class RuleExecutor {
   Relation* out_;
   std::vector<Value> slots_;
   std::vector<Premise> premises_;
+  /// Interned head predicate id (valid only when provenance is on).
+  ProvenanceStore::PredId head_pred_id_ = ProvenanceStore::kNoPred;
   /// EXPLAIN ANALYZE counter array (steps+1 entries, last is the emit
   /// pseudo-step), or null when analysis is off — see the constructor.
   StepCounters* sc_ = nullptr;

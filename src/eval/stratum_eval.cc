@@ -184,12 +184,13 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
   // pool installed the evaluations run concurrently into private
   // relations and are merged back in task order, so fixpoint contents,
   // stats, profile columns and trace spans come out identical to the
-  // serial path (timing values aside). Parallel workers cannot record
-  // provenance, so a provenance run stays serial.
+  // serial path (timing values aside). Provenance runs parallelize the
+  // same way: workers record into private per-task stores and the merge
+  // absorbs them in task order (first-derivation-wins), reproducing the
+  // serial store exactly.
   auto run_round = [&](std::vector<RoundTask>&& tasks, uint64_t round,
                        std::map<std::string, Relation>* staged) -> Status {
-    const bool parallel = ctx.pool != nullptr && tasks.size() > 1 &&
-                          ctx.provenance == nullptr;
+    const bool parallel = ctx.pool != nullptr && tasks.size() > 1;
     if (!parallel) {
       for (const RoundTask& task : tasks) {
         IDLOG_RETURN_NOT_OK(ObservedRuleEval(*task.plan, ctx,
@@ -227,6 +228,19 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
       }
       task.stats.facts_inserted = inserted;
       if (ctx.stats != nullptr) *ctx.stats += task.stats;
+
+      // Absorb the worker's private derivations, still in task order:
+      // first-derivation-wins against everything absorbed so far makes
+      // the combined store identical to what the serial loop records.
+      // The retained bytes were deferred by the worker and are charged
+      // here, like the staged-insert charges above.
+      if (ctx.provenance != nullptr) {
+        size_t prov_bytes = ctx.provenance->Absorb(&task.prov);
+        if (ctx.governor != nullptr && prov_bytes > 0 &&
+            merge_status.ok()) {
+          merge_status = ctx.governor->OnDerived(0, prov_bytes);
+        }
+      }
 
       // Fold the worker's private per-step counters into the shared
       // analysis, in this same deterministic task order. The emit

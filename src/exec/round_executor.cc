@@ -94,6 +94,10 @@ Status RunRoundTasks(const EvalContext& base_ctx, ThreadPool* pool,
       worker_ctx.analyze = nullptr;
       worker_ctx.step_stats =
           t->step_stats.steps.empty() ? nullptr : &t->step_stats;
+      // Derivations go to the task's private store; the driver absorbs
+      // them in serial task order (first-derivation-wins), so the final
+      // store matches a serial run byte-for-byte.
+      if (base_ctx.provenance != nullptr) worker_ctx.provenance = &t->prov;
       if (base_ctx.trace != nullptr) t->start_us = base_ctx.trace->NowUs();
       auto t0 = std::chrono::steady_clock::now();
       // Rule evaluation reports through Status, but anything it calls

@@ -34,6 +34,11 @@ struct RoundTask {
                                 ///< emit entry's rows_emitted is left 0
                                 ///< — the merge fills it, like
                                 ///< facts_inserted.
+  ProvenanceStore prov;         ///< Private derivations recorded by the
+                                ///< worker (uncharged); the driver
+                                ///< absorbs per-task stores in task
+                                ///< order, which reproduces the serial
+                                ///< first-derivation-wins store exactly.
   uint64_t start_us = 0;        ///< Trace timestamp at task start.
   uint64_t self_ns = 0;         ///< Wall time inside the evaluation.
   Status status;                ///< The evaluation's status.
@@ -49,9 +54,11 @@ struct RoundTask {
 /// lookup-only (IndexCache::FindFresh) and defers staged-insert
 /// accounting (facts_inserted, governor OnDerived charges) to the
 /// driver's deterministic merge. The shared ResourceGovernor is charged
-/// from all workers (it is thread-safe); `base_ctx.provenance` must be
-/// null — the engine falls back to serial evaluation when provenance
-/// is on.
+/// from all workers (it is thread-safe). When `base_ctx.provenance` is
+/// set, each worker records derivations into its task's private `prov`
+/// store instead; the driver absorbs those stores in serial task order
+/// (charging the governor for the retained bytes), so provenance runs
+/// parallelize with the same byte-identical contract as everything else.
 ///
 /// Per-task failures are reported in RoundTask::status and left to the
 /// driver, which merges results up to the first failing task in task

@@ -93,6 +93,13 @@ void EvalProfile::ToMetrics(MetricsRegistry* metrics) const {
   metrics->AddCounter("totals.index_builds", totals.index_builds);
   metrics->AddCounter("totals.index_cache_misses",
                       totals.index_cache_misses);
+  // Provenance footprint: logical quantities (the parallel merge
+  // reproduces the serial store), so all three are jobs-invariant.
+  // Zero when provenance is off.
+  metrics->AddCounter("provenance.nodes", totals.provenance_nodes);
+  metrics->AddCounter("provenance.premises", totals.provenance_premises);
+  metrics->SetGauge("provenance.bytes",
+                    static_cast<int64_t>(totals.provenance_bytes));
   metrics->ObserveDuration("totals.eval_wall", wall_ns);
   for (const StratumProfile& s : strata) {
     std::string prefix = "stratum." + std::to_string(s.index) + ".";

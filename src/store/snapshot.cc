@@ -19,6 +19,7 @@ constexpr uint32_t kSectionIdRels = 5;
 constexpr uint32_t kSectionDelta = 6;
 constexpr uint32_t kSectionAnalysis = 7;
 constexpr uint32_t kSectionProfile = 8;
+constexpr uint32_t kSectionDeriv = 9;
 
 const char* SectionName(uint32_t tag) {
   switch (tag) {
@@ -31,6 +32,7 @@ const char* SectionName(uint32_t tag) {
     case kSectionDelta: return "DELTA";
     case kSectionAnalysis: return "ANALYSIS";
     case kSectionProfile: return "PROFILE";
+    case kSectionDeriv: return "DERIV";
     default: return "?";
   }
 }
@@ -93,6 +95,9 @@ void PutStats(std::string* out, const EvalStats& s) {
   PutU64(out, s.index_builds);
   PutU64(out, s.index_cache_misses);
   PutU64(out, s.eval_wall_ns);
+  PutU64(out, s.provenance_nodes);
+  PutU64(out, s.provenance_premises);
+  PutU64(out, s.provenance_bytes);
 }
 
 void PutSection(std::string* out, uint32_t tag, const std::string& payload) {
@@ -181,6 +186,9 @@ Status ReadStats(Reader* r, EvalStats* s) {
   IDLOG_RETURN_NOT_OK(r->U64(&s->index_builds));
   IDLOG_RETURN_NOT_OK(r->U64(&s->index_cache_misses));
   IDLOG_RETURN_NOT_OK(r->U64(&s->eval_wall_ns));
+  IDLOG_RETURN_NOT_OK(r->U64(&s->provenance_nodes));
+  IDLOG_RETURN_NOT_OK(r->U64(&s->provenance_premises));
+  IDLOG_RETURN_NOT_OK(r->U64(&s->provenance_bytes));
   return Status::OK();
 }
 
@@ -230,6 +238,37 @@ Status ReadRelation(Reader* r, size_t num_symbols, Relation* out) {
     if (!out->Insert(std::move(t))) {
       return Status::InvalidArgument("snapshot corrupt: section " +
                                      r->where + " contains duplicate tuples");
+    }
+  }
+  return Status::OK();
+}
+
+/// Reads `count` values of the DERIV section's self-describing tuple
+/// encoding (sort byte + payload each, same as relation rows but with
+/// no relation type to check against).
+Status ReadValues(Reader* r, size_t num_symbols, uint32_t count,
+                  Tuple* out) {
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t sort = 0;
+    uint64_t payload = 0;
+    IDLOG_RETURN_NOT_OK(r->U8(&sort));
+    IDLOG_RETURN_NOT_OK(r->U64(&payload));
+    if (sort > 1) {
+      return Status::InvalidArgument(
+          "snapshot corrupt: section " + r->where + " has invalid sort " +
+          std::to_string(sort));
+    }
+    if (static_cast<Sort>(sort) == Sort::kU) {
+      if (payload >= num_symbols) {
+        return Status::InvalidArgument(
+            "snapshot corrupt: section " + r->where + " references " +
+            "symbol id " + std::to_string(payload) + " beyond the " +
+            std::to_string(num_symbols) + " interned symbols");
+      }
+      out->push_back(Value::Symbol(static_cast<SymbolId>(payload)));
+    } else {
+      out->push_back(Value::Number(static_cast<int64_t>(payload)));
     }
   }
   return Status::OK();
@@ -437,6 +476,43 @@ std::string SerializeSnapshot(const SnapshotView& view) {
     PutSection(&out, kSectionProfile, prof);
   }
 
+  {
+    // Derivations in recording order: the predicate interner table,
+    // then one node per recorded fact with its premises inline. Decode
+    // replays Record() in the same order, so a round-trip reproduces
+    // the store (and thus proof trees) byte-for-byte.
+    std::string der;
+    PutU8(&der, view.provenance != nullptr ? 1 : 0);
+    if (view.provenance != nullptr) {
+      const ProvenanceStore& store = *view.provenance;
+      PutU64(&der, store.num_interned_predicates());
+      for (size_t i = 0; i < store.num_interned_predicates(); ++i) {
+        PutStr(&der, store.PredicateName(
+                         static_cast<ProvenanceStore::PredId>(i)));
+      }
+      PutU64(&der, store.size());
+      for (size_t i = 0; i < store.size(); ++i) {
+        ProvenanceStore::NodeView n = store.node(i);
+        PutU32(&der, n.pred);
+        PutU32(&der, static_cast<uint32_t>(n.tuple.size()));
+        PutTuple(&der, n.tuple);
+        PutI32(&der, n.clause_index);
+        PutU32(&der, n.premise_count);
+        for (uint32_t pi = 0; pi < n.premise_count; ++pi) {
+          const Premise& p = n.premises[pi];
+          PutU8(&der, static_cast<uint8_t>(p.kind));
+          PutStr(&der, p.predicate);
+          PutU32(&der, static_cast<uint32_t>(p.group.size()));
+          for (int col : p.group) PutI32(&der, col);
+          PutU32(&der, static_cast<uint32_t>(p.tuple.size()));
+          PutTuple(&der, p.tuple);
+          PutStr(&der, p.builtin_text);
+        }
+      }
+    }
+    PutSection(&out, kSectionDeriv, der);
+  }
+
   PutSection(&out, kSectionEnd, std::string());
   return out;
 }
@@ -505,7 +581,7 @@ Result<SnapshotData> ParseSnapshot(std::string_view bytes) {
     pos += 12 + len + 4;
 
     if (tag == kSectionEnd) {
-      if (expected_tag <= kSectionProfile) {
+      if (expected_tag <= kSectionDeriv) {
         return Status::InvalidArgument(
             "snapshot corrupt: END before section " +
             std::string(SectionName(expected_tag)));
@@ -692,6 +768,82 @@ Result<SnapshotData> ParseSnapshot(std::string_view bytes) {
           }
           IDLOG_RETURN_NOT_OK(ReadStats(&r, &snap.profile.totals));
           IDLOG_RETURN_NOT_OK(r.U64(&snap.profile.wall_ns));
+        }
+        break;
+      }
+      case kSectionDeriv: {
+        uint8_t present = 0;
+        IDLOG_RETURN_NOT_OK(r.U8(&present));
+        snap.has_provenance = present != 0;
+        if (snap.has_provenance) {
+          uint64_t npreds = 0;
+          IDLOG_RETURN_NOT_OK(r.U64(&npreds));
+          // Re-intern the table in file order: ids 0..n-1 come back
+          // exactly as saved (a predicate may be interned without any
+          // node, e.g. the head of a rule that never fired).
+          for (uint64_t i = 0; i < npreds; ++i) {
+            std::string name;
+            IDLOG_RETURN_NOT_OK(r.Str(&name));
+            if (snap.provenance.InternPredicate(name) != i) {
+              return Status::InvalidArgument(
+                  "snapshot corrupt: DERIV predicate table repeats '" +
+                  name + "'");
+            }
+          }
+          uint64_t nnodes = 0;
+          IDLOG_RETURN_NOT_OK(r.U64(&nnodes));
+          for (uint64_t i = 0; i < nnodes; ++i) {
+            uint32_t pred_id = 0;
+            IDLOG_RETURN_NOT_OK(r.U32(&pred_id));
+            if (pred_id >= npreds) {
+              return Status::InvalidArgument(
+                  "snapshot corrupt: DERIV node references predicate id " +
+                  std::to_string(pred_id) + " beyond the " +
+                  std::to_string(npreds) + " interned predicates");
+            }
+            uint32_t tuple_size = 0;
+            IDLOG_RETURN_NOT_OK(r.U32(&tuple_size));
+            Tuple tuple;
+            IDLOG_RETURN_NOT_OK(
+                ReadValues(&r, snap.symbols.size(), tuple_size, &tuple));
+            int32_t clause_index = 0;
+            IDLOG_RETURN_NOT_OK(r.I32(&clause_index));
+            uint32_t npremises = 0;
+            IDLOG_RETURN_NOT_OK(r.U32(&npremises));
+            std::vector<Premise> premises;
+            premises.reserve(npremises);
+            for (uint32_t pi = 0; pi < npremises; ++pi) {
+              uint8_t kind = 0;
+              IDLOG_RETURN_NOT_OK(r.U8(&kind));
+              if (kind > static_cast<uint8_t>(Premise::Kind::kBuiltin)) {
+                return Status::InvalidArgument(
+                    "snapshot corrupt: DERIV premise has invalid kind " +
+                    std::to_string(kind));
+              }
+              Premise p;
+              p.kind = static_cast<Premise::Kind>(kind);
+              IDLOG_RETURN_NOT_OK(r.Str(&p.predicate));
+              uint32_t ngroup = 0;
+              IDLOG_RETURN_NOT_OK(r.U32(&ngroup));
+              p.group.reserve(ngroup);
+              for (uint32_t g = 0; g < ngroup; ++g) {
+                int32_t col = 0;
+                IDLOG_RETURN_NOT_OK(r.I32(&col));
+                p.group.push_back(col);
+              }
+              uint32_t ptuple_size = 0;
+              IDLOG_RETURN_NOT_OK(r.U32(&ptuple_size));
+              IDLOG_RETURN_NOT_OK(ReadValues(&r, snap.symbols.size(),
+                                             ptuple_size, &p.tuple));
+              IDLOG_RETURN_NOT_OK(r.Str(&p.builtin_text));
+              premises.push_back(std::move(p));
+            }
+            // Replaying Record in node order reproduces the original
+            // arena layout exactly.
+            snap.provenance.Record(
+                static_cast<ProvenanceStore::PredId>(pred_id), tuple,
+                clause_index, std::move(premises));
+          }
         }
         break;
       }

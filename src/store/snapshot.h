@@ -12,6 +12,7 @@
 #include "common/symbol_table.h"
 #include "common/value.h"
 #include "eval/eval_stats.h"
+#include "eval/provenance.h"
 #include "obs/explain.h"
 #include "obs/profile.h"
 #include "storage/database.h"
@@ -25,11 +26,14 @@ namespace idlog {
 /// then a sequence of sections `[tag u32][len u64][payload][crc32]`
 /// where the CRC covers tag, length and payload, closed by an END
 /// section (tag 0, empty). Sections appear in a fixed order (META,
-/// SYMBOLS, DATABASE, DERIVED, IDRELS, DELTA, ANALYSIS, PROFILE, END);
+/// SYMBOLS, DATABASE, DERIVED, IDRELS, DELTA, ANALYSIS, PROFILE, DERIV,
+/// END);
 /// any reordering, truncation, bit flip or trailing garbage is rejected
 /// with a precise error naming the damage. Snapshot files are written
 /// only through WriteFileAtomic, so a crash mid-write can never leave a
-/// torn file at the target path.
+/// torn file at the target path. DERIV carries the provenance store
+/// (absent unless provenance was enabled), so a resumed run can still
+/// explain facts derived before the crash.
 constexpr char kSnapshotMagic[8] = {'I', 'D', 'L', 'G',
                                     'S', 'N', 'A', 'P'};
 constexpr uint32_t kSnapshotVersion = 1;
@@ -69,6 +73,7 @@ struct SnapshotView {
   const EvalStats* stats = nullptr;
   const PlanAnalysis* analysis = nullptr;  ///< May be null.
   const EvalProfile* profile = nullptr;    ///< May be null.
+  const ProvenanceStore* provenance = nullptr;  ///< May be null.
   SnapshotConfig config;
   SnapshotProgress progress;
 };
@@ -91,6 +96,8 @@ struct SnapshotData {
   PlanAnalysis analysis;
   bool has_profile = false;
   EvalProfile profile;
+  bool has_provenance = false;
+  ProvenanceStore provenance;
   SnapshotConfig config;
   SnapshotProgress progress;
 };

@@ -95,6 +95,7 @@ struct RunOutcome {
   EvalProfile profile;
   std::vector<std::string> trace;  ///< Events minus timing fields.
   std::string explain_json;     ///< idlog-explain-v1 document.
+  std::string why;              ///< WHY text + JSON for sample answers.
 };
 
 // Renders the deterministic part of a trace event (everything except
@@ -124,6 +125,7 @@ RunOutcome RunWith(int threads, const std::string& program,
   engine.SetThreads(threads);
   engine.EnableProfiling(true);
   engine.EnableExplain(true);
+  engine.EnableProvenance(true);
   TraceSink sink;
   engine.SetTraceSink(&sink);
   Status st = engine.LoadProgramText(program);
@@ -135,6 +137,22 @@ RunOutcome RunWith(int threads, const std::string& program,
     EXPECT_TRUE(rel.ok()) << q << ": " << rel.status().ToString();
     if (rel.ok()) {
       out.answers += q + ":\n" + Dump(**rel, engine.symbols());
+      // Proof trees (text and idlog-why-v1 JSON) for a few answers per
+      // query: the provenance merge contract says these are pure
+      // functions of the model, so they must be byte-identical across
+      // thread counts.
+      size_t sampled = 0;
+      for (const Tuple& t : (*rel)->tuples()) {
+        if (++sampled > 3) break;
+        auto why_text = engine.Why(q, t);
+        EXPECT_TRUE(why_text.ok()) << q << ": "
+                                   << why_text.status().ToString();
+        if (why_text.ok()) out.why += *why_text;
+        auto why_json = engine.WhyJson(q, t);
+        EXPECT_TRUE(why_json.ok()) << q << ": "
+                                   << why_json.status().ToString();
+        if (why_json.ok()) out.why += *why_json + "\n";
+      }
     }
   }
   out.stats = engine.stats();
@@ -163,6 +181,11 @@ void ExpectSameStats(const EvalStats& serial, const EvalStats& parallel) {
   // them eagerly before the round), so they legitimately differ, like
   // eval_wall_ns.
   EXPECT_EQ(serial.index_probes, parallel.index_probes);
+  // Provenance counters are logical: the task-order merge reproduces
+  // the serial store node for node.
+  EXPECT_EQ(serial.provenance_nodes, parallel.provenance_nodes);
+  EXPECT_EQ(serial.provenance_premises, parallel.provenance_premises);
+  EXPECT_EQ(serial.provenance_bytes, parallel.provenance_bytes);
 }
 
 // Profile columns must sum to the engine totals in both modes — the
@@ -208,6 +231,9 @@ void ExpectEquivalent(const std::string& program,
   // The EXPLAIN ANALYZE document contains only logical counters, so it
   // must come out byte-identical regardless of the thread count.
   EXPECT_EQ(serial.explain_json, parallel.explain_json);
+  // Likewise WHY output: proof trees read the merged provenance store,
+  // which task-order absorption makes identical to the serial one.
+  EXPECT_EQ(serial.why, parallel.why);
 }
 
 // --------------------------------------------------------------------
@@ -321,19 +347,37 @@ TEST(ParallelEval, NaiveModeAlsoEquivalent) {
   ExpectSameStats(serial.stats(), parallel.stats());
 }
 
-TEST(ParallelEval, ProvenanceRunsFallBackToSerial) {
-  IdlogEngine engine;
-  ASSERT_TRUE(engine.AddRow("e", {"a", "b"}).ok());
-  ASSERT_TRUE(engine.AddRow("e", {"b", "c"}).ok());
-  engine.SetThreads(4);
-  engine.EnableProvenance(true);
-  ASSERT_TRUE(engine.LoadProgramText("p(X, Y) :- e(X, Y)."
-                                     "p(X, Z) :- p(X, Y), e(Y, Z).")
-                  .ok());
-  auto text = engine.Explain("p", testing_util::T(&engine.symbols(),
-                                                  {"a", "c"}));
-  ASSERT_TRUE(text.ok()) << text.status().ToString();
-  EXPECT_NE(text->find("p(a, c)"), std::string::npos);
+TEST(ParallelEval, ProvenanceRecordsUnderWorkerPool) {
+  // Provenance no longer forces a serial fallback: workers record into
+  // private per-task stores merged in task order, so a 4-thread run
+  // explains facts and matches the serial run's store exactly.
+  IdlogEngine serial;
+  IdlogEngine parallel;
+  for (IdlogEngine* e : {&serial, &parallel}) {
+    ASSERT_TRUE(e->AddRow("e", {"a", "b"}).ok());
+    ASSERT_TRUE(e->AddRow("e", {"b", "c"}).ok());
+    ASSERT_TRUE(e->AddRow("e", {"c", "d"}).ok());
+    e->EnableProvenance(true);
+    ASSERT_TRUE(e->LoadProgramText("p(X, Y) :- e(X, Y)."
+                                   "p(X, Z) :- p(X, Y), e(Y, Z).")
+                    .ok());
+  }
+  parallel.SetThreads(4);
+  ASSERT_TRUE(serial.Run().ok());
+  ASSERT_TRUE(parallel.Run().ok());
+  EXPECT_EQ(serial.stats().provenance_nodes,
+            parallel.stats().provenance_nodes);
+  EXPECT_EQ(serial.stats().provenance_premises,
+            parallel.stats().provenance_premises);
+  EXPECT_EQ(serial.stats().provenance_bytes,
+            parallel.stats().provenance_bytes);
+  auto st = serial.Explain("p", testing_util::T(&serial.symbols(),
+                                                {"a", "d"}));
+  auto pt = parallel.Explain("p", testing_util::T(&parallel.symbols(),
+                                                  {"a", "d"}));
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  ASSERT_TRUE(pt.ok()) << pt.status().ToString();
+  EXPECT_EQ(*st, *pt);
 }
 
 TEST(ParallelEval, GovernorTripsSurfaceFromParallelRuns) {

@@ -1,12 +1,48 @@
 #include <gtest/gtest.h>
 
 #include "core/idlog_engine.h"
+#include "eval/provenance.h"
 #include "test_util.h"
 
 namespace idlog {
 namespace {
 
 using testing_util::T;
+
+TEST(ProvenanceStore, PredicateKeysAreInternedIds) {
+  // Recording N facts of one predicate must intern the name once; the
+  // index key holds a PredId, not a string copy per fact.
+  ProvenanceStore store;
+  for (int i = 0; i < 500; ++i) {
+    store.Record("p", {Value::Number(i)}, 0, {});
+  }
+  EXPECT_EQ(store.size(), 500u);
+  EXPECT_EQ(store.num_interned_predicates(), 1u);
+  // And the bytes accounting reflects one name, not five hundred: the
+  // retained footprint stays well under what per-key string copies of
+  // even a short name would cost.
+  EXPECT_LT(store.approx_bytes(), 500 * sizeof(Tuple) * 4);
+}
+
+TEST(ProvenanceStore, FirstDerivationWinsAndAbsorbKeepsOrder) {
+  ProvenanceStore a;
+  a.Record("p", {Value::Number(1)}, /*clause_index=*/0, {});
+  a.Record("p", {Value::Number(1)}, /*clause_index=*/7, {});  // dup
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.Lookup("p", {Value::Number(1)})->clause_index, 0);
+
+  // Absorb replays the other store's recording order first-wins, so a
+  // serial-order absorb of per-task stores reproduces the serial store.
+  ProvenanceStore b;
+  b.Record("p", {Value::Number(1)}, /*clause_index=*/9, {});  // loses
+  b.Record("p", {Value::Number(2)}, /*clause_index=*/3, {});
+  a.Absorb(&b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(a.Lookup("p", {Value::Number(1)})->clause_index, 0);
+  EXPECT_EQ(a.Lookup("p", {Value::Number(2)})->clause_index, 3);
+  EXPECT_EQ(a.node(1).clause_index, 3);  // arena order = recording order
+}
 
 TEST(Provenance, ExplainBaseFactViaRule) {
   IdlogEngine engine;

@@ -4,8 +4,18 @@
 //   idlog run PROGRAM.idl --query PRED [--csv REL=FILE]... [--seed N]
 //             [--enumerate] [--stats] [--naive] [--no-tid-pushdown]
 //             [--jobs N]                (worker threads; 1 = serial)
-//             [--explain "v1 v2 ..."]   (derivation tree of one fact;
-//             [--why "v1 v2 ..."]        --why is an alias)
+//             [--explain "v1 v2 ..."]   (derivation tree of one fact,
+//                                        tuple fields only; predicate
+//                                        comes from --query)
+//             [--why "pred(c1, ...)"]   (bounded proof tree: WHY the
+//                                        ground fact holds; implies
+//                                        provenance recording)
+//             [--why-not "pred(c1, ...)"] (WHY NOT report: per rule,
+//                                        the first failing premise of
+//                                        the absent ground fact)
+//             [--why-json FILE]         (idlog-why-v1 JSON twin of
+//                                        --why / --why-not; written on
+//                                        every exit path)
 //             [--explain-plan]          (static EXPLAIN of every rule
 //                                        plan; no evaluation, --query
 //                                        optional)
@@ -105,6 +115,79 @@ idlog::Result<uint64_t> ParseUint64(const std::string& flag,
   return out;
 }
 
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return std::string();
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// Parses "pred(c1, c2, ...)" into a predicate name and constant fields
+// (no variables — WHY/WHY NOT explain one ground fact). "pred()" is a
+// zero-arity atom.
+Status ParseGroundAtom(const std::string& flag, const std::string& text,
+                       std::string* pred,
+                       std::vector<std::string>* fields) {
+  auto fail = [&]() {
+    return Status::InvalidArgument(
+        flag + ": cannot parse '" + text +
+        "'; expected a ground atom like pred(c1, c2)");
+  };
+  size_t open = text.find('(');
+  if (open == std::string::npos || text.empty() || text.back() != ')') {
+    return fail();
+  }
+  std::string name = Trim(text.substr(0, open));
+  if (name.empty() ||
+      name.find_first_of(" \t(),") != std::string::npos) {
+    return fail();
+  }
+  std::string inner = text.substr(open + 1, text.size() - open - 2);
+  if (inner.find('(') != std::string::npos ||
+      inner.find(')') != std::string::npos) {
+    return fail();
+  }
+  if (!Trim(inner).empty()) {
+    size_t start = 0;
+    while (true) {
+      size_t comma = inner.find(',', start);
+      std::string field = Trim(
+          comma == std::string::npos ? inner.substr(start)
+                                     : inner.substr(start, comma - start));
+      if (field.empty() ||
+          field.find_first_of(" \t") != std::string::npos) {
+        return fail();
+      }
+      fields->push_back(std::move(field));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  *pred = std::move(name);
+  return Status::OK();
+}
+
+// Constant fields to values: all-digit fields are numbers, everything
+// else interns as a symbol (same convention as --explain and .explain).
+idlog::Tuple FieldsToTuple(idlog::SymbolTable* symbols,
+                           const std::vector<std::string>& fields) {
+  idlog::Tuple tuple;
+  tuple.reserve(fields.size());
+  for (const std::string& field : fields) {
+    bool numeric = !field.empty();
+    for (char c : field) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        numeric = false;
+        break;
+      }
+    }
+    tuple.push_back(numeric
+                        ? idlog::Value::Number(std::stoll(field))
+                        : idlog::Value::Symbol(symbols->Intern(field)));
+  }
+  return tuple;
+}
+
 idlog::Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open '" + path + "'");
@@ -155,6 +238,10 @@ int RunBatch(int argc, char** argv) {
   bool random = false;
   std::string explain_fields;
   bool explain = false;
+  std::string why_atom;
+  bool why = false;
+  bool why_not = false;
+  std::string why_json;
   bool explain_plan = false;
   bool explain_analyze = false;
   std::string explain_json;
@@ -206,13 +293,33 @@ int RunBatch(int argc, char** argv) {
       random = true;
     } else if (arg == "--enumerate") {
       enumerate = true;
-    } else if (arg == "--explain" || arg == "--why") {
+    } else if (arg == "--explain") {
       const char* v = next();
       if (v == nullptr) {
         return Fail(Status::InvalidArgument(arg + " \"v1 v2 ...\""));
       }
       explain_fields = v;
       explain = true;
+    } else if (arg == "--why") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--why \"pred(c1, ...)\""));
+      }
+      why_atom = v;
+      why = true;
+    } else if (arg == "--why-not") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--why-not \"pred(c1, ...)\""));
+      }
+      why_atom = v;
+      why_not = true;
+    } else if (arg == "--why-json") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--why-json FILE"));
+      }
+      why_json = v;
     } else if (arg == "--explain-plan") {
       explain_plan = true;
     } else if (arg == "--explain-analyze") {
@@ -307,7 +414,25 @@ int RunBatch(int argc, char** argv) {
   }
   // --explain-json without --explain-plan means EXPLAIN ANALYZE.
   if (!explain_json.empty() && !explain_plan) explain_analyze = true;
-  if (query.empty() && !explain_plan) {
+  if (why && why_not) {
+    return Fail(Status::InvalidArgument(
+        "--why explains a present fact and --why-not an absent one; "
+        "give one or the other"));
+  }
+  if (!why_json.empty() && !why && !why_not) {
+    return Fail(Status::InvalidArgument(
+        "--why-json needs --why or --why-not to say what to explain"));
+  }
+  // Parse the WHY/WHY NOT atom up front so a malformed argument is a
+  // clear usage error, not a late engine failure.
+  std::string why_pred;
+  std::vector<std::string> why_fields;
+  if (why || why_not) {
+    Status ast = ParseGroundAtom(why ? "--why" : "--why-not", why_atom,
+                                 &why_pred, &why_fields);
+    if (!ast.ok()) return Fail(ast);
+  }
+  if (query.empty() && !explain_plan && !why && !why_not) {
     return Fail(Status::InvalidArgument("--query PRED is required"));
   }
   if (explain_analyze && query.empty()) {
@@ -391,7 +516,12 @@ int RunBatch(int argc, char** argv) {
   engine.SetTidBoundPushdown(pushdown);
   engine.SetLimits(limits);
   engine.SetPartialResults(partial);
-  if (explain) engine.EnableProvenance(true);
+  // --why needs the lineage store; --why-not only walks rule plans
+  // against the computed model, so it costs nothing extra. A resumed
+  // run restores pre-crash derivations from the snapshot's DERIV
+  // section, which is why --why (unlike --explain) composes with
+  // --resume.
+  if (explain || why) engine.EnableProvenance(true);
   if (explain_analyze) engine.EnableExplain(true);
   idlog::TraceSink trace_sink;
   const bool tracing = !trace_out.empty();
@@ -426,6 +556,19 @@ int RunBatch(int argc, char** argv) {
       auto doc = engine.ExplainPlanJson(/*analyze=*/!explain_plan);
       Status wst =
           doc.ok() ? WriteFile(explain_json, *doc) : doc.status();
+      if (!wst.ok()) {
+        std::fprintf(stderr, "error: %s\n", wst.ToString().c_str());
+        if (code == 0) code = 1;
+      }
+    }
+    if (!why_json.empty()) {
+      // Also written on trips and failures: an explanation of what the
+      // truncated run *did* derive (or why it did not) is post-mortem
+      // material just like the trace.
+      idlog::Tuple tuple = FieldsToTuple(&engine.symbols(), why_fields);
+      auto doc = why ? engine.WhyJson(why_pred, tuple)
+                     : engine.WhyNotJson(why_pred, tuple);
+      Status wst = doc.ok() ? WriteFile(why_json, *doc) : doc.status();
       if (!wst.ok()) {
         std::fprintf(stderr, "error: %s\n", wst.ToString().c_str());
         if (code == 0) code = 1;
@@ -520,6 +663,15 @@ int RunBatch(int argc, char** argv) {
                                 engine.symbols().Intern(field)));
     }
     auto text = engine.Explain(query, tuple);
+    if (!text.ok()) return finish(Fail(text.status()));
+    std::printf("%s", text->c_str());
+    return finish(0);
+  }
+
+  if (why || why_not) {
+    idlog::Tuple tuple = FieldsToTuple(&engine.symbols(), why_fields);
+    auto text = why ? engine.Why(why_pred, tuple)
+                    : engine.WhyNot(why_pred, tuple);
     if (!text.ok()) return finish(Fail(text.status()));
     std::printf("%s", text->c_str());
     return finish(0);
@@ -708,8 +860,10 @@ int main(int argc, char** argv) {
                  "       %s run PROGRAM.idl --query PRED [--csv REL=FILE]"
                  " [--seed N] [--enumerate] [--stats] [--naive]"
                  " [--no-tid-pushdown] [--jobs N]\n"
-                 "           [--explain \"v1 v2 ...\"] [--why \"v1 v2 ...\"]"
-                 " [--explain-plan] [--explain-analyze]"
+                 "           [--explain \"v1 v2 ...\"]"
+                 " [--why \"pred(c1, ...)\"] [--why-not \"pred(c1, ...)\"]"
+                 " [--why-json FILE]\n"
+                 "           [--explain-plan] [--explain-analyze]"
                  " [--explain-json FILE]\n"
                  "           [--timeout-ms N] [--max-tuples N]"
                  " [--max-memory-mb N] [--max-iterations N] [--partial]\n"
