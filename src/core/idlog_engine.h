@@ -76,13 +76,27 @@ class IdlogEngine {
   /// full scans with key filters.
   void SetUseIndexes(bool enabled);
 
-  /// Worker threads for the fixpoint (default 1 = serial; values < 1
-  /// clamp to 1). With n >= 2 each round's independent rule evaluations
-  /// run on a thread pool and merge deterministically — answers, stats,
-  /// profiles, traces and the provenance store (so proof trees and WHY
-  /// JSON) are byte-identical to a serial run.
+  /// Total evaluation threads for the fixpoint — the calling thread
+  /// included, so n = 4 means four threads doing rule evaluations, not
+  /// five (default 1 = serial; values < 1 clamp to 1). With n >= 2 each
+  /// round's independent rule evaluations run on a thread pool — heavy
+  /// recursive evaluations additionally fan out over hash partitions of
+  /// their delta (see SetDeltaPartitions) — and merge deterministically:
+  /// answers, stats, profiles, traces, explain output and the
+  /// provenance store (so proof trees and WHY JSON) are byte-identical
+  /// to a serial run.
   void SetThreads(int n);
   int threads() const { return threads_; }
+
+  /// Delta-partition fan-out for heavy recursive tasks: a semi-naive
+  /// task whose delta scan is the outermost plan step splits into K
+  /// sub-tasks, each evaluating the delta rows whose join-key hash it
+  /// owns into partition-private staging. Default 0 = auto (match the
+  /// thread count; 1 when serial); explicit values — honored even with
+  /// one thread — exist for tests and tuning, and every value yields
+  /// byte-identical results (values < 0 clamp to 0).
+  void SetDeltaPartitions(int k);
+  int delta_partitions() const { return delta_partitions_; }
 
   /// Installs resource budgets enforced by every subsequent Run():
   /// wall-clock deadline, derived-tuple budget, approximate-memory
@@ -282,6 +296,7 @@ class IdlogEngine {
   bool explain_ = false;
   RewriteLog rewrite_log_;
   int threads_ = 1;
+  int delta_partitions_ = 0;
   bool ran_ = false;
 
   std::string checkpoint_path_;       ///< Empty: checkpointing off.

@@ -276,6 +276,7 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
   } else {
     pool_.reset();
   }
+  ctx.delta_partitions = delta_partitions_;
   // A shared governor can outlive this engine (enumerators create
   // stack-local engines against one long-lived governor); the guard
   // withdraws our stats_ pointer and labels on every exit path so a

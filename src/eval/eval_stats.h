@@ -13,7 +13,12 @@ namespace idlog {
 struct EvalStats {
   uint64_t tuples_considered = 0;   ///< Candidate tuples enumerated in joins.
   uint64_t facts_derived = 0;       ///< Head instantiations produced.
-  uint64_t facts_inserted = 0;      ///< Of those, new (first derivation).
+  /// Of those, new (first derivation). In the stratified fixpoint a
+  /// fact counts when its round commits it into the full relation —
+  /// the one definition of "new" that is identical for every --jobs
+  /// and delta-partition setting; a round that errors out counts
+  /// nothing, matching its discarded staging.
+  uint64_t facts_inserted = 0;
   uint64_t rule_firings = 0;        ///< Rule evaluation passes.
   uint64_t iterations = 0;          ///< Fixpoint rounds across strata.
   uint64_t strata_evaluated = 0;    ///< Strata entered by the last run.

@@ -47,7 +47,12 @@ class RuleExecutor {
           ctx_.delta ? ctx_.delta(step.predicate) : nullptr;
       if (delta == nullptr || delta->empty()) return Status::OK();
     }
-    if (ctx_.stats != nullptr) ++ctx_.stats->rule_firings;
+    // A partitioned task is one logical rule evaluation split across
+    // K executor runs; partition 0 counts the firing for all of them,
+    // so the sum over partitions equals an unpartitioned run.
+    if (ctx_.stats != nullptr && ctx_.partition_index == 0) {
+      ++ctx_.stats->rule_firings;
+    }
     return RunStep(0);
   }
 
@@ -88,14 +93,20 @@ class RuleExecutor {
       }
       prov_bytes = ctx_.provenance->Record(head_pred_id_, t,
                                            plan_.clause_index, premises_);
+      if (prov_bytes > 0 && ctx_.prov_order != nullptr) {
+        ctx_.prov_order->push_back(cur_delta_row_);
+      }
     }
     if (out_->Insert(std::move(t))) {
-      // Parallel workers stage into a private relation; whether the
-      // tuple is new globally is only known at the driver's merge,
-      // which does this accounting (rows_emitted included) there in
-      // deterministic task order. Provenance bytes are likewise charged
-      // at the merge, when the private store is absorbed.
-      if (ctx_.parallel_worker) return Status::OK();
+      if (ctx_.staged_order != nullptr) {
+        ctx_.staged_order->push_back(cur_delta_row_);
+      }
+      // Round tasks stage into a private relation; whether the tuple is
+      // new globally is only known at the driver's Commit, which does
+      // this accounting (rows_emitted included) there in deterministic
+      // task order against the full relation. Provenance bytes are
+      // likewise charged when the private store is absorbed.
+      if (ctx_.defer_inserts) return Status::OK();
       if (emit != nullptr) ++emit->rows_emitted;
       if (ctx_.stats != nullptr) ++ctx_.stats->facts_inserted;
       if (ctx_.governor != nullptr) {
@@ -104,6 +115,24 @@ class RuleExecutor {
       }
     }
     return Status::OK();
+  }
+
+  /// Partition owner of a delta row: a hash over the join-key columns
+  /// (all columns when none were identified) modulo the partition
+  /// count. Purely value-based, so it is identical across --jobs and
+  /// independent of scheduling.
+  int PartitionOf(const Tuple& row) const {
+    size_t h;
+    if (ctx_.partition_cols != nullptr && !ctx_.partition_cols->empty()) {
+      h = ctx_.partition_cols->size();
+      for (int col : *ctx_.partition_cols) {
+        h = HashCombine(h, row[static_cast<size_t>(col)].Hash());
+      }
+    } else {
+      h = TupleHash{}(row);
+    }
+    return static_cast<int>(h %
+                            static_cast<size_t>(ctx_.partition_count));
   }
 
   // Verifies kKey positions against `row` (needed when scanning without
@@ -154,7 +183,12 @@ class RuleExecutor {
     if (i == plan_.steps.size()) return EmitHead();
     const PlanStep& step = plan_.steps[i];
     StepCounters* sc = sc_ != nullptr ? &sc_[i] : nullptr;
-    if (sc != nullptr) ++sc->rows_in;
+    // The partitioned step (always step 0, the delta scan) is entered
+    // once per partition but represents one logical entry; partition 0
+    // counts it, mirroring rule_firings.
+    if (sc != nullptr && (i != 0 || ctx_.partition_index == 0)) {
+      ++sc->rows_in;
+    }
 
     switch (step.kind) {
       case PlanStep::Kind::kScan: {
@@ -199,7 +233,21 @@ class RuleExecutor {
         }
 
         if (index == nullptr) {
+          // Partitioned delta scan: skip rows another partition owns
+          // *before* any counting or governor probing, so each delta
+          // row is charged to exactly one partition and counter sums
+          // over partitions reproduce the unpartitioned run. The driver
+          // only partitions tasks whose delta step is step 0 with no
+          // bound keys, which is precisely this loop.
+          const bool partitioned =
+              use_delta && i == 0 && ctx_.partition_count > 1;
+          uint64_t ordinal = 0;
           for (const Tuple& row : rel->tuples()) {
+            const uint64_t r = ordinal++;
+            if (partitioned) {
+              if (PartitionOf(row) != ctx_.partition_index) continue;
+              cur_delta_row_ = r;
+            }
             if (ctx_.stats != nullptr) ++ctx_.stats->tuples_considered;
             if (sc != nullptr) ++sc->rows_scanned;
             if (ctx_.governor != nullptr) {
@@ -350,6 +398,10 @@ class RuleExecutor {
   std::vector<Premise> premises_;
   /// Interned head predicate id (valid only when provenance is on).
   ProvenanceStore::PredId head_pred_id_ = ProvenanceStore::kNoPred;
+  /// Ordinal of the delta row currently being expanded (partitioned
+  /// scans only) — the order tag EmitHead records so the driver can
+  /// merge partitions back into serial emission order.
+  uint64_t cur_delta_row_ = 0;
   /// EXPLAIN ANALYZE counter array (steps+1 entries, last is the emit
   /// pseudo-step), or null when analysis is off — see the constructor.
   StepCounters* sc_ = nullptr;

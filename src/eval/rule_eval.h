@@ -1,10 +1,12 @@
 #ifndef IDLOG_EVAL_RULE_EVAL_H_
 #define IDLOG_EVAL_RULE_EVAL_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/limits.h"
 #include "common/status.h"
@@ -61,14 +63,57 @@ struct EvalContext {
   /// concurrently and merges them deterministically.
   ThreadPool* pool = nullptr;
 
-  /// Set on the context copies handed to parallel workers. Two effects
-  /// inside RuleExecutor: index access becomes lookup-only against the
-  /// pre-built shared caches (IndexCache::FindFresh; a miss falls back
-  /// to a key-verified full scan), and staged-insert accounting
-  /// (stats->facts_inserted, governor OnDerived charges) is deferred to
-  /// the driver's deterministic merge so totals match serial runs
-  /// exactly even when two rules stage the same tuple in one round.
+  /// Set on the context copies handed to pool workers: index access
+  /// becomes lookup-only against the pre-built shared caches
+  /// (IndexCache::FindFresh; a miss falls back to a key-verified full
+  /// scan) so no worker mutates shared state. Serial executions of the
+  /// unified task path leave this false and keep the lazy mutable index
+  /// builds.
   bool parallel_worker = false;
+
+  /// Set on every context handed to a round task (serial or pooled):
+  /// staged-insert accounting (stats->facts_inserted, the emit step's
+  /// rows_emitted, governor OnDerived charges, provenance byte charges)
+  /// is deferred to the driver's Commit, where "new" means new in the
+  /// full relation — the only definition that is invariant across both
+  /// --jobs and partition counts. Paths that evaluate rules outside the
+  /// stratified fixpoint (grounder, choice, inflationary) leave this
+  /// false and keep the immediate staging-new accounting.
+  bool defer_inserts = false;
+
+  /// Configured delta-partition fan-out for the stratified fixpoint:
+  /// 0 = auto (match the pool's parallelism; 1 without a pool), an
+  /// explicit K >= 1 forces K partitions even in serial runs — the
+  /// partition sweep tests rely on that to pin partition-count
+  /// invariance. EvaluateStratum resolves this per task (only heavy
+  /// delta-step-0 tasks are eligible) and clamps to the delta size.
+  int delta_partitions = 0;
+
+  /// Delta partitioning as resolved for one executor run (set by the
+  /// round executor on part contexts; these describe the slice handed
+  /// to one executor run). When partition_count > 1 the delta scan — which
+  /// eligibility restricts to plan step 0 — only descends into rows
+  /// whose hash over `partition_cols` (all columns when null/empty)
+  /// lands on `partition_index`; the ownership test runs before any
+  /// per-row counting, so summing counters over all partitions
+  /// reproduces an unpartitioned run exactly. Partitions > 0 also
+  /// suppress the once-per-evaluation counters (rule_firings, the delta
+  /// step's rows_in), which partition 0 counts on behalf of the task.
+  int partition_index = 0;
+  int partition_count = 1;
+  const std::vector<int>* partition_cols = nullptr;
+
+  /// Order tags for partitioned tasks (null when partition_count == 1).
+  /// The executor appends the current delta-row ordinal once per staged
+  /// tuple that is new in the private staging (`staged_order`) and once
+  /// per provenance record actually retained (`prov_order`). Rows are
+  /// owned by exactly one partition, so a K-way merge by these tags
+  /// reconstructs the serial emission order across partitions — which
+  /// is what keeps the committed relation order, the next delta, and
+  /// the first-derivation-wins provenance store byte-identical for
+  /// every partition count.
+  std::vector<uint64_t>* staged_order = nullptr;
+  std::vector<uint64_t>* prov_order = nullptr;
 
   /// Observability (both null by default — the fast path is a pointer
   /// test per *rule evaluation*, never per tuple). `trace` receives one

@@ -1,6 +1,6 @@
 #include "eval/stratum_eval.h"
 
-#include <chrono>
+#include <set>
 #include <utility>
 
 #include "exec/round_executor.h"
@@ -10,98 +10,35 @@ namespace idlog {
 
 namespace {
 
-/// EvaluateRuleInto with per-rule attribution: when a profile or trace
-/// sink is attached, brackets the call with a monotonic-clock read and
-/// an EvalStats snapshot and attributes the deltas to the plan's
-/// clause. The counters are deltas of the shared ctx.stats, so summing
-/// a column over all rules reproduces the engine total exactly. With
-/// both observers null this is a tail call into EvaluateRuleInto.
-Status ObservedRuleEval(const RulePlan& plan, const EvalContext& ctx,
-                        int delta_step, uint64_t round, Relation* out) {
-  if (ctx.profile == nullptr && ctx.trace == nullptr) {
-    return EvaluateRuleInto(plan, ctx, delta_step, out);
-  }
-  const EvalStats before =
-      ctx.stats != nullptr ? *ctx.stats : EvalStats();
-  uint64_t start_us = ctx.trace != nullptr ? ctx.trace->NowUs() : 0;
-  auto t0 = std::chrono::steady_clock::now();
-  Status st = EvaluateRuleInto(plan, ctx, delta_step, out);
-  uint64_t self_ns = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
+/// A delta must have at least this many rows before a task is worth
+/// fanning out (below it the per-partition setup outweighs the scan).
+constexpr uint64_t kMinPartitionRows = 2;
 
-  EvalStats delta;
-  if (ctx.stats != nullptr) {
-    delta.tuples_considered =
-        ctx.stats->tuples_considered - before.tuples_considered;
-    delta.facts_derived = ctx.stats->facts_derived - before.facts_derived;
-    delta.facts_inserted =
-        ctx.stats->facts_inserted - before.facts_inserted;
-    delta.rule_firings = ctx.stats->rule_firings - before.rule_firings;
-  }
-
-  if (ctx.profile != nullptr && plan.clause_index >= 0 &&
-      static_cast<size_t>(plan.clause_index) < ctx.profile->rules.size()) {
-    RuleProfile& rp =
-        ctx.profile->rules[static_cast<size_t>(plan.clause_index)];
-    ++rp.evals;
-    rp.firings += delta.rule_firings;
-    rp.tuples_considered += delta.tuples_considered;
-    rp.facts_derived += delta.facts_derived;
-    rp.facts_inserted += delta.facts_inserted;
-    rp.self_ns += self_ns;
-  }
-
-  if (ctx.trace != nullptr) {
-    std::vector<TraceArg> args;
-    args.push_back(TraceArg::Int("clause", plan.clause_index));
-    args.push_back(TraceArg::Int("stratum", ctx.stratum));
-    args.push_back(TraceArg::Num("round", round));
-    if (delta_step >= 0) {
-      const std::string& pred =
-          plan.steps[static_cast<size_t>(delta_step)].predicate;
-      const Relation* d = ctx.delta ? ctx.delta(pred) : nullptr;
-      args.push_back(TraceArg::Str("delta", pred));
-      args.push_back(
-          TraceArg::Num("delta_size", d != nullptr ? d->size() : 0));
-    }
-    args.push_back(TraceArg::Num("considered", delta.tuples_considered));
-    args.push_back(TraceArg::Num("derived", delta.facts_derived));
-    args.push_back(TraceArg::Num("inserted", delta.facts_inserted));
-    if (!st.ok()) args.push_back(TraceArg::Str("status", st.ToString()));
-    ctx.trace->Complete("rule " + plan.head_pred, "rule", start_us,
-                        std::move(args));
-  }
-  return st;
-}
-
-// Moves `staged` facts that are new into their full relations and into
-// `next_delta`. Returns true if anything was new. Predicates with no
-// new facts get no next_delta entry at all (rather than an empty one):
-// the delta map and the per-round index-cache eviction would otherwise
-// grow with predicate count even on rounds where nothing moved.
-bool Commit(std::map<std::string, Relation>* staged,
-            std::map<std::string, Relation>* derived,
-            std::map<std::string, Relation>* next_delta) {
-  bool any = false;
-  for (auto& [pred, rel] : *staged) {
-    Relation& full = (*derived)[pred];
-    if (full.arity() == 0 && full.empty() && rel.arity() != 0) {
-      full = Relation(rel.type());
-    }
-    Relation fresh(rel.type());
-    for (const Tuple& t : rel.tuples()) {
-      if (full.Insert(t)) {
-        fresh.Insert(t);
-        any = true;
-      }
-    }
-    if (next_delta != nullptr && !fresh.empty()) {
-      (*next_delta)[pred] = std::move(fresh);
+/// The delta columns a partitioned scan hashes to pick an owner: the
+/// columns whose bound value feeds a later step's index key (the join
+/// keys), so a partition owns its key range and duplicate head tuples
+/// overwhelmingly collide within one partition. Falls back to the whole
+/// row (empty result) when the delta scan binds no later key — the
+/// ownership contract only needs *some* deterministic column set.
+std::vector<int> JoinKeyPartitionCols(const RulePlan& plan) {
+  std::set<int> key_slots;
+  for (size_t j = 1; j < plan.steps.size(); ++j) {
+    const PlanStep& step = plan.steps[j];
+    for (int col : step.key_cols) {
+      const ArgSource& src = step.sources[static_cast<size_t>(col)];
+      if (src.is_slot) key_slots.insert(src.slot);
     }
   }
-  return any;
+  const PlanStep& scan = plan.steps[0];
+  std::vector<int> cols;
+  for (size_t pos = 0; pos < scan.modes.size(); ++pos) {
+    if (scan.modes[pos] == ArgMode::kWrite &&
+        scan.sources[pos].is_slot &&
+        key_slots.count(scan.sources[pos].slot) > 0) {
+      cols.push_back(static_cast<int>(pos));
+    }
+  }
+  return cols;
 }
 
 }  // namespace
@@ -169,94 +106,212 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
                            : RelationType(plan.head_args.size(), Sort::kU);
   };
 
-  auto staging_for = [&](std::map<std::string, Relation>* staged,
-                         const RulePlan& plan) -> Relation* {
-    auto it = staged->find(plan.head_pred);
-    if (it == staged->end()) {
-      it = staged->emplace(plan.head_pred, Relation(staging_type(plan)))
-               .first;
+  // Fan-out of one (rule, delta_step) task. Only the heavy shape is
+  // eligible: a semi-naive task whose delta scan is the *outermost*
+  // plan step with no bound keys — then the serial emission order is
+  // ascending delta-row order, which is what the partition merge tags
+  // reconstruct, and no earlier step gets re-scanned K times. The
+  // resolved K depends only on logical quantities (the configured
+  // setting, the pool's configured size and the delta's content), so
+  // tasks fan out identically across runs with the same settings.
+  auto resolve_fanout = [&](const RulePlan& plan, int delta_step) -> int {
+    if (!seminaive || delta_step != 0) return 1;
+    const PlanStep& scan = plan.steps[0];
+    if (scan.kind != PlanStep::Kind::kScan || scan.is_id ||
+        !scan.key_cols.empty()) {
+      return 1;
     }
-    return &it->second;
+    const Relation* d = ctx.delta(scan.predicate);
+    if (d == nullptr || d->size() < kMinPartitionRows) return 1;
+    int k = ctx.delta_partitions;
+    if (k <= 0) k = ctx.pool != nullptr ? ctx.pool->size() : 1;
+    if (k < 1) k = 1;
+    if (static_cast<uint64_t>(k) > d->size()) {
+      k = static_cast<int>(d->size());
+    }
+    return k;
   };
 
-  // Runs one round's (rule, delta_step) tasks into `staged`. The task
-  // list is built in the exact order the serial loop evaluates; with a
-  // pool installed the evaluations run concurrently into private
-  // relations and are merged back in task order, so fixpoint contents,
-  // stats, profile columns and trace spans come out identical to the
-  // serial path (timing values aside). Provenance runs parallelize the
-  // same way: workers record into private per-task stores and the merge
-  // absorbs them in task order (first-derivation-wins), reproducing the
-  // serial store exactly.
+  // Runs one round's (rule, delta_step) tasks and commits what they
+  // staged. The task list is built in the exact order the serial loop
+  // evaluates; the executor runs every task's parts (concurrently when
+  // a pool is installed, else in order on this thread) into private
+  // relations, and the merge below walks tasks in that same order —
+  // partitions K-way-merged back into delta-row order — so fixpoint
+  // contents, stats, profile columns, explain counters, trace spans and
+  // the provenance store come out identical for every --jobs and
+  // partition setting (timing values aside). Commit is where inserts
+  // become observable: a staged tuple counts as facts_inserted (and is
+  // charged to the governor, and enters the next delta) iff it is new
+  // in the full relation — the one definition of "new" that no
+  // concatenation order can perturb.
   auto run_round = [&](std::vector<RoundTask>&& tasks, uint64_t round,
-                       std::map<std::string, Relation>* staged) -> Status {
-    const bool parallel = ctx.pool != nullptr && tasks.size() > 1;
-    if (!parallel) {
-      for (const RoundTask& task : tasks) {
-        IDLOG_RETURN_NOT_OK(ObservedRuleEval(*task.plan, ctx,
-                                             task.delta_step, round,
-                                             staging_for(staged, *task.plan)));
-      }
-      return Status::OK();
-    }
-
+                       bool* any_new,
+                       std::map<std::string, Relation>* next_delta)
+      -> Status {
     for (RoundTask& task : tasks) {
-      task.staged = Relation(staging_type(*task.plan));
-      if (ctx.analyze != nullptr) {
-        task.step_stats.steps.resize(task.plan->steps.size() + 1);
+      task.parts.resize(static_cast<size_t>(task.partitions));
+      for (size_t p = 0; p < task.parts.size(); ++p) {
+        RoundPart& part = task.parts[p];
+        part.partition = static_cast<int>(p);
+        part.staged = Relation(staging_type(*task.plan));
+        if (ctx.analyze != nullptr) {
+          part.step_stats.steps.resize(task.plan->steps.size() + 1);
+        }
       }
     }
     IDLOG_RETURN_NOT_OK(RunRoundTasks(ctx, ctx.pool, &tasks));
 
-    // Deterministic merge: insert each task's private facts into the
-    // shared staging in task order — the same global insertion order
-    // the serial loop produces — and only now account staged inserts
-    // (stats, governor charges) and attribute profile/trace, exactly
-    // as ObservedRuleEval would have.
-    for (RoundTask& task : tasks) {
-      Relation* out = staging_for(staged, *task.plan);
-      Status merge_status = Status::OK();
-      uint64_t inserted = 0;
-      for (const Tuple& t : task.staged.tuples()) {
-        if (out->Insert(t)) {
-          ++inserted;
-          if (ctx.governor != nullptr && merge_status.ok()) {
-            merge_status = ctx.governor->OnDerived(
-                1, ApproxTupleBytes(task.plan->head_args.size()));
-          }
-        }
+    // Find where the serial loop would have stopped: the first part,
+    // in (task, partition) order, with a real error. Abort markers are
+    // skipped — the pool claims parts in index order but completes
+    // them in any order, so a low-index part can be marked aborted by
+    // a higher-index failure.
+    size_t fail_task = tasks.size();
+    size_t fail_part = 0;
+    Status round_error = Status::OK();
+    for (size_t ti = 0; ti < tasks.size() && round_error.ok(); ++ti) {
+      const std::vector<RoundPart>& parts = tasks[ti].parts;
+      for (size_t pi = 0; pi < parts.size(); ++pi) {
+        const Status& st = parts[pi].status;
+        if (st.ok() || IsRoundAbortMarker(st)) continue;
+        round_error = st;
+        fail_task = ti;
+        fail_part = pi;
+        break;
       }
-      task.stats.facts_inserted = inserted;
-      if (ctx.stats != nullptr) *ctx.stats += task.stats;
+    }
+    const bool failed = !round_error.ok();
 
-      // Absorb the worker's private derivations, still in task order:
-      // first-derivation-wins against everything absorbed so far makes
-      // the combined store identical to what the serial loop records.
-      // The retained bytes were deferred by the worker and are charged
-      // here, like the staged-insert charges above.
-      if (ctx.provenance != nullptr) {
-        size_t prov_bytes = ctx.provenance->Absorb(&task.prov);
-        if (ctx.governor != nullptr && prov_bytes > 0 &&
-            merge_status.ok()) {
-          merge_status = ctx.governor->OnDerived(0, prov_bytes);
-        }
+    for (size_t ti = 0; ti < tasks.size(); ++ti) {
+      // Tasks after the failing one ran (or were aborted), but their
+      // results and attribution are discarded with the round — the
+      // same cutoff a serial run's early return produces.
+      if (failed && ti > fail_task) break;
+      RoundTask& task = tasks[ti];
+      const size_t last_part = (failed && ti == fail_task)
+                                   ? fail_part
+                                   : task.parts.size() - 1;
+
+      // Fold the parts' private counters into the shared stats; a
+      // partitioned task's parts counted disjoint delta slices, so the
+      // sum is exactly what one unpartitioned evaluation would count.
+      EvalStats task_stats;
+      uint64_t task_self_ns = 0;
+      for (size_t pi = 0; pi <= last_part; ++pi) {
+        task_stats += task.parts[pi].stats;
+        task_self_ns += task.parts[pi].self_ns;
       }
+      if (ctx.stats != nullptr) *ctx.stats += task_stats;
 
-      // Fold the worker's private per-step counters into the shared
-      // analysis, in this same deterministic task order. The emit
-      // pseudo-step's rows_emitted was deferred to here, exactly like
-      // facts_inserted above.
-      if (ctx.analyze != nullptr && !task.step_stats.steps.empty() &&
-          task.plan->clause_index >= 0 &&
+      // Per-step counters, still in deterministic task order. The emit
+      // pseudo-step's rows_emitted is filled from the commit below.
+      bool have_analyze_row =
+          ctx.analyze != nullptr && task.plan->clause_index >= 0 &&
           static_cast<size_t>(task.plan->clause_index) <
-              ctx.analyze->rules.size()) {
+              ctx.analyze->rules.size();
+      if (have_analyze_row) {
         auto& dst = ctx.analyze
                         ->rules[static_cast<size_t>(task.plan->clause_index)]
                         .steps;
-        const auto& src = task.step_stats.steps;
-        if (dst.size() == src.size()) {
+        for (size_t pi = 0; pi <= last_part; ++pi) {
+          const auto& src = task.parts[pi].step_stats.steps;
+          if (dst.size() != src.size()) continue;
           for (size_t k = 0; k < src.size(); ++k) dst[k] += src[k];
-          dst.back().rows_emitted += inserted;
+        }
+      }
+
+      // Commit: insert this task's staged tuples into the full
+      // relation, in serial emission order (partitions merged by their
+      // delta-row tags). Dedup within a part came free from its staged
+      // relation; cross-part and cross-task duplicates — and
+      // re-derivations from earlier rounds — all fall out of the one
+      // Insert against full. Skipped for a failed round: the round's
+      // results are discarded, exactly as the serial early return
+      // discards its staging.
+      uint64_t inserted = 0;
+      Status commit_status = Status::OK();
+      if (!failed) {
+        Relation& full = (*derived)[task.plan->head_pred];
+        // The staged relation was typed before this entry existed, so
+        // its type is the authoritative shape for a new full relation.
+        RelationType type = task.parts[0].staged.type();
+        if (full.arity() == 0 && full.empty() && !type.empty()) {
+          full = Relation(type);
+        }
+        Relation* fresh = nullptr;
+        auto commit_tuple = [&](const Tuple& t) {
+          if (!full.Insert(t)) return;
+          ++inserted;
+          *any_new = true;
+          if (next_delta != nullptr) {
+            if (fresh == nullptr) {
+              fresh = &next_delta->try_emplace(task.plan->head_pred,
+                                               Relation(type))
+                           .first->second;
+            }
+            fresh->Insert(t);
+          }
+          if (ctx.governor != nullptr && commit_status.ok()) {
+            commit_status = ctx.governor->OnDerived(
+                1, ApproxTupleBytes(task.plan->head_args.size()));
+          }
+        };
+        if (task.partitions > 1) {
+          std::vector<size_t> cur(task.parts.size(), 0);
+          while (true) {
+            size_t best = task.parts.size();
+            uint64_t best_tag = 0;
+            for (size_t p = 0; p < task.parts.size(); ++p) {
+              const auto& order = task.parts[p].staged_order;
+              if (cur[p] >= order.size()) continue;
+              // No ties across parts: a delta row has one owner.
+              if (best == task.parts.size() || order[cur[p]] < best_tag) {
+                best = p;
+                best_tag = order[cur[p]];
+              }
+            }
+            if (best == task.parts.size()) break;
+            commit_tuple(task.parts[best].staged.tuples()[cur[best]++]);
+          }
+        } else {
+          for (const Tuple& t : task.parts[0].staged.tuples()) {
+            commit_tuple(t);
+          }
+        }
+      }
+      if (ctx.stats != nullptr) ctx.stats->facts_inserted += inserted;
+      if (have_analyze_row) {
+        auto& dst = ctx.analyze
+                        ->rules[static_cast<size_t>(task.plan->clause_index)]
+                        .steps;
+        if (!dst.empty()) dst.back().rows_emitted += inserted;
+      }
+
+      // Absorb the parts' private derivations, still in task order
+      // (partitions merged by record tag): first-derivation-wins
+      // against everything absorbed so far makes the combined store
+      // identical to what an unpartitioned serial loop records. The
+      // retained bytes were deferred by the parts and are charged
+      // here, like the committed-insert charges above.
+      if (ctx.provenance != nullptr) {
+        size_t prov_bytes = 0;
+        if (task.partitions > 1) {
+          std::vector<ProvenanceStore*> stores;
+          std::vector<const std::vector<uint64_t>*> orders;
+          for (size_t pi = 0; pi <= last_part; ++pi) {
+            stores.push_back(&task.parts[pi].prov);
+            orders.push_back(&task.parts[pi].prov_order);
+          }
+          prov_bytes = ctx.provenance->AbsorbMerged(stores, orders);
+        } else {
+          for (size_t pi = 0; pi <= last_part; ++pi) {
+            prov_bytes += ctx.provenance->Absorb(&task.parts[pi].prov);
+          }
+        }
+        if (ctx.governor != nullptr && prov_bytes > 0 &&
+            commit_status.ok()) {
+          commit_status = ctx.governor->OnDerived(0, prov_bytes);
         }
       }
 
@@ -266,11 +321,11 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
         RuleProfile& rp =
             ctx.profile->rules[static_cast<size_t>(task.plan->clause_index)];
         ++rp.evals;
-        rp.firings += task.stats.rule_firings;
-        rp.tuples_considered += task.stats.tuples_considered;
-        rp.facts_derived += task.stats.facts_derived;
-        rp.facts_inserted += task.stats.facts_inserted;
-        rp.self_ns += task.self_ns;
+        rp.firings += task_stats.rule_firings;
+        rp.tuples_considered += task_stats.tuples_considered;
+        rp.facts_derived += task_stats.facts_derived;
+        rp.facts_inserted += inserted;
+        rp.self_ns += task_self_ns;
       }
 
       if (ctx.trace != nullptr) {
@@ -286,26 +341,27 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
           args.push_back(TraceArg::Str("delta", pred));
           args.push_back(
               TraceArg::Num("delta_size", d != nullptr ? d->size() : 0));
+          // The partition fanout is deliberately NOT a trace arg: traces
+          // are part of the byte-identical --jobs/--partitions contract,
+          // and the fanout is physical scheduling detail like thread ids.
         }
         args.push_back(
-            TraceArg::Num("considered", task.stats.tuples_considered));
-        args.push_back(TraceArg::Num("derived", task.stats.facts_derived));
-        args.push_back(TraceArg::Num("inserted", task.stats.facts_inserted));
-        if (!task.status.ok()) {
-          args.push_back(TraceArg::Str("status", task.status.ToString()));
+            TraceArg::Num("considered", task_stats.tuples_considered));
+        args.push_back(TraceArg::Num("derived", task_stats.facts_derived));
+        args.push_back(TraceArg::Num("inserted", inserted));
+        if (failed && ti == fail_task) {
+          args.push_back(TraceArg::Str("status", round_error.ToString()));
         }
         ctx.trace->CompleteWithDuration("rule " + task.plan->head_pred,
-                                        "rule", task.start_us,
-                                        task.self_ns / 1000,
+                                        "rule", task.parts[0].start_us,
+                                        task_self_ns / 1000,
                                         std::move(args));
       }
 
-      // Stop where the serial loop would have: later tasks ran, but
-      // their results and attribution are discarded with the round.
-      IDLOG_RETURN_NOT_OK(task.status);
-      IDLOG_RETURN_NOT_OK(merge_status);
+      if (failed && ti == fail_task) return round_error;
+      IDLOG_RETURN_NOT_OK(commit_status);
     }
-    return Status::OK();
+    return round_error;
   };
 
   auto delta_total = [&delta]() {
@@ -331,14 +387,14 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
       task.delta_step = -1;
       tasks.push_back(std::move(task));
     }
-    std::map<std::string, Relation> staged;
-    IDLOG_RETURN_NOT_OK(run_round(std::move(tasks), round, &staged));
+    bool any = false;
+    std::map<std::string, Relation> next_delta;
+    IDLOG_RETURN_NOT_OK(
+        run_round(std::move(tasks), round, &any, &next_delta));
     if (ctx.stats != nullptr) ++ctx.stats->iterations;
     if (ctx.governor != nullptr) {
       IDLOG_RETURN_NOT_OK(ctx.governor->OnIteration());
     }
-    std::map<std::string, Relation> next_delta;
-    bool any = Commit(&staged, derived, &next_delta);
     replace_delta(std::move(next_delta));
     if (round_log != nullptr) {
       round_log->new_facts_per_round.push_back(delta_total());
@@ -370,6 +426,10 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
           RoundTask task;
           task.plan = plan;
           task.delta_step = step;
+          task.partitions = resolve_fanout(*plan, step);
+          if (task.partitions > 1) {
+            task.partition_cols = JoinKeyPartitionCols(*plan);
+          }
           tasks.push_back(std::move(task));
         }
       } else {
@@ -399,14 +459,14 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
       }
       return Status::OK();
     }
-    std::map<std::string, Relation> staged;
-    IDLOG_RETURN_NOT_OK(run_round(std::move(tasks), round, &staged));
+    bool any = false;
+    std::map<std::string, Relation> next_delta;
+    IDLOG_RETURN_NOT_OK(
+        run_round(std::move(tasks), round, &any, &next_delta));
     if (ctx.stats != nullptr) ++ctx.stats->iterations;
     if (ctx.governor != nullptr) {
       IDLOG_RETURN_NOT_OK(ctx.governor->OnIteration());
     }
-    std::map<std::string, Relation> next_delta;
-    bool any = Commit(&staged, derived, &next_delta);
     replace_delta(std::move(next_delta));
     if (round_log != nullptr) {
       round_log->new_facts_per_round.push_back(delta_total());

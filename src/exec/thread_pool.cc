@@ -20,7 +20,10 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::DrainQueue(std::unique_lock<std::mutex>* lock) {
   while (next_task_ < queue_.size()) {
+    // The claim happens under the mutex and always takes the lowest
+    // unclaimed index — the claim-order invariant Run() documents.
     std::function<void()> task = std::move(queue_[next_task_]);
+    if (claim_observer_) claim_observer_(next_task_);
     ++next_task_;
     ++tasks_running_;
     lock->unlock();

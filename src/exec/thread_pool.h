@@ -39,10 +39,31 @@ class ThreadPool {
   int size() const { return size_; }
 
   /// Executes every task, on workers and on the calling thread, and
-  /// returns when all have finished. Task index order carries no
-  /// scheduling meaning — callers needing determinism must merge
-  /// results by task index afterwards, not rely on completion order.
+  /// returns when all have finished.
+  ///
+  /// Claim-order invariant: tasks are *claimed* strictly in index
+  /// order — every thread takes `tasks[next_task_++]` under the pool
+  /// mutex, so no task is claimed before all lower-indexed tasks have
+  /// been claimed. The round executor's abort protocol depends on this
+  /// (a task skipped by the abort flag can only sit after a task that
+  /// already started), and the unit test pins it; a future
+  /// work-stealing scheduler must either preserve it or revisit that
+  /// protocol. Claim order is NOT completion order: a claimed task may
+  /// finish after arbitrarily many higher-indexed ones, so callers
+  /// needing determinism must still merge results by task index
+  /// afterwards, and must not assume a lower-indexed task observed any
+  /// shared state (e.g. an abort flag) earlier than a higher-indexed
+  /// one.
   void Run(std::vector<std::function<void()>> tasks);
+
+  /// Test-only seam: `obs` is invoked with each task's index at claim
+  /// time, under the pool mutex (so observed order == claim order).
+  /// Pass nullptr to remove. Not for production use — the callback
+  /// runs inside the pool's critical section.
+  void SetClaimObserverForTest(std::function<void(size_t)> obs) {
+    std::lock_guard<std::mutex> lock(mu_);
+    claim_observer_ = std::move(obs);
+  }
 
  private:
   void WorkerLoop();
@@ -56,6 +77,7 @@ class ThreadPool {
   std::condition_variable batch_done_;
   std::vector<std::function<void()>> queue_;
   size_t next_task_ = 0;       ///< Index of the next unclaimed task.
+  std::function<void(size_t)> claim_observer_;  ///< Test-only.
   size_t tasks_running_ = 0;   ///< Claimed but not yet finished.
   bool shutdown_ = false;
   std::vector<std::thread> workers_;

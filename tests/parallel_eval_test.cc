@@ -64,6 +64,40 @@ TEST(ThreadPool, EmptyBatchIsANoop) {
   pool.Run({});
 }
 
+// Pins the claim-order invariant Run() documents: every thread takes
+// the lowest unclaimed index under the pool mutex, so the observed
+// claim sequence is exactly 0, 1, 2, ... regardless of which thread
+// claims or how long tasks run. The round executor's abort protocol
+// depends on this ordering.
+TEST(ThreadPool, ClaimsTasksStrictlyInIndexOrder) {
+  ThreadPool pool(4);
+  // The observer runs under the pool mutex, so appends are serialized
+  // and claim order == append order; the read below happens after the
+  // Run() barrier.
+  std::vector<size_t> claims;
+  pool.SetClaimObserverForTest([&claims](size_t i) {
+    claims.push_back(i);
+  });
+  for (int batch = 0; batch < 3; ++batch) {
+    claims.clear();
+    std::vector<std::function<void()>> tasks;
+    std::atomic<int> sink{0};
+    for (int i = 0; i < 100; ++i) {
+      // Uneven task durations so completion order scrambles while claim
+      // order must not.
+      tasks.push_back([&sink, i] {
+        for (int spin = 0; spin < (i % 7) * 50; ++spin) ++sink;
+      });
+    }
+    pool.Run(std::move(tasks));
+    ASSERT_EQ(claims.size(), 100u);
+    for (size_t i = 0; i < claims.size(); ++i) {
+      ASSERT_EQ(claims[i], i) << "claim out of order at position " << i;
+    }
+  }
+  pool.SetClaimObserverForTest(nullptr);
+}
+
 // Error hardening: a throwing task is contained at the pool boundary —
 // it neither terminates the process nor wedges the batch accounting,
 // and the pool stays usable for later batches.
@@ -114,7 +148,8 @@ std::vector<std::string> TraceShape(const TraceSink& sink) {
   return shape;
 }
 
-RunOutcome RunWith(int threads, const std::string& program,
+RunOutcome RunWith(int threads, int partitions,
+                   const std::string& program,
                    const std::vector<std::vector<std::string>>& edb,
                    const std::vector<std::string>& queries) {
   IdlogEngine engine;
@@ -123,6 +158,7 @@ RunOutcome RunWith(int threads, const std::string& program,
     EXPECT_TRUE(engine.AddRow(row[0], fields).ok());
   }
   engine.SetThreads(threads);
+  engine.SetDeltaPartitions(partitions);
   engine.EnableProfiling(true);
   engine.EnableExplain(true);
   engine.EnableProvenance(true);
@@ -206,13 +242,12 @@ void ExpectProfileSumsToTotals(const RunOutcome& run) {
   EXPECT_EQ(firings, run.stats.rule_firings);
 }
 
-void ExpectEquivalent(const std::string& program,
-                      const std::vector<std::vector<std::string>>& edb,
-                      const std::vector<std::string>& queries) {
-  SCOPED_TRACE(program);
-  RunOutcome serial = RunWith(1, program, edb, queries);
-  RunOutcome parallel = RunWith(4, program, edb, queries);
-
+// Full byte-equality between two runs: answers, logical stats, per-rule
+// profile columns, trace shape, EXPLAIN ANALYZE JSON (logical counters
+// only) and WHY output (proof trees read the merged provenance store,
+// which order-tag absorption makes identical to the serial one).
+void ExpectSameOutcome(const RunOutcome& serial,
+                       const RunOutcome& parallel) {
   EXPECT_EQ(serial.answers, parallel.answers);
   ExpectSameStats(serial.stats, parallel.stats);
   ExpectProfileSumsToTotals(serial);
@@ -228,12 +263,17 @@ void ExpectEquivalent(const std::string& program,
     EXPECT_EQ(s.facts_inserted, p.facts_inserted) << "rule " << i;
   }
   EXPECT_EQ(serial.trace, parallel.trace);
-  // The EXPLAIN ANALYZE document contains only logical counters, so it
-  // must come out byte-identical regardless of the thread count.
   EXPECT_EQ(serial.explain_json, parallel.explain_json);
-  // Likewise WHY output: proof trees read the merged provenance store,
-  // which task-order absorption makes identical to the serial one.
   EXPECT_EQ(serial.why, parallel.why);
+}
+
+void ExpectEquivalent(const std::string& program,
+                      const std::vector<std::vector<std::string>>& edb,
+                      const std::vector<std::string>& queries) {
+  SCOPED_TRACE(program);
+  RunOutcome serial = RunWith(1, 0, program, edb, queries);
+  RunOutcome parallel = RunWith(4, 0, program, edb, queries);
+  ExpectSameOutcome(serial, parallel);
 }
 
 // --------------------------------------------------------------------
@@ -494,6 +534,110 @@ TEST_P(ParallelCorpus, SerialAndParallelAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelCorpus, ::testing::Range(0, 40));
+
+// --------------------------------------------------------------------
+// Delta-partition sweep: `--partitions K` is, like `--jobs`, a purely
+// physical knob. Every (jobs, partitions) combination must reproduce
+// the jobs=1/partitions=1 run byte for byte — answers, logical stats,
+// profiles, trace shape, EXPLAIN ANALYZE JSON and WHY proofs. Explicit
+// K is honored even in a serial run, so the sweep crosses partitioned
+// execution with and without a worker pool.
+
+constexpr int kSweepPartitions[] = {1, 2, 3, 8};
+constexpr int kSweepJobs[] = {1, 4};
+
+void ExpectSweepMatchesBaseline(
+    const std::string& program,
+    const std::vector<std::vector<std::string>>& edb,
+    const std::vector<std::string>& queries) {
+  RunOutcome baseline = RunWith(1, 1, program, edb, queries);
+  for (int jobs : kSweepJobs) {
+    for (int parts : kSweepPartitions) {
+      if (jobs == 1 && parts == 1) continue;
+      SCOPED_TRACE("jobs=" + std::to_string(jobs) +
+                   " partitions=" + std::to_string(parts));
+      RunOutcome run = RunWith(jobs, parts, program, edb, queries);
+      ExpectSameOutcome(baseline, run);
+    }
+  }
+}
+
+// The E7 bench shape: a single recursive transitive-closure rule with
+// the recursive subgoal outermost, where delta partitioning is the only
+// parallelism available. Branchy edges so partitions are non-trivial.
+TEST(PartitionSweep, SingleRecursiveRuleTransitiveClosure) {
+  std::vector<std::vector<std::string>> edb;
+  for (int i = 0; i < 14; ++i) {
+    edb.push_back({"edge", "n" + std::to_string(i),
+                   "n" + std::to_string((i + 1) % 14)});
+    if (i % 3 == 0) {
+      edb.push_back({"edge", "n" + std::to_string(i),
+                     "n" + std::to_string((i + 5) % 14)});
+    }
+  }
+  ExpectSweepMatchesBaseline(
+      "path(X, Y) :- edge(X, Y)."
+      "path(X, Z) :- path(X, Y), edge(Y, Z).",
+      edb, {"path"});
+}
+
+class PartitionSweepCorpus : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionSweepCorpus, AllFanoutsAgree) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  testing_util::CorpusGenerator gen(seed);
+  std::string text = gen.Generate();
+  SCOPED_TRACE(text);
+  ExpectSweepMatchesBaseline(text, testing_util::CorpusEdb(seed),
+                             gen.queries());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSweepCorpus,
+                         ::testing::Range(0, 40));
+
+// A governor trip mid-way through a partitioned fixpoint is part of the
+// determinism contract too: derived-tuple charges happen at Commit in
+// task order, a coordinator-side sequence identical for every jobs and
+// partition setting, so the trip fires at the same logical point and
+// the partial stats match the serial trip exactly.
+TEST(PartitionSweep, GovernorTripMidPartitionedRun) {
+  auto run_tripped = [](int jobs, int parts, Status* st,
+                        EvalStats* stats) {
+    IdlogEngine engine;
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(engine.AddRow("e", {"n" + std::to_string(i),
+                                      "n" + std::to_string(i + 1)})
+                      .ok());
+    }
+    engine.SetThreads(jobs);
+    engine.SetDeltaPartitions(parts);
+    EvalLimits limits;
+    limits.max_tuples = 25;  // trips inside a later, partitioned round
+    engine.SetLimits(limits);
+    ASSERT_TRUE(engine.LoadProgramText("p(X, Y) :- e(X, Y)."
+                                       "p(X, Z) :- p(X, Y), e(Y, Z).")
+                    .ok());
+    *st = engine.Run();
+    *stats = engine.stats();
+  };
+  Status serial_st;
+  EvalStats serial_stats;
+  run_tripped(1, 1, &serial_st, &serial_stats);
+  EXPECT_EQ(serial_st.code(), StatusCode::kResourceExhausted)
+      << serial_st.ToString();
+  for (int jobs : kSweepJobs) {
+    for (int parts : kSweepPartitions) {
+      if (jobs == 1 && parts == 1) continue;
+      SCOPED_TRACE("jobs=" + std::to_string(jobs) +
+                   " partitions=" + std::to_string(parts));
+      Status st;
+      EvalStats stats;
+      run_tripped(jobs, parts, &st, &stats);
+      EXPECT_EQ(st.ToString(), serial_st.ToString());
+      ExpectSameStats(serial_stats, stats);
+    }
+  }
+}
 
 // --------------------------------------------------------------------
 // Round-task error hardening, driven by the fault-injection harness.

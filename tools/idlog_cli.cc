@@ -3,7 +3,17 @@
 // Batch mode:
 //   idlog run PROGRAM.idl --query PRED [--csv REL=FILE]... [--seed N]
 //             [--enumerate] [--stats] [--naive] [--no-tid-pushdown]
-//             [--jobs N]                (worker threads; 1 = serial)
+//             [--jobs N]                (total evaluation threads, the
+//                                        calling thread included —
+//                                        --jobs 4 is four threads, not
+//                                        four workers plus the caller;
+//                                        0 = auto-detect the hardware,
+//                                        1 = serial)
+//             [--partitions K]          (delta partitions per heavy
+//                                        recursive task; 0 = auto =
+//                                        match --jobs; answers and all
+//                                        logical output are identical
+//                                        for every K)
 //             [--explain "v1 v2 ..."]   (derivation tree of one fact,
 //                                        tuple fields only; predicate
 //                                        comes from --query)
@@ -69,6 +79,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <cstdlib>
@@ -249,6 +260,7 @@ int RunBatch(int argc, char** argv) {
   bool partial = false;
   bool profile = false;
   uint64_t jobs = 1;
+  uint64_t partitions = 0;  // 0 = auto: match the resolved --jobs.
   std::string trace_out;
   std::string metrics_json;
   std::string checkpoint_path;
@@ -359,10 +371,25 @@ int RunBatch(int argc, char** argv) {
     } else if (arg == "--jobs") {
       auto v = ParseUint64("--jobs", next());
       if (!v.ok()) return Fail(v.status());
-      if (*v < 1 || *v > 1024) {
-        return Fail(Status::InvalidArgument("--jobs expects 1..1024"));
+      if (*v > 1024) {
+        return Fail(Status::InvalidArgument(
+            "--jobs expects 0 (auto) or 1..1024"));
       }
       jobs = *v;
+      if (jobs == 0) {
+        // Auto-detect: hardware_concurrency() may legitimately return
+        // 0 on exotic platforms — clamp to serial rather than guess.
+        unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw >= 1 ? hw : 1;
+      }
+    } else if (arg == "--partitions") {
+      auto v = ParseUint64("--partitions", next());
+      if (!v.ok()) return Fail(v.status());
+      if (*v > 4096) {
+        return Fail(Status::InvalidArgument(
+            "--partitions expects 0 (auto) or 1..4096"));
+      }
+      partitions = *v;
     } else if (arg == "--trace-out") {
       const char* v = next();
       if (v == nullptr || *v == '\0') {
@@ -513,6 +540,7 @@ int RunBatch(int argc, char** argv) {
   IdlogEngine engine;
   engine.SetSeminaive(!naive);
   engine.SetThreads(static_cast<int>(jobs));
+  engine.SetDeltaPartitions(static_cast<int>(partitions));
   engine.SetTidBoundPushdown(pushdown);
   engine.SetLimits(limits);
   engine.SetPartialResults(partial);
@@ -859,7 +887,7 @@ int main(int argc, char** argv) {
                  "usage: %s                      (interactive)\n"
                  "       %s run PROGRAM.idl --query PRED [--csv REL=FILE]"
                  " [--seed N] [--enumerate] [--stats] [--naive]"
-                 " [--no-tid-pushdown] [--jobs N]\n"
+                 " [--no-tid-pushdown] [--jobs N] [--partitions K]\n"
                  "           [--explain \"v1 v2 ...\"]"
                  " [--why \"pred(c1, ...)\"] [--why-not \"pred(c1, ...)\"]"
                  " [--why-json FILE]\n"
