@@ -15,12 +15,23 @@
 #include <thread>
 
 #include "core/idlog_engine.h"
+#include "obs/flight_recorder.h"
 #include "util.h"
 
 namespace idlog {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Top-level core report: every section appends its headline numbers
+// (wall ms + key counters) here; main() writes them as one
+// idlog-bench-core-v1 document next to the per-section metrics files.
+std::vector<bench_util::CoreMetric> g_core;
+
+void Core(const std::string& section, const std::string& key,
+          double value) {
+  g_core.push_back({section, key, value});
+}
 
 const char* kTc =
     "path(X, Y) :- edge(X, Y)."
@@ -82,6 +93,16 @@ void RunScale(const char* label, Shape shape, int nodes, int edges) {
        std::to_string(semi.tuples),
        fmt(naive.ms / (semi.ms > 0 ? semi.ms : 1e-9)) + "x",
        std::to_string(semi.iterations)});
+  std::string tag = std::string(label) + std::to_string(nodes);
+  Core("E4_ablation", tag + ".answer", static_cast<double>(semi.answer));
+  Core("E4_ablation", tag + ".naive_ms", naive.ms);
+  Core("E4_ablation", tag + ".semi_ms", semi.ms);
+  Core("E4_ablation", tag + ".naive_tuples",
+       static_cast<double>(naive.tuples));
+  Core("E4_ablation", tag + ".semi_tuples",
+       static_cast<double>(semi.tuples));
+  Core("E4_ablation", tag + ".rounds",
+       static_cast<double>(semi.iterations));
 }
 
 // E4b: parallel stratum executor. A wide stratum — `kRules` independent
@@ -155,6 +176,14 @@ void RunParallelSection() {
                           serial.profile);
     profiles.emplace_back("jobs4_fanout" + std::to_string(fanout),
                           parallel.profile);
+    std::string tag = "fanout" + std::to_string(fanout);
+    Core("E4b_parallel", tag + ".answer",
+         static_cast<double>(serial.answer));
+    Core("E4b_parallel", tag + ".jobs1_ms", serial.ms);
+    Core("E4b_parallel", tag + ".jobs4_ms", parallel.ms);
+    Core("E4b_parallel", tag + ".tuples",
+         static_cast<double>(serial.tuples));
+    Core("E4b_parallel", tag + ".equal", equal ? 1 : 0);
   }
   bench_util::WriteBenchMetrics("parallel", profiles);
 }
@@ -210,6 +239,14 @@ void RunPartitionSection() {
                           serial.profile);
     profiles.emplace_back("tc_jobsN_n" + std::to_string(nodes),
                           parallel.profile);
+    std::string tag = "n" + std::to_string(nodes);
+    Core("E7_partition", tag + ".answer",
+         static_cast<double>(serial.answer));
+    Core("E7_partition", tag + ".jobs1_ms", serial.ms);
+    Core("E7_partition", tag + ".jobsN_ms", parallel.ms);
+    Core("E7_partition", tag + ".tuples",
+         static_cast<double>(serial.tuples));
+    Core("E7_partition", tag + ".equal", equal ? 1 : 0);
   }
   bench_util::WriteBenchMetrics("partition", profiles);
 }
@@ -278,6 +315,11 @@ void RunExplainSection() {
                           ProfileTc(c.shape, c.nodes, c.edges, false));
     profiles.emplace_back("explain_on_" + tag,
                           ProfileTc(c.shape, c.nodes, c.edges, true));
+    Core("E5_explain", tag + ".answer",
+         static_cast<double>(answer_off));
+    Core("E5_explain", tag + ".off_ms", off);
+    Core("E5_explain", tag + ".on_ms", on);
+    Core("E5_explain", tag + ".overhead_pct", overhead);
   }
   bench_util::WriteBenchMetrics("explain", profiles);
 }
@@ -358,9 +400,67 @@ void RunProvenanceSection() {
       profiles.emplace_back("prov_on_" + tag,
                             ProfileTcProvenance(c.shape, c.nodes, c.edges,
                                                 true, jobs));
+      Core("E6_provenance", tag + ".answer",
+           static_cast<double>(answer_off));
+      Core("E6_provenance", tag + ".off_ms", off);
+      Core("E6_provenance", tag + ".on_ms", on);
+      Core("E6_provenance", tag + ".overhead_pct", overhead);
+      Core("E6_provenance", tag + ".prov_nodes",
+           static_cast<double>(nodes_on));
     }
   }
   bench_util::WriteBenchMetrics("provenance", profiles);
+}
+
+// E8: flight-recorder overhead. Every event site costs one relaxed
+// atomic load when the recorder is disarmed (the default and the state
+// every measurement elsewhere in this binary runs under); armed it
+// pays a thread-local ring store per event. Both states are timed on
+// the same TC workload, best of 7 — the armed delta bounds the
+// disarmed-path cost from above, and the ≤2% acceptance target applies
+// to the disarmed state the rest of the suite measures.
+void RunFlightSection() {
+  std::printf(
+      "\nE8: flight-recorder overhead — semi-naive TC, recorder disarmed "
+      "vs armed (best of 7, ring capacity 65536)\n");
+  bench_util::PrintHeader({"graph", "|path|", "disarmed ms", "armed ms",
+                           "overhead", "events", "equal", "-"});
+  struct Config {
+    const char* label;
+    Shape shape;
+    int nodes, edges;
+  };
+  for (const Config& c :
+       {Config{"chain", Shape::kChain, 256, 0},
+        Config{"random", Shape::kRandom, 200, 800}}) {
+    double off = 1e18, on = 1e18;
+    size_t answer_off = 0, answer_on = 0;
+    uint64_t events = 0;
+    for (int rep = 0; rep < 7; ++rep) {
+      FlightRecorder::Instance().Disarm();
+      off = std::min(off, RunTcTimed(c.shape, c.nodes, c.edges, false,
+                                     &answer_off));
+      FlightRecorder::Instance().Arm(1 << 16);
+      on = std::min(on, RunTcTimed(c.shape, c.nodes, c.edges, false,
+                                   &answer_on));
+      events = FlightRecorder::Instance().total_recorded();
+      FlightRecorder::Instance().Disarm();
+    }
+    double overhead = off > 0 ? (on - off) / off * 100.0 : 0;
+    auto fmt = [](double v) { return std::to_string(v).substr(0, 7); };
+    bench_util::PrintRow(
+        {std::string(c.label) + " " + std::to_string(c.nodes),
+         std::to_string(answer_off), fmt(off), fmt(on),
+         fmt(overhead) + "%", std::to_string(events),
+         answer_off == answer_on ? "yes" : "NO", "-"});
+    std::string tag = std::string(c.label) + std::to_string(c.nodes);
+    Core("E8_flight", tag + ".answer", static_cast<double>(answer_off));
+    Core("E8_flight", tag + ".disarmed_ms", off);
+    Core("E8_flight", tag + ".armed_ms", on);
+    Core("E8_flight", tag + ".armed_overhead_pct", overhead);
+    Core("E8_flight", tag + ".events_recorded",
+         static_cast<double>(events));
+  }
 }
 
 // Microbench: one full TC evaluation, semi-naive.
@@ -421,12 +521,24 @@ int main(int argc, char** argv) {
          std::to_string(scan.tuples), fmt(indexed.ms),
          std::to_string(indexed.tuples),
          fmt(scan.ms / (indexed.ms > 0 ? indexed.ms : 1e-9)) + "x", "-"});
+    std::string tag = "random" + std::to_string(nodes);
+    idlog::Core("E4_index", tag + ".answer",
+                static_cast<double>(indexed.answer));
+    idlog::Core("E4_index", tag + ".noindex_ms", scan.ms);
+    idlog::Core("E4_index", tag + ".indexed_ms", indexed.ms);
+    idlog::Core("E4_index", tag + ".noindex_tuples",
+                static_cast<double>(scan.tuples));
+    idlog::Core("E4_index", tag + ".indexed_tuples",
+                static_cast<double>(indexed.tuples));
   }
 
   idlog::RunParallelSection();
   idlog::RunPartitionSection();
   idlog::RunExplainSection();
   idlog::RunProvenanceSection();
+  idlog::RunFlightSection();
+
+  idlog::bench_util::WriteCoreReport(idlog::g_core);
 
   std::printf("\nGoogle-benchmark microbenches:\n");
   benchmark::Initialize(&argc, argv);

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <thread>
 
 #include "obs/metrics.h"
 
@@ -84,6 +86,61 @@ bool WriteBenchMetrics(const std::string& name,
     return false;
   }
   std::printf("\nper-rule metrics written to %s\n", path.c_str());
+  return true;
+}
+
+bool WriteCoreReport(const std::vector<CoreMetric>& metrics) {
+  // Group by section, keeping first-appearance order for sections and
+  // insertion order for keys: the document is byte-stable run to run
+  // except for the wall-time values themselves.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<const CoreMetric*>> by_section;
+  for (const CoreMetric& m : metrics) {
+    auto [it, fresh] = by_section.try_emplace(m.section);
+    if (fresh) order.push_back(m.section);
+    it->second.push_back(&m);
+  }
+
+  auto number = [](double v) {
+    if (v == static_cast<double>(static_cast<int64_t>(v))) {
+      return std::to_string(static_cast<int64_t>(v));
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return std::string(buf);
+  };
+
+  std::string json = "{\"schema\":\"idlog-bench-core-v1\",";
+  json += "\"host\":{\"hardware_threads\":" +
+          std::to_string(std::thread::hardware_concurrency()) + "},";
+  json += "\"sections\":{";
+  for (size_t s = 0; s < order.size(); ++s) {
+    if (s > 0) json += ",";
+    json += "\"" + order[s] + "\":{";
+    const auto& rows = by_section[order[s]];
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) json += ",";
+      json += "\"" + rows[i]->key + "\":" + number(rows[i]->value);
+    }
+    json += "}";
+  }
+  json += "}}\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_logs", ec);
+  const std::string path = "bench_logs/BENCH_core.json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << json;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "warning: failed writing %s\n", path.c_str());
+    return false;
+  }
+  std::printf("core report written to %s\n", path.c_str());
   return true;
 }
 

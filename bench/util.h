@@ -43,6 +43,22 @@ using LabeledProfile = std::pair<std::string, EvalProfile>;
 bool WriteBenchMetrics(const std::string& name,
                        const std::vector<LabeledProfile>& runs);
 
+/// One scalar of the top-level core report: section (e.g.
+/// "E5_explain"), key (e.g. "chain256.off_ms"), numeric value.
+struct CoreMetric {
+  std::string section;
+  std::string key;
+  double value = 0;
+};
+
+/// Writes bench_logs/BENCH_core.json: an `idlog-bench-core-v1` document
+/// with a `host` block (hardware_threads) and a `sections` object
+/// grouping the metrics by section in first-appearance order, keys in
+/// insertion order within a section. Wall times carry real jitter;
+/// everything else (answers, tuple counts, equality bits) is
+/// deterministic, which is what CI trend tooling diffs.
+bool WriteCoreReport(const std::vector<CoreMetric>& metrics);
+
 }  // namespace bench_util
 }  // namespace idlog
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/flight_recorder.h"
+
 namespace idlog {
 
 std::atomic<int> Failpoints::armed_count_{0};
@@ -100,18 +102,25 @@ uint64_t Failpoints::HitCount(const std::string& site) const {
 
 Status Failpoints::OnHit(const char* site) {
   bool throws = false;
-  uint64_t fired_hit = 0;
+  bool fired = false;
+  uint64_t hits = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = armed_.find(site);
     if (it == armed_.end()) return Status::OK();
-    ++it->second.hits;
-    if (it->second.hits != it->second.nth) return Status::OK();
-    throws = it->second.throws;
-    fired_hit = it->second.hits;
+    hits = ++it->second.hits;
+    if (hits == it->second.nth) {
+      fired = true;
+      throws = it->second.throws;
+    }
   }
+  // Breadcrumb for every pass through an *armed* site (disarmed sites
+  // return above without reaching this): hit ordinal + whether it fired.
+  FlightRecorder::Record(FlightEventKind::kFailpointHit, site,
+                         static_cast<int64_t>(hits), fired ? 1 : 0);
+  if (!fired) return Status::OK();
   std::string what = std::string("injected failure at failpoint '") + site +
-                     "' (execution " + std::to_string(fired_hit) + ")";
+                     "' (execution " + std::to_string(hits) + ")";
   if (throws) throw std::runtime_error(what);
   return Status::Internal(std::move(what));
 }

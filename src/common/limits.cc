@@ -1,5 +1,6 @@
 #include "common/limits.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace idlog {
@@ -28,6 +29,7 @@ void ResourceGovernor::Arm(const EvalLimits& limits) {
   tuples_.store(0, std::memory_order_relaxed);
   memory_bytes_.store(0, std::memory_order_relaxed);
   iterations_.store(0, std::memory_order_relaxed);
+  next_memory_milestone_.store(1ull << 20, std::memory_order_relaxed);
   scope_ = "evaluation";
   stratum_ = -1;
   stats_source_ = nullptr;
@@ -117,7 +119,33 @@ Status ResourceGovernor::Trip(BudgetKind kind) {
     args.push_back(TraceArg::Num("elapsed_ns", trip_.elapsed_ns));
     trace_sink_->Instant("governor trip", "governor", std::move(args));
   }
+  // The flight recorder gets the trip even when no trace sink is
+  // installed — a post-mortem must not depend on --trace having been on.
+  FlightRecorder::Record(
+      FlightEventKind::kTrip, BudgetKindName(kind),
+      static_cast<int64_t>(tuples_.load(std::memory_order_relaxed)),
+      static_cast<int64_t>(memory_bytes_.load(std::memory_order_relaxed)),
+      stratum_);
   return TripStatus();
+}
+
+void ResourceGovernor::MaybeRecordMemoryMilestone(uint64_t memory) {
+  if (!FlightRecorder::Enabled()) return;
+  // CAS-advance the milestone so exactly one thread records each
+  // crossing; doubling keeps the event count logarithmic in footprint.
+  uint64_t next = next_memory_milestone_.load(std::memory_order_relaxed);
+  while (memory >= next) {
+    uint64_t target = next * 2;
+    if (next_memory_milestone_.compare_exchange_weak(
+            next, target, std::memory_order_relaxed)) {
+      FlightRecorder::Record(
+          FlightEventKind::kGovernorMemory, scope_.c_str(),
+          static_cast<int64_t>(next), static_cast<int64_t>(memory),
+          static_cast<int64_t>(
+              tuples_.load(std::memory_order_relaxed)));
+      next = target;
+    }
+  }
 }
 
 Status ResourceGovernor::TripStatus() const {

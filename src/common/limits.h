@@ -154,6 +154,9 @@ class ResourceGovernor {
         memory > limits_.max_memory_bytes) {
       return Trip(BudgetKind::kMemory);
     }
+    if (memory >= next_memory_milestone_.load(std::memory_order_relaxed)) {
+      MaybeRecordMemoryMilestone(memory);
+    }
     return CheckPoint(n);
   }
 
@@ -221,6 +224,10 @@ class ResourceGovernor {
  private:
   Status Probe();                 ///< Slow path of CheckPoint.
   Status Trip(BudgetKind kind);   ///< Latches the trip diagnostic.
+  /// Flight-recorder breadcrumb at memory-charge milestones (1 MiB,
+  /// then doubling). Out of line: the hot path only pays the relaxed
+  /// load above, and only crossings reach this call.
+  void MaybeRecordMemoryMilestone(uint64_t memory);
 
   EvalLimits limits_;
   std::chrono::steady_clock::time_point armed_at_{};
@@ -234,6 +241,9 @@ class ResourceGovernor {
   std::atomic<uint64_t> tuples_{0};
   std::atomic<uint64_t> memory_bytes_{0};
   std::atomic<uint64_t> iterations_{0};
+  /// Next memory-charge level worth a flight-recorder breadcrumb;
+  /// doubles on every crossing. Reset to 1 MiB by Arm().
+  std::atomic<uint64_t> next_memory_milestone_{1ull << 20};
 
   std::string scope_ = "evaluation";
   int stratum_ = -1;

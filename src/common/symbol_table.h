@@ -34,6 +34,18 @@ class SymbolTable {
   /// Number of interned symbols.
   size_t size() const { return names_.size(); }
 
+  /// Approximate heap bytes of the intern pool: every spelling is
+  /// stored twice (names_ vector and ids_ map key) plus per-symbol
+  /// container overhead. A logical quantity — interning happens during
+  /// parse/load, so it is identical across --jobs settings.
+  uint64_t approx_bytes() const {
+    uint64_t bytes = 0;
+    for (const std::string& name : names_) {
+      bytes += 2 * (name.size() + 1);
+    }
+    return bytes + static_cast<uint64_t>(names_.size()) * 64;
+  }
+
   static constexpr SymbolId kNoSymbol = UINT32_MAX;
 
  private:

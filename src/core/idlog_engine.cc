@@ -3,6 +3,8 @@
 #include "analysis/dependency_graph.h"
 #include "ast/printer.h"
 #include "common/failpoint.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "parser/parser.h"
 #include "store/atomic_file.h"
 
@@ -293,8 +295,14 @@ Status IdlogEngine::Run() {
   governor_.Arm(limits_);
   impl_->set_governor(&governor_);
   last_trip_ = Status::OK();
+  FlightRecorder::Record(FlightEventKind::kRunStart, "run",
+                         static_cast<int64_t>(threads_),
+                         static_cast<int64_t>(delta_partitions_));
   Status st = impl_->Evaluate(assigner_.get(), seminaive_);
   if (!st.ok()) {
+    FlightRecorder::Record(FlightEventKind::kRunEnd, "failure",
+                           static_cast<int64_t>(st.code()));
+    DumpFlightRecorder();
     // Durability on the way down: put the last consistent frame (if
     // any) on disk so the run is resumable past this failure.
     Status final_write = Status::OK();
@@ -311,6 +319,8 @@ Status IdlogEngine::Run() {
     return st;
   }
   ran_ = true;
+  FlightRecorder::Record(FlightEventKind::kRunEnd, "ok", 0,
+                         static_cast<int64_t>(stats().facts_inserted));
   if (!checkpoint_path_.empty()) {
     SnapshotProgress done;
     done.completed = true;
@@ -318,6 +328,13 @@ Status IdlogEngine::Run() {
     return WriteFileAtomic(checkpoint_path_, SerializeCurrentState(done));
   }
   return Status::OK();
+}
+
+void IdlogEngine::DumpFlightRecorder() const {
+  if (flight_dump_path_.empty() || !FlightRecorder::Enabled()) return;
+  // Best-effort black box on the failure path: a dump error must not
+  // mask the Status the evaluation is unwinding with.
+  (void)FlightRecorder::Instance().Dump(flight_dump_path_);
 }
 
 Result<const Relation*> IdlogEngine::Query(const std::string& pred) {
@@ -535,6 +552,46 @@ const EvalStats& IdlogEngine::stats() const {
 Result<const Stratification*> IdlogEngine::stratification() const {
   if (impl_ == nullptr) return Status::InvalidArgument("no program loaded");
   return &impl_->stratification();
+}
+
+StorageStats IdlogEngine::DbStats() const {
+  StorageStatsView view;
+  view.database = &database_;
+  view.symbols = &symbols_;
+  view.governor = &governor_;
+  view.assigner = assigner_.get();
+  if (impl_ != nullptr) {
+    view.derived = &impl_->derived();
+    view.id_relations = &impl_->id_relations();
+    view.udom = &impl_->udom_relation();
+    view.index_caches = &impl_->index_caches();
+    view.provenance = &impl_->provenance();
+  }
+  return CollectStorageStats(view);
+}
+
+std::string IdlogEngine::DbStatsText() const { return DbStats().ToTable(); }
+
+std::string IdlogEngine::DbStatsJson() const { return DbStats().ToJson(); }
+
+std::string IdlogEngine::MetricsJson() const {
+  MetricsRegistry reg;
+  profile().ToMetrics(&reg);
+  // Storage/governor gauges the profile cannot see. db.indexes is
+  // physical (build scheduling varies with --jobs) — callers comparing
+  // runs diff counters, not gauges, exactly because of entries like it.
+  const StorageStats db = DbStats();
+  reg.SetGauge("totals.memory_bytes",
+               static_cast<int64_t>(governor_.memory_charged()));
+  reg.SetGauge("db.relations",
+               static_cast<int64_t>(db.relations.size()));
+  reg.SetGauge("db.id_relations",
+               static_cast<int64_t>(db.id_relations.size()));
+  reg.SetGauge("db.tuples", static_cast<int64_t>(db.total_tuples()));
+  reg.SetGauge("db.approx_bytes",
+               static_cast<int64_t>(db.total_approx_bytes()));
+  reg.SetGauge("db.indexes", static_cast<int64_t>(db.total_indexes));
+  return reg.ToJson();
 }
 
 }  // namespace idlog

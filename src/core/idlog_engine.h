@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/symbol_table.h"
 #include "eval/engine_impl.h"
+#include "obs/dbstats.h"
 #include "obs/why.h"
 #include "storage/database.h"
 #include "storage/tid_assigner.h"
@@ -266,12 +267,42 @@ class IdlogEngine {
   /// Per-step counters of the last Run() (empty unless explain enabled).
   const PlanAnalysis& plan_analysis() const;
 
+  /// Storage observability: walks the database, derived/ID-relations,
+  /// index caches, intern pool, tid-assigner and provenance arena into
+  /// per-relation statistics with component byte attribution. Valid any
+  /// time (a pre-run engine reports EDB state only); does not run.
+  StorageStats DbStats() const;
+  /// The walk rendered as an aligned text table (physical index columns
+  /// included) or the deterministic `idlog-dbstats-v1` JSON (logical
+  /// fields only — byte-identical across --jobs/--partitions).
+  std::string DbStatsText() const;
+  std::string DbStatsJson() const;
+
+  /// The `idlog-metrics-v1` document of the last Run(): the profile's
+  /// counters plus governor/storage gauges (totals.memory_bytes,
+  /// db.relations, db.tuples, db.approx_bytes, db.indexes — the last is
+  /// physical). Superset of profile().ToMetricsJson().
+  std::string MetricsJson() const;
+
+  /// Arms the crash black box: when a Run() returns a failure Status or
+  /// trips a governor budget (partial-results mode included), the
+  /// process-global FlightRecorder is dumped to `path` as
+  /// `idlog-flight-v1` JSON before Run() returns. Empty disarms. The
+  /// recorder itself is armed separately (FlightRecorder::Instance()).
+  void SetFlightRecorderDump(std::string path) {
+    flight_dump_path_ = std::move(path);
+  }
+  const std::string& flight_recorder_dump_path() const {
+    return flight_dump_path_;
+  }
+
  private:
   Result<ProofTree> BuildWhy(const std::string& pred, const Tuple& tuple,
                              const WhyBudget& budget);
   Result<WhyNotReport> BuildWhyNotReport(const std::string& pred,
                                          const Tuple& tuple,
                                          const WhyBudget& budget);
+  void DumpFlightRecorder() const;
   SnapshotConfig CurrentConfig() const;
   std::string SerializeCurrentState(const SnapshotProgress& progress) const;
   Status OnCheckpointFrame(const FixpointFrame& frame,
@@ -299,6 +330,7 @@ class IdlogEngine {
   int delta_partitions_ = 0;
   bool ran_ = false;
 
+  std::string flight_dump_path_;      ///< Empty: no dump-on-failure.
   std::string checkpoint_path_;       ///< Empty: checkpointing off.
   uint64_t checkpoint_every_ = 1;     ///< Write cadence in round frames.
   uint64_t frames_since_write_ = 0;

@@ -105,6 +105,15 @@ class EngineImpl {
     return id_relations_;
   }
 
+  /// Storage introspection (obs/dbstats): the synthesized u-domain
+  /// relation (empty unless the program reads `udom`) and the live
+  /// index caches keyed by relation pointer.
+  const Relation& udom_relation() const { return udom_; }
+  const std::map<const Relation*, std::unique_ptr<IndexCache>>&
+  index_caches() const {
+    return index_caches_;
+  }
+
   /// The relation of `pred` after Evaluate: derived if IDB, database
   /// contents if EDB, NotFound otherwise. The special predicate `udom`
   /// resolves to the database's u-domain if not stored explicitly.

@@ -44,8 +44,12 @@ ProvenanceStore::PredId ProvenanceStore::FindPredicate(
 size_t ProvenanceStore::Record(const std::string& pred, const Tuple& tuple,
                                int clause_index,
                                std::vector<Premise> premises) {
-  return Record(InternPredicate(pred), tuple, clause_index,
-                std::move(premises));
+  // Delta over bytes_ rather than the id-keyed Record's return so a
+  // first-time predicate's interning bytes are charged too.
+  const size_t before = bytes_;
+  PredId id = InternPredicate(pred);
+  (void)Record(id, tuple, clause_index, std::move(premises));
+  return bytes_ - before;
 }
 
 size_t ProvenanceStore::Record(PredId pred, const Tuple& tuple,
@@ -84,7 +88,9 @@ const Derivation* ProvenanceStore::Lookup(PredId pred,
 }
 
 size_t ProvenanceStore::Absorb(ProvenanceStore* other) {
-  size_t added = 0;
+  // Return the exact bytes_ delta (not the sum of Record returns) so
+  // predicates interned here for the first time are charged as well.
+  const size_t before = bytes_;
   // Memoized remap of the other store's predicate ids into ours.
   std::vector<PredId> remap(other->pred_names_.size(), kNoPred);
   for (Node& n : other->nodes_) {
@@ -98,17 +104,17 @@ size_t ProvenanceStore::Absorb(ProvenanceStore* other) {
       premises.push_back(
           std::move(other->premise_arena_[n.deriv.premise_begin + i]));
     }
-    added += Record(mapped, n.tuple, n.deriv.clause_index,
-                    std::move(premises));
+    (void)Record(mapped, n.tuple, n.deriv.clause_index,
+                 std::move(premises));
   }
   other->Clear();
-  return added;
+  return bytes_ - before;
 }
 
 size_t ProvenanceStore::AbsorbMerged(
     const std::vector<ProvenanceStore*>& parts,
     const std::vector<const std::vector<uint64_t>*>& orders) {
-  size_t added = 0;
+  const size_t before = bytes_;
   std::vector<size_t> cursor(parts.size(), 0);
   std::vector<std::vector<PredId>> remap(parts.size());
   for (size_t p = 0; p < parts.size(); ++p) {
@@ -116,8 +122,8 @@ size_t ProvenanceStore::AbsorbMerged(
     if (orders[p]->size() != parts[p]->nodes_.size()) {
       // Tag bookkeeping out of sync — should be unreachable, but a
       // sequential absorb is a safe (order-degraded) fallback.
-      for (ProvenanceStore* part : parts) added += Absorb(part);
-      return added;
+      for (ProvenanceStore* part : parts) (void)Absorb(part);
+      return bytes_ - before;
     }
   }
   while (true) {
@@ -146,11 +152,11 @@ size_t ProvenanceStore::AbsorbMerged(
       premises.push_back(
           std::move(src.premise_arena_[n.deriv.premise_begin + i]));
     }
-    added += Record(mapped, n.tuple, n.deriv.clause_index,
-                    std::move(premises));
+    (void)Record(mapped, n.tuple, n.deriv.clause_index,
+                 std::move(premises));
   }
   for (ProvenanceStore* part : parts) part->Clear();
-  return added;
+  return bytes_ - before;
 }
 
 namespace {

@@ -81,11 +81,14 @@ class ProvenanceStore {
   size_t num_interned_predicates() const { return pred_names_.size(); }
 
   /// Keeps only the first derivation per (pred, tuple). Returns the
-  /// approximate number of bytes newly retained (0 for a duplicate),
-  /// so the caller can charge the resource governor.
+  /// exact growth of approx_bytes() — node bytes plus any predicate
+  /// interning (0 for a duplicate of an already-interned predicate) —
+  /// so governor charges reconcile byte-for-byte with the store (the
+  /// dbstats sum invariant).
   size_t Record(const std::string& pred, const Tuple& tuple,
                 int clause_index, std::vector<Premise> premises);
-  /// Id-keyed fast path.
+  /// Id-keyed fast path: excludes interning (the caller interned the
+  /// id itself and must account that growth via approx_bytes deltas).
   size_t Record(PredId pred, const Tuple& tuple, int clause_index,
                 std::vector<Premise> premises);
 
@@ -103,8 +106,9 @@ class ProvenanceStore {
   /// Adopts `other`'s derivations in `other`'s recording order,
   /// first-derivation-wins against what this store already holds.
   /// Absorbing per-task stores in serial task order therefore yields
-  /// the exact store a serial run would have produced. Returns bytes
-  /// newly retained; leaves `other` cleared.
+  /// the exact store a serial run would have produced. Returns the
+  /// exact growth of approx_bytes() (interning included); leaves
+  /// `other` cleared.
   size_t Absorb(ProvenanceStore* other);
 
   /// Adopts the stores of one partitioned task's parts as a single
@@ -114,8 +118,8 @@ class ProvenanceStore {
   /// row is owned by exactly one partition, so the tags K-way-merge
   /// without ties into the serial recording order — the store ends up
   /// byte-identical for every partition count. `orders[p]` must have
-  /// one entry per node of `parts[p]`. Returns bytes newly retained;
-  /// leaves every part cleared.
+  /// one entry per node of `parts[p]`. Returns the exact growth of
+  /// approx_bytes() (interning included); leaves every part cleared.
   size_t AbsorbMerged(
       const std::vector<ProvenanceStore*>& parts,
       const std::vector<const std::vector<uint64_t>*>& orders);

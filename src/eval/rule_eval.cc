@@ -89,11 +89,16 @@ class RuleExecutor {
       // sees recorded nodes) would diverge from a serial run. Cached, so
       // later emits stay id-keyed with no string hashing/copies.
       if (head_pred_id_ == ProvenanceStore::kNoPred) {
+        const size_t before = ctx_.provenance->approx_bytes();
         head_pred_id_ = ctx_.provenance->InternPredicate(plan_.head_pred);
+        // First emit also pays the interning bytes, keeping governor
+        // charges equal to the store's approx_bytes growth.
+        prov_bytes += ctx_.provenance->approx_bytes() - before;
       }
-      prov_bytes = ctx_.provenance->Record(head_pred_id_, t,
-                                           plan_.clause_index, premises_);
-      if (prov_bytes > 0 && ctx_.prov_order != nullptr) {
+      const size_t node_bytes = ctx_.provenance->Record(
+          head_pred_id_, t, plan_.clause_index, premises_);
+      prov_bytes += node_bytes;
+      if (node_bytes > 0 && ctx_.prov_order != nullptr) {
         ctx_.prov_order->push_back(cur_delta_row_);
       }
     }

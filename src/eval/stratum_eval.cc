@@ -5,6 +5,7 @@
 
 #include "exec/round_executor.h"
 #include "exec/thread_pool.h"
+#include "obs/flight_recorder.h"
 
 namespace idlog {
 
@@ -274,6 +275,13 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
             if (best == task.parts.size()) break;
             commit_tuple(task.parts[best].staged.tuples()[cur[best]++]);
           }
+          // One breadcrumb per K-way partition merge: which head, how
+          // wide the fan-out, how many commits survived dedup.
+          FlightRecorder::Record(FlightEventKind::kPartitionCommit,
+                                 task.plan->head_pred.c_str(),
+                                 task.partitions,
+                                 static_cast<int64_t>(inserted),
+                                 static_cast<int64_t>(round));
         } else {
           for (const Tuple& t : task.parts[0].staged.tuples()) {
             commit_tuple(t);
@@ -389,6 +397,9 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     }
     bool any = false;
     std::map<std::string, Relation> next_delta;
+    FlightRecorder::Record(FlightEventKind::kRoundStart, "round0",
+                           ctx.stratum, static_cast<int64_t>(round),
+                           static_cast<int64_t>(tasks.size()));
     IDLOG_RETURN_NOT_OK(
         run_round(std::move(tasks), round, &any, &next_delta));
     if (ctx.stats != nullptr) ++ctx.stats->iterations;
@@ -398,6 +409,11 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     replace_delta(std::move(next_delta));
     if (round_log != nullptr) {
       round_log->new_facts_per_round.push_back(delta_total());
+    }
+    if (FlightRecorder::Enabled()) {
+      FlightRecorder::Record(FlightEventKind::kRoundCommit, "round0",
+                             ctx.stratum, static_cast<int64_t>(round),
+                             static_cast<int64_t>(delta_total()));
     }
     if (ctx.trace != nullptr) {
       round_span.AddArg(TraceArg::Num("new_facts", delta_total()));
@@ -461,6 +477,9 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     }
     bool any = false;
     std::map<std::string, Relation> next_delta;
+    FlightRecorder::Record(FlightEventKind::kRoundStart, "delta",
+                           ctx.stratum, static_cast<int64_t>(round),
+                           static_cast<int64_t>(tasks.size()));
     IDLOG_RETURN_NOT_OK(
         run_round(std::move(tasks), round, &any, &next_delta));
     if (ctx.stats != nullptr) ++ctx.stats->iterations;
@@ -470,6 +489,11 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     replace_delta(std::move(next_delta));
     if (round_log != nullptr) {
       round_log->new_facts_per_round.push_back(delta_total());
+    }
+    if (FlightRecorder::Enabled()) {
+      FlightRecorder::Record(FlightEventKind::kRoundCommit, "delta",
+                             ctx.stratum, static_cast<int64_t>(round),
+                             static_cast<int64_t>(delta_total()));
     }
     if (ctx.trace != nullptr) {
       round_span.AddArg(TraceArg::Num("new_facts", delta_total()));

@@ -1,6 +1,33 @@
 #include "storage/index.h"
 
+#include <cstdio>
+
+#include "obs/flight_recorder.h"
+
 namespace idlog {
+
+namespace {
+
+/// Black-box breadcrumb for one physical index build/refresh. The
+/// label names the key columns; the payload carries the rows indexed
+/// and distinct keys. Physical-only (never part of the --jobs
+/// byte-identity contract), like the index_builds counter it mirrors.
+void RecordIndexBuildEvent(const ColumnIndex& index) {
+  if (!FlightRecorder::Enabled()) return;
+  char cols[sizeof(FlightEvent::label)];
+  size_t n = 0;
+  for (size_t i = 0; i < index.cols().size() && n + 4 < sizeof(cols); ++i) {
+    n += static_cast<size_t>(std::snprintf(
+        cols + n, sizeof(cols) - n, i == 0 ? "%d" : ",%d",
+        index.cols()[i]));
+  }
+  cols[n < sizeof(cols) ? n : sizeof(cols) - 1] = '\0';
+  FlightRecorder::Record(FlightEventKind::kIndexBuild, cols,
+                         static_cast<int64_t>(index.num_entries()),
+                         static_cast<int64_t>(index.num_keys()));
+}
+
+}  // namespace
 
 ColumnIndex::ColumnIndex(const Relation* relation, std::vector<int> cols)
     : relation_(relation), cols_(std::move(cols)) {
@@ -56,9 +83,11 @@ const ColumnIndex& IndexCache::Get(const std::vector<int>& cols,
   if (it == indexes_.end()) {
     it = indexes_.emplace(cols, ColumnIndex(relation_, cols)).first;
     if (rebuilt != nullptr) *rebuilt = true;
+    RecordIndexBuildEvent(it->second);
   } else if (!it->second.fresh()) {
     it->second.Refresh();
     if (rebuilt != nullptr) *rebuilt = true;
+    RecordIndexBuildEvent(it->second);
   }
   return it->second;
 }

@@ -29,6 +29,20 @@ class ColumnIndex {
 
   const std::vector<int>& cols() const { return cols_; }
 
+  /// Storage accounting (obs/dbstats). Entry counts reflect the last
+  /// Build/Refresh, like Lookup() results.
+  size_t num_keys() const { return buckets_.size(); }
+  /// One posting per indexed row.
+  size_t num_entries() const { return built_rows_; }
+  /// Approximate heap bytes of the bucket map: per key the projected
+  /// key tuple plus hash-node and posting-vector overhead, plus 8 bytes
+  /// per posting (a row position).
+  uint64_t approx_bytes() const {
+    return static_cast<uint64_t>(buckets_.size()) *
+               (static_cast<uint64_t>(cols_.size()) * 16 + 80) +
+           static_cast<uint64_t>(built_rows_) * 8;
+  }
+
  private:
   void Build();
 
@@ -63,6 +77,13 @@ class IndexCache {
   /// call it while no thread mutates the cache. Callers falling back on
   /// nullptr must verify key columns themselves.
   const ColumnIndex* FindFresh(const std::vector<int>& cols) const;
+
+  /// The cached indexes, keyed by column subset (obs/dbstats walks
+  /// these for per-index entry counts and byte attribution).
+  const std::map<std::vector<int>, ColumnIndex>& indexes() const {
+    return indexes_;
+  }
+  size_t size() const { return indexes_.size(); }
 
  private:
   const Relation* relation_;

@@ -4,6 +4,7 @@
 
 #include "store/atomic_file.h"
 #include "common/failpoint.h"
+#include "obs/flight_recorder.h"
 
 namespace idlog {
 
@@ -109,6 +110,12 @@ void PutSection(std::string* out, uint32_t tag, const std::string& payload) {
   out->append(header);
   out->append(payload);
   PutU32(out, crc);
+  // Black-box breadcrumb per serialized section: a crash between here
+  // and the atomic rename shows exactly which sections were composed.
+  FlightRecorder::Record(FlightEventKind::kCheckpointSection,
+                         SectionName(tag),
+                         static_cast<int64_t>(payload.size()),
+                         static_cast<int64_t>(crc));
 }
 
 // ---- decoding -------------------------------------------------------

@@ -141,5 +141,19 @@ TEST(CliUsage, WhyFlagsExist) {
   }
 }
 
+// Storage observability surface: the dbstats and flight-recorder flags
+// are what CI's schema smoke and the post-mortem workflow script
+// against; keep them a deliberate rename away from disappearing.
+TEST(CliUsage, StorageObservabilityFlagsExist) {
+  std::string source = ReadCliSource();
+  ASSERT_FALSE(source.empty());
+  std::set<std::string> parser = ParserFlags(source);
+  for (const char* flag : {"--db-stats", "--db-stats-json",
+                           "--flight-recorder", "--flight-events"}) {
+    EXPECT_TRUE(parser.count(flag) > 0)
+        << flag << " is no longer accepted by the batch-mode parser";
+  }
+}
+
 }  // namespace
 }  // namespace idlog

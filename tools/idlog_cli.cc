@@ -53,6 +53,21 @@
 //                                        fail the Nth execution of the
 //                                        named site; repeatable, also
 //                                        via IDLOG_FAIL_AT env var)
+//             [--db-stats]              (per-relation storage statistics
+//                                        table: tuples, churn, approx
+//                                        bytes, index attribution)
+//             [--db-stats-json FILE]    (idlog-dbstats-v1 JSON — logical
+//                                        fields only, byte-identical
+//                                        across --jobs/--partitions;
+//                                        written on every exit path)
+//             [--flight-recorder FILE]  (idlog-flight-v1 black-box dump;
+//                                        always written when the flag is
+//                                        given. Without it the recorder
+//                                        still runs and dumps to
+//                                        idlog-flight.json on a failure
+//                                        or governor trip)
+//             [--flight-events N]       (flight-recorder ring capacity
+//                                        per thread; default 256)
 //
 // Value flags accept both "--flag value" and "--flag=value".
 //
@@ -88,6 +103,7 @@
 #include "common/failpoint.h"
 #include "core/answer_enumerator.h"
 #include "core/idlog_engine.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "storage/csv.h"
 #include "store/atomic_file.h"
@@ -268,6 +284,10 @@ int RunBatch(int argc, char** argv) {
   bool checkpoint_every_given = false;
   std::string resume_path;
   std::vector<std::string> fail_specs;
+  bool db_stats = false;
+  std::string db_stats_json;
+  std::string flight_path;  // --flight-recorder destination (explicit).
+  uint64_t flight_events = idlog::FlightRecorder::kDefaultCapacity;
 
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
@@ -429,6 +449,28 @@ int RunBatch(int argc, char** argv) {
         return Fail(Status::InvalidArgument("--fail-at SITE:N[:throw]"));
       }
       fail_specs.emplace_back(v);
+    } else if (arg == "--db-stats") {
+      db_stats = true;
+    } else if (arg == "--db-stats-json") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--db-stats-json FILE"));
+      }
+      db_stats_json = v;
+    } else if (arg == "--flight-recorder") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--flight-recorder FILE"));
+      }
+      flight_path = v;
+    } else if (arg == "--flight-events") {
+      auto v = ParseUint64("--flight-events", next());
+      if (!v.ok()) return Fail(v.status());
+      if (*v < 16 || *v > (1ull << 20)) {
+        return Fail(Status::InvalidArgument(
+            "--flight-events expects 16..1048576 events per thread"));
+      }
+      flight_events = *v;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--naive") {
@@ -537,6 +579,15 @@ int RunBatch(int argc, char** argv) {
     }
   }
 
+  // The flight recorder runs for every batch invocation: the black box
+  // must already hold events when a run fails unexpectedly, and its
+  // disarmed-path design makes the armed overhead a ring-slot write per
+  // recorded event (measured <= 2% end to end in BENCH_core E8).
+  const std::string flight_dump_path =
+      flight_path.empty() ? std::string("idlog-flight.json") : flight_path;
+  idlog::FlightRecorder::Instance().Arm(
+      static_cast<size_t>(flight_events));
+
   IdlogEngine engine;
   engine.SetSeminaive(!naive);
   engine.SetThreads(static_cast<int>(jobs));
@@ -544,6 +595,10 @@ int RunBatch(int argc, char** argv) {
   engine.SetTidBoundPushdown(pushdown);
   engine.SetLimits(limits);
   engine.SetPartialResults(partial);
+  // A failure Status out of Run() dumps the black box at the failure
+  // site, before any further teardown; finish() below re-dumps for the
+  // paths that never enter Run (both writes are atomic whole-files).
+  engine.SetFlightRecorderDump(flight_dump_path);
   // --why needs the lineage store; --why-not only walks rule plans
   // against the computed model, so it costs nothing extra. A resumed
   // run restores pre-crash derivations from the snapshot's DERIV
@@ -570,8 +625,29 @@ int RunBatch(int argc, char** argv) {
       }
     }
     if (!metrics_json.empty()) {
+      // The engine's composed document: profile counters plus the
+      // governor/storage gauges (totals.memory_bytes, db.*).
+      Status wst = WriteFile(metrics_json, engine.MetricsJson());
+      if (!wst.ok()) {
+        std::fprintf(stderr, "error: %s\n", wst.ToString().c_str());
+        if (code == 0) code = 1;
+      }
+    }
+    if (!db_stats_json.empty()) {
+      // Written on trips and failures too: what the storage held when
+      // the run stopped is front-line post-mortem material.
+      Status wst = WriteFile(db_stats_json, engine.DbStatsJson());
+      if (!wst.ok()) {
+        std::fprintf(stderr, "error: %s\n", wst.ToString().c_str());
+        if (code == 0) code = 1;
+      }
+    }
+    // Black-box dump policy: always when --flight-recorder was given;
+    // otherwise only when something went wrong (non-zero exit or a
+    // governor trip in partial-results mode).
+    if (!flight_path.empty() || code != 0 || !engine.last_trip().ok()) {
       Status wst =
-          WriteFile(metrics_json, engine.profile().ToMetricsJson());
+          idlog::FlightRecorder::Instance().Dump(flight_dump_path);
       if (!wst.ok()) {
         std::fprintf(stderr, "error: %s\n", wst.ToString().c_str());
         if (code == 0) code = 1;
@@ -604,6 +680,9 @@ int RunBatch(int argc, char** argv) {
     }
     if (profile) {
       std::printf("%s", engine.profile().ToTable().c_str());
+    }
+    if (db_stats) {
+      std::printf("%s", engine.DbStatsText().c_str());
     }
     return code;
   };
@@ -899,7 +978,9 @@ int main(int argc, char** argv) {
                  " [--metrics-json FILE]\n"
                  "           [--checkpoint FILE]"
                  " [--checkpoint-every-rounds N] [--resume FILE]"
-                 " [--fail-at SITE:N[:throw]]\n",
+                 " [--fail-at SITE:N[:throw]]\n"
+                 "           [--db-stats] [--db-stats-json FILE]"
+                 " [--flight-recorder FILE] [--flight-events N]\n",
                  argv[0], argv[0]);
     return 2;
   }
