@@ -33,6 +33,11 @@ const std::vector<std::string>& Failpoints::Catalog() {
           "store.write.fsync",       // temp-file fsync
           "store.write.open",        // temp-file creation
           "store.write.rename",      // atomic rename into place
+          "wal.append",              // WAL record append to the buffer
+          "wal.commit",              // commit-mark append (the COMMIT record)
+          "wal.fsync",               // WAL fsync of a committed group
+          "wal.replay.decode",       // per-record decode during recovery
+          "wal.rotate",              // fresh-epoch header rename on rotation
       };
   return *catalog;
 }

@@ -129,7 +129,7 @@ SnapshotConfig IdlogEngine::CurrentConfig() const {
   return config;
 }
 
-std::string IdlogEngine::SerializeCurrentState(
+SnapshotView IdlogEngine::CurrentView(
     const SnapshotProgress& progress) const {
   SnapshotView view;
   view.symbols = &symbols_;
@@ -143,7 +143,12 @@ std::string IdlogEngine::SerializeCurrentState(
   view.provenance = provenance_ ? &impl_->provenance() : nullptr;
   view.config = CurrentConfig();
   view.progress = progress;
-  return SerializeSnapshot(view);
+  return view;
+}
+
+std::string IdlogEngine::SerializeCurrentState(
+    const SnapshotProgress& progress) const {
+  return SerializeSnapshot(CurrentView(progress));
 }
 
 Status IdlogEngine::OnCheckpointFrame(
@@ -227,20 +232,19 @@ Status IdlogEngine::RestoreAssigner(const SnapshotConfig& config) {
   return assigner_->RestoreState(config.assigner_state);
 }
 
-Status IdlogEngine::ResumeFromCheckpoint(const std::string& path) {
-  if (impl_ != nullptr || symbols_.size() != 0 ||
-      !database_.relation_names().empty()) {
-    return Status::InvalidArgument(
-        "ResumeFromCheckpoint() needs a fresh engine: no program loaded "
-        "and an empty database");
-  }
-  IDLOG_ASSIGN_OR_RETURN(SnapshotData snap, LoadSnapshotFile(path));
+Status IdlogEngine::AdoptSnapshot(SnapshotData snap) {
   symbols_ = snap.symbols;
   for (const SnapshotData::NamedRelation& nr : snap.edb) {
     IDLOG_RETURN_NOT_OK(database_.CreateRelation(nr.name, nr.relation.type()));
     for (const Tuple& t : nr.relation.tuples()) {
       IDLOG_RETURN_NOT_OK(database_.AddTuple(nr.name, t));
     }
+    // The snapshot's logical counters survive the round trip; the
+    // re-insertion loop above advanced them from zero, so restore the
+    // recorded values for db-stats equivalence.
+    IDLOG_ASSIGN_OR_RETURN(Relation * rel, database_.GetMutable(nr.name));
+    rel->RestoreCounters(nr.relation.version(),
+                         nr.relation.clear_generation());
   }
   for (SymbolId id : snap.u_domain) database_.AddDomainConstant(id);
   // Fixpoint-content switches come from the snapshot (they change what
@@ -251,6 +255,17 @@ Status IdlogEngine::ResumeFromCheckpoint(const std::string& path) {
   pending_resume_ = std::make_unique<SnapshotData>(std::move(snap));
   ran_ = false;
   return Status::OK();
+}
+
+Status IdlogEngine::ResumeFromCheckpoint(const std::string& path) {
+  if (impl_ != nullptr || symbols_.size() != 0 ||
+      !database_.relation_names().empty()) {
+    return Status::InvalidArgument(
+        "ResumeFromCheckpoint() needs a fresh engine: no program loaded "
+        "and an empty database");
+  }
+  IDLOG_ASSIGN_OR_RETURN(SnapshotData snap, LoadSnapshotFile(path));
+  return AdoptSnapshot(std::move(snap));
 }
 
 Status IdlogEngine::Run() {
@@ -328,6 +343,463 @@ Status IdlogEngine::Run() {
     return WriteFileAtomic(checkpoint_path_, SerializeCurrentState(done));
   }
   return Status::OK();
+}
+
+namespace {
+
+/// Session tuples travel through the WAL with symbols as names, so a
+/// log outlives any particular symbol-table numbering.
+std::vector<WalValue> ToWalValues(const Tuple& t,
+                                  const SymbolTable& symbols) {
+  std::vector<WalValue> out;
+  out.reserve(t.size());
+  for (const Value& v : t) {
+    if (v.is_symbol()) {
+      out.push_back(WalValue::Symbol(symbols.NameOf(v.symbol())));
+    } else {
+      out.push_back(WalValue::Number(v.number()));
+    }
+  }
+  return out;
+}
+
+Tuple FromWalValues(const std::vector<WalValue>& values,
+                    SymbolTable* symbols) {
+  Tuple t;
+  t.reserve(values.size());
+  for (const WalValue& v : values) {
+    if (v.is_symbol) {
+      t.push_back(Value::Symbol(symbols->Intern(v.symbol)));
+    } else {
+      t.push_back(Value::Number(v.number));
+    }
+  }
+  return t;
+}
+
+/// Sort/arity check against an existing relation, done at staging time
+/// so nothing invalid is ever appended to the log.
+Status CheckTupleType(const std::string& pred, const Tuple& t,
+                      const Relation& rel) {
+  const RelationType& type = rel.type();
+  if (t.size() != type.size()) {
+    return Status::TypeError("tuple arity " + std::to_string(t.size()) +
+                             " does not match relation '" + pred + "' (" +
+                             std::to_string(type.size()) + ")");
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].sort() != type[i]) {
+      return Status::TypeError("sort mismatch at position " +
+                               std::to_string(i) + " of relation '" + pred +
+                               "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status IdlogEngine::AttachWal(const std::string& path,
+                              const WalOptions& options) {
+  if (impl_ == nullptr) {
+    return Status::InvalidArgument("no program loaded");
+  }
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("a WAL is already attached");
+  }
+  IDLOG_RETURN_NOT_OK(Run());
+  if (!last_trip_.ok()) {
+    return Status::InvalidArgument(
+        "cannot start a durable session over a tripped (partial) run");
+  }
+  wal_path_ = path;
+  wal_options_ = options;
+  wal_commits_ = 0;
+  wal_commits_replayed_ = 0;
+  wal_failed_ = false;
+  IDLOG_RETURN_NOT_OK(
+      WriteSessionSnapshot(/*epoch=*/1, /*offset=*/kWalHeaderSize));
+  IDLOG_ASSIGN_OR_RETURN(
+      wal_, WriteAheadLog::Create(path, /*epoch=*/1, program_hash_,
+                                  options.group_commit_every));
+  return Status::OK();
+}
+
+Status IdlogEngine::Begin() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "no durable session: AttachWal() or CompleteRecovery() first");
+  }
+  if (wal_failed_) {
+    return Status::Internal(
+        "the session's log is in an unknown state after a write failure; "
+        "recover from the WAL");
+  }
+  if (in_txn_) {
+    return Status::InvalidArgument("a transaction is already open");
+  }
+  in_txn_ = true;
+  txn_ops_.clear();
+  return Status::OK();
+}
+
+Status IdlogEngine::Insert(const std::string& pred, Tuple t) {
+  if (!in_txn_) {
+    return Status::InvalidArgument("no open transaction; Begin() first");
+  }
+  if (impl_->idb_preds().count(pred) > 0) {
+    return Status::InvalidArgument(
+        "'" + pred +
+        "' is derived by rules; sessions mutate EDB predicates only");
+  }
+  Result<const Relation*> rel = database_.Get(pred);
+  if (rel.ok()) {
+    IDLOG_RETURN_NOT_OK(CheckTupleType(pred, t, **rel));
+  }
+  PendingOp op;
+  op.retract = false;
+  op.pred = pred;
+  op.tuple = std::move(t);
+  txn_ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status IdlogEngine::Retract(const std::string& pred, Tuple t) {
+  if (!in_txn_) {
+    return Status::InvalidArgument("no open transaction; Begin() first");
+  }
+  if (impl_->idb_preds().count(pred) > 0) {
+    return Status::InvalidArgument(
+        "'" + pred +
+        "' is derived by rules; sessions mutate EDB predicates only");
+  }
+  Result<const Relation*> rel = database_.Get(pred);
+  if (rel.ok()) {
+    IDLOG_RETURN_NOT_OK(CheckTupleType(pred, t, **rel));
+  }
+  PendingOp op;
+  op.retract = true;
+  op.pred = pred;
+  op.tuple = std::move(t);
+  txn_ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status IdlogEngine::Commit() {
+  if (!in_txn_) {
+    return Status::InvalidArgument("no open transaction; Begin() first");
+  }
+  if (wal_failed_) {
+    return Status::Internal(
+        "the session's log is in an unknown state after a write failure; "
+        "recover from the WAL");
+  }
+  const uint64_t txn_id = wal_commits_ + 1;
+  if (!wal_replaying_) {
+    // Durability first: the transaction reaches the log (and, per
+    // group_commit_every, the disk) before any state changes. A crash
+    // after this block replays the transaction; a crash inside it
+    // leaves an uncommitted tail the recovery scan drops.
+    Status logged = wal_->AppendBegin(txn_id);
+    for (const PendingOp& op : txn_ops_) {
+      if (!logged.ok()) break;
+      std::vector<WalValue> values = ToWalValues(op.tuple, symbols_);
+      logged = op.retract ? wal_->AppendRetract(op.pred, values)
+                          : wal_->AppendInsert(op.pred, values);
+    }
+    if (logged.ok()) logged = wal_->AppendCommit(txn_id);
+    if (!logged.ok()) {
+      wal_failed_ = true;
+      return logged;
+    }
+  }
+  IDLOG_RETURN_NOT_OK(ApplyCommittedOps());
+  in_txn_ = false;
+  txn_ops_.clear();
+  ++wal_commits_;
+  if (!wal_replaying_ && wal_options_.checkpoint_every_commits > 0 &&
+      wal_commits_ % wal_options_.checkpoint_every_commits == 0) {
+    return WalCheckpoint();
+  }
+  return Status::OK();
+}
+
+Status IdlogEngine::Abort() {
+  if (!in_txn_) {
+    return Status::InvalidArgument("no open transaction; Begin() first");
+  }
+  // Nothing was logged or applied: operations buffer until Commit(), so
+  // an abort is a pure in-memory discard and replay never sees it.
+  in_txn_ = false;
+  txn_ops_.clear();
+  return Status::OK();
+}
+
+Status IdlogEngine::ApplyCommittedOps() {
+  // Apply to the EDB, recording the insertions that are actually new:
+  // they are exactly the delta the incremental re-derivation seeds.
+  std::map<std::string, Relation> inserted;
+  bool any_retract = false;
+  for (const PendingOp& op : txn_ops_) {
+    if (op.retract) {
+      Result<bool> erased = database_.EraseTuple(op.pred, op.tuple);
+      if (!erased.ok()) {
+        // Retracting from a relation that never existed is a no-op,
+        // like retracting an absent tuple.
+        if (erased.status().code() == StatusCode::kNotFound) continue;
+        return erased.status();
+      }
+      if (*erased) {
+        any_retract = true;
+        auto it = inserted.find(op.pred);
+        if (it != inserted.end()) it->second.Erase(op.tuple);
+      }
+    } else {
+      Result<const Relation*> rel = database_.Get(op.pred);
+      const bool already = rel.ok() && (*rel)->Contains(op.tuple);
+      IDLOG_RETURN_NOT_OK(database_.AddTuple(op.pred, Tuple(op.tuple)));
+      if (!already) {
+        IDLOG_ASSIGN_OR_RETURN(const Relation* now,
+                               database_.Get(op.pred));
+        Relation& acc =
+            inserted.try_emplace(op.pred, Relation(now->type()))
+                .first->second;
+        acc.Insert(op.tuple);
+      }
+    }
+  }
+  last_commit_incremental_ = false;
+  if (any_retract) {
+    // Retraction is not monotone: recompute the model from the mutated
+    // EDB (see ROADMAP item 1 for the planned DRed-style alternative).
+    ran_ = false;
+    return Run();
+  }
+  bool effective = false;
+  for (const auto& [pred, rel] : inserted) {
+    (void)pred;
+    if (!rel.empty()) effective = true;
+  }
+  if (!effective) return ran_ ? Status::OK() : Run();
+  if (!ran_) {
+    // No model to extend (first evaluation still pending).
+    return Run();
+  }
+  Status st = impl_->EvaluateIncremental(inserted, seminaive_);
+  if (st.code() == StatusCode::kUnsupported) {
+    ran_ = false;
+    return Run();
+  }
+  if (st.ok()) last_commit_incremental_ = true;
+  return st;
+}
+
+Status IdlogEngine::WalCheckpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("no durable session to checkpoint");
+  }
+  if (in_txn_) {
+    return Status::InvalidArgument(
+        "cannot checkpoint inside a transaction");
+  }
+  if (wal_failed_) {
+    return Status::Internal(
+        "the session's log is in an unknown state after a write failure; "
+        "recover from the WAL");
+  }
+  IDLOG_RETURN_NOT_OK(Run());
+  // Snapshot first (atomically), then mark and rotate: every crash
+  // point leaves either the old pair or the new pair recoverable.
+  const uint64_t covered = wal_->offset();
+  IDLOG_RETURN_NOT_OK(WriteSessionSnapshot(wal_->epoch(), covered));
+  Status st = wal_->AppendCheckpointRef(covered, wal_path_ + ".snap");
+  if (st.ok()) st = wal_->Rotate(wal_->epoch() + 1);
+  if (!st.ok()) wal_failed_ = true;
+  return st;
+}
+
+Status IdlogEngine::WriteSessionSnapshot(uint64_t epoch, uint64_t offset) {
+  SnapshotProgress done;
+  done.completed = true;
+  done.stratum = impl_->stratification().num_strata;
+  SnapshotView view = CurrentView(done);
+  view.wal_pos.present = true;
+  view.wal_pos.epoch = epoch;
+  view.wal_pos.offset = offset;
+  view.wal_pos.commits = wal_commits_;
+  return WriteFileAtomic(wal_path_ + ".snap", SerializeSnapshot(view));
+}
+
+Status IdlogEngine::PrepareRecovery(const std::string& wal_path) {
+  if (impl_ != nullptr || symbols_.size() != 0 ||
+      !database_.relation_names().empty()) {
+    return Status::InvalidArgument(
+        "PrepareRecovery() needs a fresh engine: no program loaded and "
+        "an empty database");
+  }
+  auto rec = std::make_unique<RecoveryState>();
+  rec->wal_path = wal_path;
+  Result<WalScanResult> scan = ScanWal(wal_path);
+  if (scan.ok()) {
+    rec->scan = std::move(*scan);
+    rec->have_wal = true;
+  } else if (scan.status().code() != StatusCode::kNotFound) {
+    // Damaged header, future version, unreadable file: refuse loudly —
+    // only a missing file is a legitimate cold start.
+    return scan.status();
+  }
+  const std::string snap_path = wal_path + ".snap";
+  Result<SnapshotData> snap = LoadSnapshotFile(snap_path);
+  if (snap.ok()) {
+    if (!snap->wal_pos.present) {
+      return Status::InvalidArgument(
+          "snapshot at '" + snap_path +
+          "' carries no WAL position; it was not written by a durable "
+          "session");
+    }
+    rec->snap_pos = snap->wal_pos;
+    rec->have_snapshot = true;
+    IDLOG_RETURN_NOT_OK(AdoptSnapshot(std::move(*snap)));
+  } else if (snap.status().code() != StatusCode::kNotFound) {
+    return snap.status();
+  }
+  if (rec->have_wal && !rec->have_snapshot) {
+    return Status::InvalidArgument(
+        "WAL at '" + wal_path + "' has no base snapshot at '" + snap_path +
+        "'; the pair is written together — restore the snapshot or "
+        "remove the log");
+  }
+  pending_recovery_ = std::move(rec);
+  return Status::OK();
+}
+
+Status IdlogEngine::CompleteRecovery(const WalOptions& options) {
+  if (pending_recovery_ == nullptr) {
+    return Status::InvalidArgument(
+        "call PrepareRecovery() and load the program before "
+        "CompleteRecovery()");
+  }
+  if (impl_ == nullptr) {
+    return Status::InvalidArgument(
+        "load the session's program before CompleteRecovery()");
+  }
+  std::unique_ptr<RecoveryState> rec = std::move(pending_recovery_);
+  if (!rec->have_snapshot) {
+    // Nothing durable existed: recovery of a session that never got to
+    // disk is a fresh session.
+    return AttachWal(rec->wal_path, options);
+  }
+  uint64_t replay_from = 0;
+  if (rec->have_wal) {
+    if (rec->scan.program_hash != program_hash_) {
+      return Status::InvalidArgument(
+          "the WAL at '" + rec->wal_path +
+          "' was written under a different program (hash mismatch); "
+          "recover with the same program text the session ran");
+    }
+    if (rec->scan.epoch == rec->snap_pos.epoch) {
+      // Same epoch: the snapshot covers the log prefix before its
+      // recorded offset.
+      replay_from = rec->snap_pos.offset;
+    } else if (rec->scan.epoch == rec->snap_pos.epoch + 1) {
+      // The crash fell between a checkpoint's rotation and its next
+      // snapshot: the rotated log holds only post-snapshot records.
+      replay_from = 0;
+    } else {
+      return Status::InvalidArgument(
+          "WAL epoch " + std::to_string(rec->scan.epoch) +
+          " does not continue snapshot epoch " +
+          std::to_string(rec->snap_pos.epoch) +
+          "; the files are from different sessions");
+    }
+  }
+  IDLOG_RETURN_NOT_OK(Run());  // Adopts the snapshot's completed model.
+  IDLOG_RETURN_NOT_OK(RechargeGovernor());
+  wal_path_ = rec->wal_path;
+  wal_options_ = options;
+  wal_commits_ = rec->snap_pos.commits;
+  wal_commits_replayed_ = 0;
+  wal_failed_ = false;
+  if (rec->have_wal) {
+    // Truncate the torn tail durably and reopen for append before
+    // replaying, so a crash mid-replay leaves a clean committed prefix
+    // for the next recovery (which replays the same records again).
+    IDLOG_ASSIGN_OR_RETURN(
+        wal_, WriteAheadLog::OpenForAppend(rec->wal_path, rec->scan,
+                                           options.group_commit_every));
+    wal_replaying_ = true;
+    Status st = ReplayWal(rec->scan, replay_from);
+    wal_replaying_ = false;
+    IDLOG_RETURN_NOT_OK(st);
+  } else {
+    // The crash fell between the snapshot write and the log creation
+    // (or rotation): recreate the log at the snapshot's epoch.
+    IDLOG_ASSIGN_OR_RETURN(
+        wal_,
+        WriteAheadLog::Create(rec->wal_path, rec->snap_pos.epoch,
+                              program_hash_, options.group_commit_every));
+  }
+  return Status::OK();
+}
+
+Status IdlogEngine::ReplayWal(const WalScanResult& scan,
+                              uint64_t replay_from) {
+  for (const WalRecord& record : scan.records) {
+    if (record.offset < replay_from) continue;
+    switch (record.type) {
+      case WalRecordType::kBegin:
+        IDLOG_RETURN_NOT_OK(Begin());
+        break;
+      case WalRecordType::kInsert:
+        IDLOG_RETURN_NOT_OK(
+            Insert(record.pred, FromWalValues(record.values, &symbols_)));
+        break;
+      case WalRecordType::kRetract:
+        IDLOG_RETURN_NOT_OK(
+            Retract(record.pred, FromWalValues(record.values, &symbols_)));
+        break;
+      case WalRecordType::kCommit:
+        IDLOG_RETURN_NOT_OK(Commit());
+        ++wal_commits_replayed_;
+        break;
+      case WalRecordType::kCheckpointRef:
+        // The snapshot it references is the one being recovered (or an
+        // older, superseded one); nothing to apply.
+        break;
+    }
+  }
+  if (in_txn_) {
+    // Cannot happen: the scanner only returns records up to the last
+    // commit boundary. Defensive, so a future scanner bug cannot leave
+    // a half-open transaction behind.
+    in_txn_ = false;
+    txn_ops_.clear();
+    return Status::Internal("WAL replay ended inside a transaction");
+  }
+  return Status::OK();
+}
+
+Status IdlogEngine::RechargeGovernor() {
+  // Mirror exactly what the uninterrupted run charged: one tuple plus
+  // ApproxTupleBytes per derived fact and per materialized ID tuple,
+  // plus the provenance arena — so totals.memory_bytes and the dbstats
+  // governor block match byte-for-byte after recovery.
+  uint64_t tuples = 0;
+  uint64_t bytes = 0;
+  for (const auto& [name, rel] : impl_->derived()) {
+    (void)name;
+    tuples += rel.size();
+    bytes += rel.size() *
+             ApproxTupleBytes(static_cast<size_t>(rel.arity()));
+  }
+  for (const auto& [key, rel] : impl_->id_relations()) {
+    (void)key;
+    tuples += rel.size();
+    bytes += rel.size() * ApproxTupleBytes(rel.type().size());
+  }
+  bytes += impl_->provenance().approx_bytes();
+  if (tuples == 0 && bytes == 0) return Status::OK();
+  return governor_.OnDerived(tuples, bytes);
 }
 
 void IdlogEngine::DumpFlightRecorder() const {
@@ -591,6 +1063,11 @@ std::string IdlogEngine::MetricsJson() const {
   reg.SetGauge("db.approx_bytes",
                static_cast<int64_t>(db.total_approx_bytes()));
   reg.SetGauge("db.indexes", static_cast<int64_t>(db.total_indexes));
+  if (wal_ != nullptr) {
+    reg.SetGauge("wal.epoch", static_cast<int64_t>(wal_->epoch()));
+    reg.SetGauge("wal.commits", static_cast<int64_t>(wal_commits_));
+    reg.SetGauge("wal.bytes", static_cast<int64_t>(wal_->offset()));
+  }
   return reg.ToJson();
 }
 

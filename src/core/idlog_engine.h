@@ -16,6 +16,7 @@
 #include "storage/database.h"
 #include "storage/tid_assigner.h"
 #include "store/snapshot.h"
+#include "store/wal.h"
 
 namespace idlog {
 
@@ -126,7 +127,7 @@ class IdlogEngine {
   const Status& last_trip() const { return last_trip_; }
 
   /// Arms durable round-boundary checkpointing for subsequent Run()s:
-  /// at every fixpoint round boundary a consistent `idlog-snap-v1`
+  /// at every fixpoint round boundary a consistent `idlog-snap-v2`
   /// frame is serialized, and every `every_rounds`-th frame is written
   /// atomically to `path` (plus the last frame when a governor trips or
   /// the evaluation fails, and a final completed frame on success).
@@ -284,6 +285,94 @@ class IdlogEngine {
   /// physical). Superset of profile().ToMetricsJson().
   std::string MetricsJson() const;
 
+  // --- Durable update sessions (write-ahead fact log). -------------
+  //
+  // A session turns the engine into an updatable database: committed
+  // EDB insertions and retractions are made durable in an
+  // `idlog-wal-v1` log *before* they are applied, and insertions
+  // re-derive the model incrementally by seeding the semi-naive delta
+  // machinery instead of re-running the whole fixpoint. After a crash
+  // at any instant, PrepareRecovery + LoadProgramText +
+  // CompleteRecovery rebuild a state byte-identical (answers, db-stats
+  // JSON, provenance, WHY proofs) to a session that never crashed.
+
+  /// Knobs of a durable session; passed to AttachWal / CompleteRecovery.
+  struct WalOptions {
+    /// Fsync the log once per `group_commit_every` commits (default 1:
+    /// every commit is durable before Commit() returns). Larger values
+    /// trade the durability of the trailing group for fewer fsyncs; a
+    /// crash then loses at most the unsynced tail, never consistency.
+    uint64_t group_commit_every = 1;
+    /// Auto-checkpoint (snapshot + log rotation) every N commits.
+    /// 0 (default) checkpoints only on explicit WalCheckpoint() calls.
+    uint64_t checkpoint_every_commits = 0;
+  };
+
+  /// Starts a durable session: runs the program to its fixpoint, writes
+  /// the session's base snapshot to `path` + ".snap" and creates the
+  /// WAL at `path`. Requires a loaded program; fails if a WAL is
+  /// already attached. The snapshot and log are a pair — recovery
+  /// refuses one without the other.
+  Status AttachWal(const std::string& path, const WalOptions& options);
+  Status AttachWal(const std::string& path) {
+    return AttachWal(path, WalOptions());
+  }
+  bool wal_attached() const { return wal_ != nullptr; }
+
+  /// Opens an update transaction. Operations buffer in memory — the
+  /// model, the database and the log are untouched until Commit().
+  Status Begin();
+  /// Stages an EDB insertion/retraction. Predicates derived by rules
+  /// are refused (their contents are the program's, not the caller's);
+  /// sort/arity mismatches are refused here so nothing invalid is ever
+  /// logged. Requires an open transaction.
+  Status Insert(const std::string& pred, Tuple t);
+  Status Retract(const std::string& pred, Tuple t);
+  /// Makes the transaction durable (BEGIN..ops..COMMIT appended to the
+  /// WAL, fsynced per group_commit_every), applies it to the database,
+  /// and re-derives: pure insertions extend the model incrementally
+  /// (semi-naive seed rounds; falls back to a full re-run when the
+  /// change touches negation, ID-relations or `udom`), retractions
+  /// recompute from the EDB. Queries see the new model immediately.
+  Status Commit();
+  /// Discards the open transaction. Nothing was logged or applied.
+  Status Abort();
+  bool in_transaction() const { return in_txn_; }
+
+  /// Durably compacts the session: writes a fresh base snapshot
+  /// covering every commit so far, appends a CHECKPOINT-REF record and
+  /// rotates the log to a new epoch (records before the snapshot are
+  /// retired). Refused inside a transaction.
+  Status WalCheckpoint();
+
+  /// Stage one of crash recovery, on a *fresh* engine (no program,
+  /// empty database): loads the base snapshot next to `wal_path` (if
+  /// any) and scans the log's committed prefix, tolerating a torn tail.
+  /// The caller then loads the same program text the session ran
+  /// (guarded by a program hash) and calls CompleteRecovery(). With
+  /// nothing durable on disk, recovery degrades to a fresh AttachWal().
+  Status PrepareRecovery(const std::string& wal_path);
+
+  /// Stage two: validates the snapshot/log pairing (program hash,
+  /// epoch lineage), adopts the snapshot's model without re-evaluating,
+  /// truncates the log's torn tail durably, replays the committed
+  /// transactions beyond the snapshot through the normal commit path,
+  /// and reopens the log for append. Idempotent: recovering twice in a
+  /// row yields the same state and a second recovery replays nothing.
+  Status CompleteRecovery(const WalOptions& options);
+  Status CompleteRecovery() { return CompleteRecovery(WalOptions()); }
+
+  /// Committed transactions applied by this session so far — the base
+  /// snapshot's commits plus replayed and newly committed ones. Update
+  /// drivers use this to skip the prefix of a script that is already
+  /// durable.
+  uint64_t wal_commits() const { return wal_commits_; }
+  /// Transactions CompleteRecovery() replayed from the log tail.
+  uint64_t wal_commits_replayed() const { return wal_commits_replayed_; }
+  /// True when the last Commit() re-derived incrementally (seeded
+  /// delta rounds) rather than re-running the full fixpoint.
+  bool last_commit_incremental() const { return last_commit_incremental_; }
+
   /// Arms the crash black box: when a Run() returns a failure Status or
   /// trips a governor budget (partial-results mode included), the
   /// process-global FlightRecorder is dumped to `path` as
@@ -304,10 +393,26 @@ class IdlogEngine {
                                          const WhyBudget& budget);
   void DumpFlightRecorder() const;
   SnapshotConfig CurrentConfig() const;
+  SnapshotView CurrentView(const SnapshotProgress& progress) const;
   std::string SerializeCurrentState(const SnapshotProgress& progress) const;
   Status OnCheckpointFrame(const FixpointFrame& frame,
                            const std::map<std::string, Relation>& delta);
   Status RestoreAssigner(const SnapshotConfig& config);
+  /// Restores a decoded snapshot's symbols/EDB/config into this (fresh)
+  /// engine and stages the rest for the matching LoadProgram + Run.
+  Status AdoptSnapshot(SnapshotData snap);
+  /// Applies the buffered transaction to the database and re-derives
+  /// (incrementally when possible). Called after the WAL commit is
+  /// durable, and again — appends suppressed — during replay.
+  Status ApplyCommittedOps();
+  /// Writes the session snapshot to wal_path_ + ".snap" with a WAL
+  /// position of (epoch, offset, wal_commits_).
+  Status WriteSessionSnapshot(uint64_t epoch, uint64_t offset);
+  /// Charges the governor for an adopted snapshot's derived state, so
+  /// recovered sessions report the same totals.memory_bytes as the
+  /// session they replace.
+  Status RechargeGovernor();
+  Status ReplayWal(const WalScanResult& scan, uint64_t replay_from);
 
   SymbolTable symbols_;
   Database database_;
@@ -338,6 +443,36 @@ class IdlogEngine {
   uint64_t program_hash_ = 0;         ///< FNV-1a of the printed program.
   /// Decoded snapshot awaiting the matching LoadProgram + Run.
   std::unique_ptr<SnapshotData> pending_resume_;
+
+  // --- Durable-session state. ---
+  struct PendingOp {
+    bool retract = false;
+    std::string pred;
+    Tuple tuple;
+  };
+  /// Recovery staging between PrepareRecovery and CompleteRecovery.
+  struct RecoveryState {
+    std::string wal_path;
+    WalScanResult scan;
+    SnapshotWalPosition snap_pos;
+    bool have_wal = false;
+    bool have_snapshot = false;
+  };
+  std::unique_ptr<WriteAheadLog> wal_;  ///< Null: no session attached.
+  std::string wal_path_;
+  WalOptions wal_options_;
+  std::vector<PendingOp> txn_ops_;
+  bool in_txn_ = false;
+  bool wal_replaying_ = false;  ///< Suppresses appends during replay.
+  /// Latched on any log write failure: the append buffer's state is no
+  /// longer known to match the file, so further commits are refused and
+  /// the caller must recover from the WAL (the durable prefix is intact
+  /// — nothing before the failed write is ever rewritten).
+  bool wal_failed_ = false;
+  uint64_t wal_commits_ = 0;
+  uint64_t wal_commits_replayed_ = 0;
+  bool last_commit_incremental_ = false;
+  std::unique_ptr<RecoveryState> pending_recovery_;
 };
 
 }  // namespace idlog

@@ -383,6 +383,228 @@ Status EngineImpl::Evaluate(TidAssigner* assigner, bool seminaive) {
   return Status::OK();
 }
 
+Status EngineImpl::EvaluateIncremental(
+    const std::map<std::string, Relation>& changed, bool seminaive) {
+  if (!prepared_) {
+    return Status::InvalidArgument("Prepare() the engine before Evaluate()");
+  }
+  if (changed.empty()) return Status::OK();
+  if (!seminaive) {
+    return Status::Unsupported(
+        "incremental re-derivation needs the semi-naive fixpoint; naive "
+        "mode re-runs rules in full");
+  }
+  if (udom_needed_) {
+    return Status::Unsupported(
+        "the program reads the synthesized u-domain, which inserted "
+        "constants extend; re-evaluate in full");
+  }
+
+  // Taint closure over positive non-ID scans: every predicate whose
+  // contents can grow because of `changed`. ID-scans and negations do
+  // not propagate here because reading a tainted predicate through
+  // either is grounds for refusal below.
+  std::set<std::string> tainted;
+  for (const auto& [pred, rel] : changed) {
+    (void)rel;
+    if (idb_preds_.count(pred) > 0) {
+      return Status::Unsupported(
+          "'" + pred +
+          "' is a derived predicate; EDB changes to it are shadowed");
+    }
+    tainted.insert(pred);
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const RulePlan& plan : plans_) {
+      if (tainted.count(plan.head_pred) > 0) continue;
+      for (int step : plan.positive_scan_steps) {
+        if (tainted.count(
+                plan.steps[static_cast<size_t>(step)].predicate) > 0) {
+          tainted.insert(plan.head_pred);
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  for (const RulePlan& plan : plans_) {
+    for (const PlanStep& step : plan.steps) {
+      if (step.kind == PlanStep::Kind::kBuiltin) continue;
+      if (tainted.count(step.predicate) == 0) continue;
+      if (step.kind == PlanStep::Kind::kNegation) {
+        return Status::Unsupported(
+            "a rule negates '" + step.predicate +
+            "', which the change can grow; growth under negation is not "
+            "monotone");
+      }
+      if (step.is_id) {
+        return Status::Unsupported(
+            "a rule reads the ID-relation of '" + step.predicate +
+            "', which the change can grow; its tid assignment must be "
+            "re-materialized");
+      }
+    }
+  }
+
+  struct WallStamp {
+    EngineImpl* engine;
+    uint64_t base_ns;
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    ~WallStamp() {
+      uint64_t ns =
+          base_ns + static_cast<uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+      engine->stats_.eval_wall_ns = ns;
+      engine->stats_.provenance_nodes = engine->provenance_.size();
+      engine->stats_.provenance_premises =
+          engine->provenance_.num_premises();
+      engine->stats_.provenance_bytes = engine->provenance_.approx_bytes();
+      if (engine->profiling_) {
+        engine->profile_.wall_ns = ns;
+        engine->profile_.totals = engine->stats_;
+      }
+    }
+  } wall_stamp{this, stats_.eval_wall_ns};
+  TraceSpan eval_span(trace_, "evaluate incremental", "engine");
+  eval_span.AddArg(TraceArg::Num("changed_preds", changed.size()));
+
+  EvalContext ctx;
+  ctx.full = [this](const std::string& pred) { return FullRelation(pred); };
+  // Lookup-only: a completed run materialized (at each stratum's entry)
+  // every ID-relation its plans read, and the refusal above rules out
+  // tainted bases, so a miss is a broken invariant rather than work.
+  ctx.id_relation = [this](const std::string& pred,
+                           const std::vector<int>& group)
+      -> Result<const Relation*> {
+    auto it = id_relations_.find(std::make_pair(pred, group));
+    if (it == id_relations_.end()) {
+      return Status::Internal("ID-relation '" + pred +
+                              "' missing from the evaluated state");
+    }
+    return &it->second;
+  };
+  ctx.index_caches = &index_caches_;
+  ctx.stats = &stats_;
+  ctx.use_indexes = use_indexes_;
+  ctx.governor = governor_;
+  ctx.trace = trace_;
+  ctx.profile = profiling_ ? &profile_ : nullptr;
+  // EXPLAIN ANALYZE counters keep describing the last full run: the
+  // per-stratum round log is keyed by stratum index and an incremental
+  // pass would append duplicate entries.
+  ctx.analyze = nullptr;
+  if (threads_ > 1) {
+    if (pool_ == nullptr || pool_->size() != threads_) {
+      pool_ = std::make_unique<ThreadPool>(threads_);
+    }
+    ctx.pool = pool_.get();
+  } else {
+    pool_.reset();
+  }
+  ctx.delta_partitions = delta_partitions_;
+  GovernorScope governor_scope(governor_, &stats_, "incremental fixpoint");
+  if (provenance_enabled_) {
+    ctx.provenance = &provenance_;
+    ctx.symbols = database_->symbols();
+  }
+
+  // `seed` accumulates every externally-visible change as strata run:
+  // the EDB insertions up front, then each stratum's own growth, so a
+  // later stratum differentiates on everything below it at once.
+  std::map<std::string, Relation> seed = changed;
+  std::set<std::string> seed_preds = tainted;  // includes downstream IDBs
+  for (int s = 0; s < strat_.num_strata; ++s) {
+    std::vector<const RulePlan*> stratum_plans;
+    std::set<std::string> stratum_preds;
+    bool touches_seed = false;
+    for (int clause_idx : strat_.clauses_by_stratum[static_cast<size_t>(s)]) {
+      const RulePlan& plan = plans_[static_cast<size_t>(clause_idx)];
+      stratum_plans.push_back(&plan);
+      stratum_preds.insert(plan.head_pred);
+      for (int step : plan.positive_scan_steps) {
+        if (seed.count(plan.steps[static_cast<size_t>(step)].predicate) >
+            0) {
+          touches_seed = true;
+        }
+      }
+    }
+    // A stratum none of whose rules scans a changed predicate derives
+    // exactly what it already derived; skip it without charging rounds.
+    if (!touches_seed) continue;
+    ++stats_.strata_evaluated;
+    ctx.stratum = s;
+    TraceSpan stratum_span(trace_,
+                           "incremental stratum " + std::to_string(s),
+                           "stratum");
+    uint64_t rounds_before = stats_.iterations;
+    const uint64_t inserted_before = stats_.facts_inserted;
+    auto stratum_t0 = std::chrono::steady_clock::now();
+    if (governor_ != nullptr) {
+      governor_->set_stratum(s);
+      IDLOG_RETURN_NOT_OK(governor_->CheckPoint(0));
+    }
+    // Collect this stratum's growth into the seed for the strata above.
+    RoundBoundaryHook accumulate =
+        [&seed, &seed_preds](uint64_t round, bool fixpoint,
+                             const std::map<std::string, Relation>& delta)
+        -> Status {
+      (void)round;
+      (void)fixpoint;
+      for (const auto& [pred, rel] : delta) {
+        Relation& acc =
+            seed.try_emplace(pred, Relation(rel.type())).first->second;
+        for (const Tuple& t : rel.tuples()) acc.Insert(t);
+        seed_preds.insert(pred);
+      }
+      return Status::OK();
+    };
+    StratumResume seeded;
+    seeded.round = 0;  // Round 0 is the completed run; start at round 1.
+    seeded.delta = seed;
+    Status stratum_status =
+        EvaluateStratum(stratum_plans, stratum_preds, ctx, &derived_,
+                        /*seminaive=*/true, &seeded, accumulate,
+                        &seed_preds);
+    if (profiling_) {
+      // Fold into the stratum's existing profile row (metrics are keyed
+      // by stratum index; a duplicate row would collide).
+      uint64_t wall = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - stratum_t0)
+              .count());
+      bool found = false;
+      for (StratumProfile& sp : profile_.strata) {
+        if (sp.index == s) {
+          sp.rounds += stats_.iterations - rounds_before;
+          sp.wall_ns += wall;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        StratumProfile sp;
+        sp.index = s;
+        sp.rules = stratum_plans.size();
+        sp.rounds = stats_.iterations - rounds_before;
+        sp.wall_ns = wall;
+        profile_.strata.push_back(sp);
+      }
+    }
+    stratum_span.AddArg(TraceArg::Num("rules", stratum_plans.size()));
+    stratum_span.AddArg(
+        TraceArg::Num("rounds", stats_.iterations - rounds_before));
+    stratum_span.AddArg(
+        TraceArg::Num("inserted", stats_.facts_inserted - inserted_before));
+    IDLOG_RETURN_NOT_OK(stratum_status);
+  }
+  return Status::OK();
+}
+
 Result<const Relation*> EngineImpl::RelationOf(const std::string& pred) const {
   const Relation* rel = FullRelation(pred);
   if (rel == nullptr) {

@@ -81,6 +81,29 @@ class EngineImpl {
   /// fixpoint (ablation only).
   Status Evaluate(TidAssigner* assigner, bool seminaive = true);
 
+  /// Extends the model of a *completed* Evaluate() in place after new
+  /// EDB facts were inserted, without re-running the full fixpoint:
+  /// `changed` maps each mutated predicate to a relation holding only
+  /// the tuples that are actually new, and every stratum runs a seeded
+  /// semi-naive continuation (no round 0) whose first round
+  /// differentiates on those deltas. Stats, profile and provenance
+  /// accumulate on top of the previous run's; nothing is cleared.
+  ///
+  /// Returns Unsupported — leaving all state untouched, so the caller
+  /// can fall back to a full Evaluate() — when the change cannot be
+  /// bolted on monotonically: naive mode, a program that reads the
+  /// synthesized `udom` (new constants extend it), or any negation /
+  /// ID-relation step over a predicate in the taint closure of
+  /// `changed` (ID-relations are materialized from their base's old
+  /// contents, and negation makes growth non-monotone).
+  Status EvaluateIncremental(const std::map<std::string, Relation>& changed,
+                             bool seminaive);
+
+  /// The IDB predicate set of the loaded program (valid after
+  /// Prepare()); EDB mutations against these are shadowed by derived
+  /// relations, so durable sessions refuse them up front.
+  const std::set<std::string>& idb_preds() const { return idb_preds_; }
+
   /// Adopts checkpointed evaluation state: the derived/ID-relations,
   /// stats and observability counters become current immediately (so a
   /// completed snapshot is queryable without evaluating), and the next

@@ -50,7 +50,8 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
                        std::map<std::string, Relation>* derived,
                        bool seminaive,
                        StratumResume* resume,
-                       const RoundBoundaryHook& on_round) {
+                       const RoundBoundaryHook& on_round,
+                       const std::set<std::string>* seed_preds) {
   std::map<std::string, Relation> delta;
   uint64_t round = 0;
   const bool resuming = resume != nullptr;
@@ -60,6 +61,15 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     // full relations) already ran before the frame was cut.
     delta = std::move(resume->delta);
     round = resume->round;
+  }
+  // An incremental seed widens the *first* differentiated round to the
+  // externally-changed predicates; afterwards only intra-stratum deltas
+  // exist and the filter narrows back to stratum_preds.
+  std::set<std::string> seed_filter;
+  bool first_seeded_round = resuming && seed_preds != nullptr;
+  if (first_seeded_round) {
+    seed_filter = stratum_preds;
+    seed_filter.insert(seed_preds->begin(), seed_preds->end());
   }
 
   EvalContext ctx = base_ctx;
@@ -432,13 +442,16 @@ Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
     TraceSpan round_span(ctx.trace, "fixpoint round", "fixpoint");
     round_span.AddArg(TraceArg::Int("stratum", ctx.stratum));
     round_span.AddArg(TraceArg::Num("round", round));
+    const std::set<std::string>& round_filter =
+        first_seeded_round ? seed_filter : stratum_preds;
+    first_seeded_round = false;
     std::vector<RoundTask> tasks;
     for (const RulePlan* plan : plans) {
       if (seminaive) {
         for (int step : plan->positive_scan_steps) {
           const std::string& pred =
               plan->steps[static_cast<size_t>(step)].predicate;
-          if (stratum_preds.count(pred) == 0) continue;
+          if (round_filter.count(pred) == 0) continue;
           RoundTask task;
           task.plan = plan;
           task.delta_step = step;

@@ -50,13 +50,24 @@ using RoundBoundaryHook = std::function<Status(
 /// starting at round 0 (the caller must have restored `derived` to the
 /// matching round boundary); it is consumed (the delta is moved out).
 /// `on_round`, when set, observes every round boundary.
+///
+/// `seed_preds`, when set (requires `resume` and semi-naive mode),
+/// marks the resume delta as an *incremental seed*: predicates changed
+/// outside this stratum (EDB insertions, lower-stratum growth) rather
+/// than a checkpointed intra-stratum delta. The first differentiated
+/// round then also creates tasks for positive scans over those
+/// predicates — they are not in `stratum_preds`, so the normal filter
+/// would never touch their deltas — and later rounds narrow back to the
+/// intra-stratum filter (external predicates are complete; only this
+/// stratum's own growth keeps propagating).
 Status EvaluateStratum(const std::vector<const RulePlan*>& plans,
                        const std::set<std::string>& stratum_preds,
                        const EvalContext& base_ctx,
                        std::map<std::string, Relation>* derived,
                        bool seminaive,
                        StratumResume* resume = nullptr,
-                       const RoundBoundaryHook& on_round = nullptr);
+                       const RoundBoundaryHook& on_round = nullptr,
+                       const std::set<std::string>* seed_preds = nullptr);
 
 }  // namespace idlog
 

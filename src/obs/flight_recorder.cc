@@ -27,6 +27,10 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kGovernorMemory: return "governor-memory";
     case FlightEventKind::kFailpointHit: return "failpoint-hit";
     case FlightEventKind::kTrip: return "trip";
+    case FlightEventKind::kWalAppend: return "wal-append";
+    case FlightEventKind::kWalFsync: return "wal-fsync";
+    case FlightEventKind::kWalReplay: return "wal-replay";
+    case FlightEventKind::kWalRotate: return "wal-rotate";
   }
   return "unknown";
 }

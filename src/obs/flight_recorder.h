@@ -26,6 +26,11 @@ namespace idlog {
 ///   kFailpointHit     label=site, a=hit count, b=1 iff this hit fired
 ///   kTrip             label=budget kind, a=tuples charged, b=bytes charged,
 ///                     c=stratum
+///   kWalAppend        label=record type name, a=payload bytes, b=txn id
+///   kWalFsync         label="commit", a=records in the synced group,
+///                     b=file bytes after the sync
+///   kWalReplay        label=record type name, a=file offset, b=txn id
+///   kWalRotate        label="rotate", a=new epoch, b=bytes retired
 enum class FlightEventKind : uint8_t {
   kRunStart = 0,
   kRunEnd,
@@ -37,6 +42,10 @@ enum class FlightEventKind : uint8_t {
   kGovernorMemory,
   kFailpointHit,
   kTrip,
+  kWalAppend,
+  kWalFsync,
+  kWalReplay,
+  kWalRotate,
 };
 
 /// Stable dump name of a kind ("run-start", "round-commit", ...).

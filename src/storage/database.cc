@@ -49,6 +49,14 @@ Status Database::AddTuple(const std::string& name, Tuple t) {
   return it->second.InsertChecked(std::move(t));
 }
 
+Result<bool> Database::EraseTuple(const std::string& name, const Tuple& t) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation '" + name + "'");
+  }
+  return it->second.Erase(t);
+}
+
 Status Database::AddRow(const std::string& name,
                         const std::vector<std::string>& fields) {
   Tuple t;

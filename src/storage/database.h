@@ -49,6 +49,12 @@ class Database {
   /// the rest as sort-u symbols.
   Status AddRow(const std::string& name, const std::vector<std::string>& fields);
 
+  /// Removes one tuple from an existing relation; true if it was
+  /// present. The u-domain is deliberately NOT shrunk: the paper's
+  /// database pairs relations with a domain D that may exceed the
+  /// active domain, and retractions never retroactively narrow D.
+  Result<bool> EraseTuple(const std::string& name, const Tuple& t);
+
   /// Registers an extra u-domain constant not present in any tuple.
   void AddDomainConstant(SymbolId id) { u_domain_.insert(id); }
 

@@ -39,6 +39,16 @@ Status Relation::InsertChecked(Tuple t) {
   return Status::OK();
 }
 
+bool Relation::Erase(const Tuple& t) {
+  auto it = set_.find(t);
+  if (it == set_.end()) return false;
+  rows_.erase(std::find(rows_.begin(), rows_.end(), t));
+  set_.erase(it);
+  ++version_;
+  ++clear_generation_;
+  return true;
+}
+
 void Relation::Clear() {
   rows_.clear();
   set_.clear();

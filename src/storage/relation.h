@@ -82,8 +82,23 @@ class Relation {
   /// (the rows at those positions are different tuples now).
   uint64_t clear_generation() const { return clear_generation_; }
 
+  /// Removes one tuple; returns true if it was present. Bumps the
+  /// version *and* the clear generation: erasure breaks the "rows only
+  /// grow within a generation" contract that incremental index refresh
+  /// relies on, so indexes built earlier must rebuild from scratch.
+  bool Erase(const Tuple& t);
+
   /// Removes all tuples.
   void Clear();
+
+  /// Overwrites the change counters. Snapshot decode only: a relation
+  /// rebuilt from its serialized rows must report the same logical
+  /// version / clear generation as the live relation it was cut from,
+  /// or recovered db-stats would disagree with an uninterrupted run.
+  void RestoreCounters(uint64_t version, uint64_t clear_generation) {
+    version_ = version;
+    clear_generation_ = clear_generation;
+  }
 
   /// Returns the tuples as a sorted vector (value order) — a canonical
   /// form for set comparison in tests.

@@ -3,11 +3,10 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 #include "common/failpoint.h"
 
@@ -47,9 +46,15 @@ Status WriteAll(int fd, std::string_view data, const std::string& path) {
 Status WriteFileAtomic(const std::string& path, std::string_view data) {
   // The temporary lives in the target's directory so the rename below
   // cannot cross filesystems; the pid keeps concurrent processes from
-  // clobbering each other's temporaries.
+  // clobbering each other's temporaries, and the process-wide counter
+  // keeps concurrent *threads* of this process apart (a pid-only suffix
+  // let two threads writing the same path truncate each other's
+  // temporary mid-write).
+  static std::atomic<uint64_t> write_seq{0};
   const std::string tmp =
-      path + "." + std::to_string(static_cast<long>(::getpid())) + ".tmp";
+      path + "." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(write_seq.fetch_add(1, std::memory_order_relaxed)) +
+      ".tmp";
   auto fail = [&tmp](Status st) {
     ::unlink(tmp.c_str());
     return st;
@@ -95,12 +100,33 @@ Status WriteFileAtomic(const std::string& path, std::string_view data) {
 
 Status ReadFileToString(const std::string& path, std::string* out) {
   IDLOG_FAILPOINT("store.read.open");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (in.bad()) return Status::Internal("read of '" + path + "' failed");
-  *out = buf.str();
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    // Only a genuinely missing file is NotFound — callers use that to
+    // mean "cold start, nothing durable yet". Any other open failure
+    // (EACCES, EIO, ELOOP, ...) means the file may exist but cannot be
+    // trusted to be absent, so it must surface as an error, not as an
+    // invitation to start over and clobber it.
+    if (errno == ENOENT) {
+      return Status::NotFound("cannot open '" + path + "': " +
+                              std::strerror(ENOENT));
+    }
+    return Status::Internal(Errno("open", path));
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Status::Internal(Errno("read", path));
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
   return Status::OK();
 }
 

@@ -19,8 +19,10 @@ namespace idlog {
 /// On any failure the temporary is removed and `path` is untouched.
 Status WriteFileAtomic(const std::string& path, std::string_view data);
 
-/// Reads the whole of `path` into `out`. NotFound if it cannot be
-/// opened, Internal on a short read.
+/// Reads the whole of `path` into `out`. NotFound only when the file
+/// does not exist (ENOENT); any other open or read failure (EACCES,
+/// EIO, ...) is Internal, so callers can tell "nothing durable yet"
+/// from "durable state present but unreadable".
 Status ReadFileToString(const std::string& path, std::string* out);
 
 /// CRC-32 (IEEE 802.3, the zlib polynomial) of `data`, seeded with

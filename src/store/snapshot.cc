@@ -21,6 +21,7 @@ constexpr uint32_t kSectionDelta = 6;
 constexpr uint32_t kSectionAnalysis = 7;
 constexpr uint32_t kSectionProfile = 8;
 constexpr uint32_t kSectionDeriv = 9;
+constexpr uint32_t kSectionWalPos = 10;
 
 const char* SectionName(uint32_t tag) {
   switch (tag) {
@@ -34,6 +35,7 @@ const char* SectionName(uint32_t tag) {
     case kSectionAnalysis: return "ANALYSIS";
     case kSectionProfile: return "PROFILE";
     case kSectionDeriv: return "DERIV";
+    case kSectionWalPos: return "WALPOS";
     default: return "?";
   }
 }
@@ -81,6 +83,10 @@ void PutRelation(std::string* out, const Relation& rel) {
   // bucket order both follow it, so a resumed run must reproduce it.
   PutU64(out, rel.size());
   for (const Tuple& t : rel.tuples()) PutTuple(out, t);
+  // Logical change counters: db-stats reports them, so a recovered run
+  // must see the same values an uninterrupted one would.
+  PutU64(out, rel.version());
+  PutU64(out, rel.clear_generation());
 }
 
 void PutStats(std::string* out, const EvalStats& s) {
@@ -247,6 +253,17 @@ Status ReadRelation(Reader* r, size_t num_symbols, Relation* out) {
                                      r->where + " contains duplicate tuples");
     }
   }
+  uint64_t version = 0;
+  uint64_t clear_generation = 0;
+  IDLOG_RETURN_NOT_OK(r->U64(&version));
+  IDLOG_RETURN_NOT_OK(r->U64(&clear_generation));
+  if (version < nrows) {
+    return Status::InvalidArgument(
+        "snapshot corrupt: section " + r->where + " claims version " +
+        std::to_string(version) + " below its own row count " +
+        std::to_string(nrows));
+  }
+  out->RestoreCounters(version, clear_generation);
   return Status::OK();
 }
 
@@ -520,6 +537,15 @@ std::string SerializeSnapshot(const SnapshotView& view) {
     PutSection(&out, kSectionDeriv, der);
   }
 
+  {
+    std::string wal;
+    PutU8(&wal, view.wal_pos.present ? 1 : 0);
+    PutU64(&wal, view.wal_pos.epoch);
+    PutU64(&wal, view.wal_pos.offset);
+    PutU64(&wal, view.wal_pos.commits);
+    PutSection(&out, kSectionWalPos, wal);
+  }
+
   PutSection(&out, kSectionEnd, std::string());
   return out;
 }
@@ -588,7 +614,7 @@ Result<SnapshotData> ParseSnapshot(std::string_view bytes) {
     pos += 12 + len + 4;
 
     if (tag == kSectionEnd) {
-      if (expected_tag <= kSectionDeriv) {
+      if (expected_tag <= kSectionWalPos) {
         return Status::InvalidArgument(
             "snapshot corrupt: END before section " +
             std::string(SectionName(expected_tag)));
@@ -852,6 +878,15 @@ Result<SnapshotData> ParseSnapshot(std::string_view bytes) {
                 clause_index, std::move(premises));
           }
         }
+        break;
+      }
+      case kSectionWalPos: {
+        uint8_t present = 0;
+        IDLOG_RETURN_NOT_OK(r.U8(&present));
+        snap.wal_pos.present = present != 0;
+        IDLOG_RETURN_NOT_OK(r.U64(&snap.wal_pos.epoch));
+        IDLOG_RETURN_NOT_OK(r.U64(&snap.wal_pos.offset));
+        IDLOG_RETURN_NOT_OK(r.U64(&snap.wal_pos.commits));
         break;
       }
       default:

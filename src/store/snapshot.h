@@ -20,23 +20,29 @@
 
 namespace idlog {
 
-/// The `idlog-snap-v1` binary checkpoint format.
+/// The `idlog-snap-v2` binary checkpoint format.
 ///
 /// Layout: an 8-byte magic ("IDLGSNAP"), a little-endian u32 version,
 /// then a sequence of sections `[tag u32][len u64][payload][crc32]`
 /// where the CRC covers tag, length and payload, closed by an END
 /// section (tag 0, empty). Sections appear in a fixed order (META,
 /// SYMBOLS, DATABASE, DERIVED, IDRELS, DELTA, ANALYSIS, PROFILE, DERIV,
-/// END);
+/// WALPOS, END);
 /// any reordering, truncation, bit flip or trailing garbage is rejected
 /// with a precise error naming the damage. Snapshot files are written
 /// only through WriteFileAtomic, so a crash mid-write can never leave a
 /// torn file at the target path. DERIV carries the provenance store
 /// (absent unless provenance was enabled), so a resumed run can still
-/// explain facts derived before the crash.
+/// explain facts derived before the crash. WALPOS records how far into
+/// a write-ahead log (store/wal.h) this snapshot's state reaches, so
+/// recovery replays only the WAL tail beyond it.
+///
+/// v2 over v1: each serialized relation additionally carries its
+/// logical version and clear-generation counters (db-stats fields that
+/// must survive a round trip), and the WALPOS section exists.
 constexpr char kSnapshotMagic[8] = {'I', 'D', 'L', 'G',
                                     'S', 'N', 'A', 'P'};
-constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kSnapshotVersion = 2;
 
 /// Run configuration captured at save time. A resumed run adopts these
 /// (they change fixpoint *content*, unlike --jobs which is physical),
@@ -49,6 +55,16 @@ struct SnapshotConfig {
   bool use_indexes = true;
   std::string assigner_kind;   ///< TidAssigner::kind() at save time.
   std::string assigner_state;  ///< TidAssigner::SaveState() at save time.
+};
+
+/// How much of a write-ahead log the snapshot's state already covers.
+/// Absent (present=false) for plain checkpoint/resume snapshots that
+/// have no WAL attached.
+struct SnapshotWalPosition {
+  bool present = false;
+  uint64_t epoch = 0;    ///< WAL header epoch the offset refers to.
+  uint64_t offset = 0;   ///< Byte offset: records before it are covered.
+  uint64_t commits = 0;  ///< Committed transactions folded into the state.
 };
 
 /// Where in the stratified fixpoint the snapshot was taken. Frames are
@@ -76,6 +92,7 @@ struct SnapshotView {
   const ProvenanceStore* provenance = nullptr;  ///< May be null.
   SnapshotConfig config;
   SnapshotProgress progress;
+  SnapshotWalPosition wal_pos;
 };
 
 /// A fully decoded snapshot, owning its state.
@@ -100,9 +117,10 @@ struct SnapshotData {
   ProvenanceStore provenance;
   SnapshotConfig config;
   SnapshotProgress progress;
+  SnapshotWalPosition wal_pos;
 };
 
-/// Serializes `view` into an idlog-snap-v1 byte string.
+/// Serializes `view` into an idlog-snap-v2 byte string.
 std::string SerializeSnapshot(const SnapshotView& view);
 
 /// Decodes a snapshot byte string, checking magic, version, section

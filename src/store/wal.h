@@ -1,0 +1,212 @@
+#ifndef IDLOG_STORE_WAL_H_
+#define IDLOG_STORE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idlog {
+
+/// The `idlog-wal-v1` write-ahead log format.
+///
+/// Layout: a fixed 32-byte header — magic "IDLGWAL1", a little-endian
+/// u32 version, a u64 epoch, a u64 program hash, and a CRC-32 of the
+/// preceding 28 bytes — followed by a stream of length-prefixed
+/// records `[len u32][crc u32][type u8][payload]`, where `len` counts
+/// the type byte plus payload and the CRC covers them both.
+///
+/// The header is only ever written through WriteFileAtomic, so it can
+/// never be torn; records are appended with plain write+fsync, so a
+/// crash can leave a torn *tail*, which the scanner detects (short
+/// frame, lying length, CRC mismatch, malformed payload) and truncates
+/// at the last committed transaction boundary. Nothing before that
+/// boundary is ever rewritten.
+///
+/// Record types:
+///   BEGIN          {txn_id u64}
+///   INSERT         {pred str}{tuple}
+///   RETRACT        {pred str}{tuple}
+///   COMMIT         {txn_id u64}
+///   CHECKPOINT-REF {covered_offset u64}{snapshot_path str}
+///
+/// Tuples are self-describing: a u32 arity, then per value a u8 sort
+/// tag (0 = number, payload i64; 1 = symbol, payload a u32-length
+/// string). Symbols travel as *names*, not interned ids, so replay
+/// re-interns them and a WAL outlives any particular symbol-table
+/// numbering.
+///
+/// Deliberately absent: timestamps, hostnames, pids. A WAL's bytes are
+/// a pure function of the operation stream, which is what makes
+/// "recovered run == uninterrupted run" a byte-level statement.
+constexpr char kWalMagic[8] = {'I', 'D', 'L', 'G', 'W', 'A', 'L', '1'};
+constexpr uint32_t kWalVersion = 1;
+constexpr uint64_t kWalHeaderSize = 32;
+
+/// One value of a logged tuple, symbol carried by name.
+struct WalValue {
+  bool is_symbol = false;
+  int64_t number = 0;
+  std::string symbol;
+
+  static WalValue Number(int64_t n) {
+    WalValue v;
+    v.number = n;
+    return v;
+  }
+  static WalValue Symbol(std::string name) {
+    WalValue v;
+    v.is_symbol = true;
+    v.symbol = std::move(name);
+    return v;
+  }
+};
+
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kInsert = 2,
+  kRetract = 3,
+  kCommit = 4,
+  kCheckpointRef = 5,
+};
+
+/// Stable name of a record type ("BEGIN", "INSERT", ...).
+const char* WalRecordTypeName(WalRecordType type);
+
+/// One decoded record, tagged with its file offset.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  uint64_t offset = 0;             ///< File offset of the length prefix.
+  uint64_t txn_id = 0;             ///< BEGIN / COMMIT.
+  std::string pred;                ///< INSERT / RETRACT.
+  std::vector<WalValue> values;    ///< INSERT / RETRACT.
+  uint64_t covered_offset = 0;     ///< CHECKPOINT-REF.
+  std::string snapshot_path;       ///< CHECKPOINT-REF.
+};
+
+/// Result of scanning a WAL file for recovery.
+struct WalScanResult {
+  uint64_t epoch = 0;
+  uint64_t program_hash = 0;
+  uint64_t file_size = 0;
+  /// Byte offset just past the last record that closed a committed
+  /// transaction (COMMIT, or a top-level CHECKPOINT-REF); recovery
+  /// truncates the file here before reopening it for append.
+  uint64_t committed_length = kWalHeaderSize;
+  /// Records up to committed_length, in file order.
+  std::vector<WalRecord> records;
+  /// Valid records past the last commit boundary that were dropped
+  /// (an unterminated trailing transaction).
+  uint64_t records_dropped = 0;
+  /// True when bytes past committed_length existed (torn tail and/or
+  /// an unterminated transaction).
+  bool tail_truncated = false;
+};
+
+/// Scans the WAL at `path`: validates the header, decodes records
+/// sequentially, stops at the first torn/corrupt frame, and reports
+/// the last committed-transaction boundary. Errors:
+///   NotFound         — no file at `path` (cold start).
+///   InvalidArgument  — not a WAL, damaged header, or a file shorter
+///                      than the (atomically written) header: that is
+///                      corruption, never a crash artifact.
+///   Unsupported      — a future format version.
+///   Internal         — unreadable file (EACCES/EIO — NOT a cold
+///                      start) or an injected fault.
+/// A torn tail is NOT an error: the scan succeeds and reports the
+/// usable prefix.
+Result<WalScanResult> ScanWal(const std::string& path);
+
+/// Append handle to a WAL file. Records accumulate in a buffer;
+/// AppendCommit flushes (write + fsync) once `group_commit_every`
+/// commit marks are pending, so with the default of 1 every commit is
+/// durable before AppendCommit returns.
+class WriteAheadLog {
+ public:
+  /// Creates a fresh WAL at `path` (header written atomically,
+  /// clobbering any previous file) and opens it for append.
+  static Result<std::unique_ptr<WriteAheadLog>> Create(
+      const std::string& path, uint64_t epoch, uint64_t program_hash,
+      uint64_t group_commit_every = 1);
+
+  /// Reopens an existing WAL for append after a scan: truncates the
+  /// file to `committed_length` (dropping any torn tail) and positions
+  /// writes at the end.
+  static Result<std::unique_ptr<WriteAheadLog>> OpenForAppend(
+      const std::string& path, const WalScanResult& scan,
+      uint64_t group_commit_every = 1);
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  Status AppendBegin(uint64_t txn_id);
+  Status AppendInsert(const std::string& pred,
+                      const std::vector<WalValue>& values);
+  Status AppendRetract(const std::string& pred,
+                       const std::vector<WalValue>& values);
+  /// Appends the commit mark and flushes the pending group when due.
+  Status AppendCommit(uint64_t txn_id);
+  /// Appends a checkpoint reference and always flushes.
+  Status AppendCheckpointRef(uint64_t covered_offset,
+                             const std::string& snapshot_path);
+
+  /// Writes any buffered records and fsyncs. Idempotent. A failed
+  /// flush may have put bytes in the file without making them durable;
+  /// the log refuses every later write (a retry would duplicate the
+  /// frames) — recovery from the on-disk state is the only way forward.
+  Status Flush();
+
+  /// Flushes, then atomically replaces the file with a fresh header
+  /// carrying `new_epoch` and reopens it for append. Used after a
+  /// checkpoint snapshot has made the old records redundant.
+  Status Rotate(uint64_t new_epoch);
+
+  /// Flushes and closes the descriptor. Further appends are an error.
+  Status Close();
+
+  uint64_t epoch() const { return epoch_; }
+  /// Logical end of the log: durable bytes plus buffered bytes.
+  uint64_t offset() const { return durable_size_ + pending_.size(); }
+  uint64_t commits_appended() const { return commits_appended_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  WriteAheadLog(std::string path, int fd, uint64_t epoch,
+                uint64_t program_hash, uint64_t durable_size,
+                uint64_t group_commit_every)
+      : path_(std::move(path)), fd_(fd), epoch_(epoch),
+        program_hash_(program_hash), durable_size_(durable_size),
+        group_commit_every_(group_commit_every == 0 ? 1
+                                                    : group_commit_every) {}
+
+  Status AppendRecord(WalRecordType type, const std::string& payload,
+                      int64_t detail);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t epoch_ = 0;
+  uint64_t program_hash_ = 0;
+  uint64_t durable_size_ = kWalHeaderSize;
+  uint64_t group_commit_every_ = 1;
+  std::string pending_;
+  uint64_t pending_commits_ = 0;
+  uint64_t pending_records_ = 0;
+  bool write_failed_ = false;
+  uint64_t commits_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+};
+
+/// Serializes a WAL header (32 bytes) for `epoch` and `program_hash`.
+/// Exposed for tests that need to craft damaged files.
+std::string SerializeWalHeader(uint64_t epoch, uint64_t program_hash);
+
+/// Serializes one framed record. Exposed for tests.
+std::string SerializeWalRecord(const WalRecord& record);
+
+}  // namespace idlog
+
+#endif  // IDLOG_STORE_WAL_H_

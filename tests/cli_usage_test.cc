@@ -155,5 +155,24 @@ TEST(CliUsage, StorageObservabilityFlagsExist) {
   }
 }
 
+// Durable-session surface: the WAL, update-script and recovery flags
+// are the kill-during-update CI smoke's contract; signal handling
+// rides the same path (SIGINT/SIGTERM cancel through the governor),
+// so the installer must stay wired into batch mode.
+TEST(CliUsage, DurableSessionFlagsExist) {
+  std::string source = ReadCliSource();
+  ASSERT_FALSE(source.empty());
+  std::set<std::string> parser = ParserFlags(source);
+  for (const char* flag : {"--wal", "--update-script", "--recover",
+                           "--wal-group-commit",
+                           "--wal-checkpoint-every"}) {
+    EXPECT_TRUE(parser.count(flag) > 0)
+        << flag << " is no longer accepted by the batch-mode parser";
+  }
+  EXPECT_NE(source.find("InstallSignalHandlers()"), std::string::npos)
+      << "batch mode no longer installs the SIGINT/SIGTERM handlers";
+  EXPECT_NE(source.find("SIGTERM"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace idlog

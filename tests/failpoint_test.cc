@@ -22,6 +22,7 @@
 #include "storage/csv.h"
 #include "storage/database.h"
 #include "store/snapshot.h"
+#include "store/wal.h"
 #include "test_util.h"
 
 namespace idlog {
@@ -255,6 +256,23 @@ WorkloadOutcome RunCompositeWorkload(const std::string& csv_path,
       Note(&out, engine.Run());
       auto rel = engine.Query("tc");
       Note(&out, rel.status());
+      // A durable update session — attach, one committed transaction, a
+      // recovery scan, and a checkpoint rotation — so every wal.* site
+      // is on the sweep's path.
+      std::string wal_path = checkpoint + ".wal";
+      Status wal = engine.AttachWal(wal_path);
+      Note(&out, wal);
+      if (wal.ok()) {
+        Status txn = engine.Begin();
+        if (txn.ok()) {
+          txn = engine.Insert(
+              "edge", testing_util::T(&engine.symbols(), {"zz", "n0"}));
+        }
+        if (txn.ok()) txn = engine.Commit();
+        Note(&out, txn);
+        if (txn.ok()) Note(&out, ScanWal(wal_path).status());
+        if (txn.ok()) Note(&out, engine.WalCheckpoint());
+      }
     }
   }
   return out;

@@ -1,17 +1,20 @@
-// idlog-snap-v1 format tests: round-trip fidelity, exhaustive
+// idlog-snap-v2 format tests: round-trip fidelity, exhaustive
 // corruption rejection (every single-byte flip, every truncation
 // length, wrong magic/version, trailing garbage), and the atomicity of
 // WriteFileAtomic — the primitive behind checkpoints and every
 // machine-readable output file.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -210,7 +213,7 @@ TEST(SnapshotCorruption, PreciseMessages) {
   wrong_version[8] = 9;  // little-endian u32 version after the magic
   auto versioned = ParseSnapshot(wrong_version);
   ASSERT_FALSE(versioned.ok());
-  EXPECT_NE(versioned.status().message().find("idlog-snap-v1"),
+  EXPECT_NE(versioned.status().message().find("idlog-snap-v2"),
             std::string::npos);
 
   auto trailing = ParseSnapshot(bytes + "x");
@@ -317,6 +320,86 @@ TEST(AtomicFile, CsvAndTraceOutputsAreAtomic) {
   EXPECT_EQ(Slurp(trace_path), trace_before);
   EXPECT_EQ(TmpFileCount(scratch.dir()), 0);
   Failpoints::Instance().Reset();
+}
+
+TEST(AtomicFile, ReadDistinguishesMissingFromUnreadable) {
+  ScratchDir scratch("read_errno");
+  std::string out;
+
+  // Missing file: NotFound — "nothing durable yet".
+  Status missing = ReadFileToString(scratch.Path("nope.bin"), &out);
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+
+  // Present but unreadable: Internal — durable state exists and must
+  // not be mistaken for a cold start. Skipped under root (permission
+  // bits do not bind) — the geteuid guard keeps CI containers honest.
+  if (::geteuid() != 0) {
+    std::string locked = scratch.Path("locked.bin");
+    ASSERT_TRUE(WriteFileAtomic(locked, "secret").ok());
+    ASSERT_EQ(::chmod(locked.c_str(), 0000), 0);
+    Status unreadable = ReadFileToString(locked, &out);
+    EXPECT_EQ(unreadable.code(), StatusCode::kInternal)
+        << unreadable.ToString();
+    ::chmod(locked.c_str(), 0600);
+  }
+
+  // A directory opens but does not read: also not NotFound.
+  Status dir = ReadFileToString(scratch.dir().string(), &out);
+  EXPECT_FALSE(dir.ok());
+  EXPECT_NE(dir.code(), StatusCode::kNotFound) << dir.ToString();
+}
+
+// Regression: two threads writing different targets in one directory
+// must never collide on temp names (the old scheme was pid-only, so
+// same-process writers raced on one temp file).
+TEST(AtomicFile, ConcurrentWritersInOneDirectory) {
+  ScratchDir scratch("concurrent");
+  constexpr int kWritersPerTarget = 2;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> writers;
+  std::atomic<bool> failed{false};
+  for (int w = 0; w < kWritersPerTarget * 2; ++w) {
+    writers.emplace_back([&, w]() {
+      std::string path = scratch.Path("target" + std::to_string(w % 2));
+      std::string payload(64 + w, static_cast<char>('a' + w));
+      for (int i = 0; i < kRounds; ++i) {
+        if (!WriteFileAtomic(path, payload).ok()) failed = true;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(TmpFileCount(scratch.dir()), 0);
+  // Every target holds one writer's complete payload, never a mix.
+  for (int target = 0; target < 2; ++target) {
+    std::string contents =
+        Slurp(scratch.Path("target" + std::to_string(target)));
+    ASSERT_FALSE(contents.empty());
+    EXPECT_EQ(contents.find_first_not_of(contents[0]), std::string::npos);
+  }
+}
+
+// The v2 WALPOS section: absent by default, round-trips when present.
+TEST(Snapshot, WalPositionRoundTrips) {
+  ScratchDir scratch("walpos");
+  std::string bytes = SampleSnapshotBytes(&scratch);
+  auto plain = ParseSnapshot(bytes);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->wal_pos.present);
+
+  // Session snapshots carry the position; SaveCheckpoint ones do not —
+  // recovery uses the flag to refuse a non-session snapshot.
+  IdlogEngine engine;
+  SetUpSampleEngine(&engine);
+  ASSERT_TRUE(engine.Run().ok());
+  std::string wal = scratch.Path("s.wal");
+  ASSERT_TRUE(engine.AttachWal(wal).ok());
+  auto session = LoadSnapshotFile(wal + ".snap");
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_TRUE(session->wal_pos.present);
+  EXPECT_EQ(session->wal_pos.epoch, 1u);
+  EXPECT_EQ(session->wal_pos.offset, kWalHeaderSize);
+  EXPECT_EQ(session->wal_pos.commits, 0u);
 }
 
 }  // namespace

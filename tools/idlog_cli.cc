@@ -41,7 +41,7 @@
 //             [--profile]               (per-rule/per-stratum table)
 //             [--trace-out FILE]        (chrome://tracing JSON trace)
 //             [--metrics-json FILE]     (flat idlog-metrics-v1 report)
-//             [--checkpoint FILE]       (durable idlog-snap-v1 snapshot,
+//             [--checkpoint FILE]       (durable idlog-snap-v2 snapshot,
 //                                        written atomically at round
 //                                        boundaries and on trips)
 //             [--checkpoint-every-rounds N]  (write cadence; default 1)
@@ -68,6 +68,35 @@
 //                                        or governor trip)
 //             [--flight-events N]       (flight-recorder ring capacity
 //                                        per thread; default 256)
+//             [--wal FILE]              (durable update session: fixpoint
+//                                        once, base snapshot at FILE.snap,
+//                                        write-ahead fact log at FILE)
+//             [--update-script FILE]    (line-based update driver: begin /
+//                                        insert p(c,...) / retract p(...)
+//                                        / commit / abort / query PRED /
+//                                        why p(c,...) / checkpoint; bare
+//                                        insert/retract lines outside a
+//                                        begin..commit block are one-op
+//                                        transactions; '#' comments)
+//             [--recover]               (crash recovery: adopt FILE.snap,
+//                                        replay the WAL's committed tail,
+//                                        then skip the already-durable
+//                                        prefix of --update-script —
+//                                        query/why/checkpoint lines inside
+//                                        the skipped prefix are skipped
+//                                        with it)
+//             [--wal-group-commit N]    (fsync once per N commits; the
+//                                        default 1 makes every commit
+//                                        durable before it applies)
+//             [--wal-checkpoint-every N] (auto snapshot + log rotation
+//                                        every N commits; default 0 =
+//                                        only explicit 'checkpoint')
+//
+// A batch run installs SIGINT/SIGTERM handlers: the first signal cancels
+// the resource governor, so the run winds down through the normal trip
+// path (final checkpoint frame, metrics / db-stats / flight-recorder
+// dumps, partial results with --partial) and the process exits 130; a
+// second signal force-exits immediately.
 //
 // Value flags accept both "--flag value" and "--flag=value".
 //
@@ -85,8 +114,10 @@
 //   .stats              show evaluation counters from the last run
 //   .help               this text
 //   .quit               exit
+#include <atomic>
 #include <cstdio>
 #include <cctype>
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -98,6 +129,7 @@
 #include <vector>
 
 #include <cstdlib>
+#include <unistd.h>
 
 #include "ast/printer.h"
 #include "common/failpoint.h"
@@ -116,6 +148,32 @@ using idlog::Status;
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// Graceful-shutdown plumbing. The handler may only touch sig_atomic_t
+// and lock-free atomics; ResourceGovernor::Cancel() is a relaxed store,
+// so the first signal asks the run to wind down through the normal
+// governor-trip path (final checkpoint frame, metrics/flight dumps,
+// partial results). A second signal force-exits.
+volatile std::sig_atomic_t g_signals = 0;
+std::atomic<idlog::ResourceGovernor*> g_cancel_target{nullptr};
+
+extern "C" void OnTerminationSignal(int) {
+  const std::sig_atomic_t seen = g_signals;
+  g_signals = seen + 1;
+  if (seen > 0) _exit(130);
+  idlog::ResourceGovernor* governor =
+      g_cancel_target.load(std::memory_order_relaxed);
+  if (governor != nullptr) governor->Cancel();
+}
+
+void InstallSignalHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnTerminationSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
 }
 
 // Parses a non-negative integer flag value. std::stoull would throw out
@@ -253,6 +311,119 @@ void PrintStats(const idlog::EvalStats& stats) {
       static_cast<double>(stats.eval_wall_ns) / 1e6);
 }
 
+// Executes a --update-script against a WAL-attached engine. Lines:
+//   begin / commit / abort       transaction brackets
+//   insert pred(c1, c2)          stage an EDB insertion
+//   retract pred(c1, c2)         stage an EDB retraction
+//   query PRED                   print the predicate's current model
+//   why pred(c1, ...)            print a proof tree from the model
+//   checkpoint                   snapshot + log rotation
+// Bare insert/retract lines outside begin..commit are one-op
+// transactions. Blank lines and '#' comments are ignored.
+//
+// `skip_units` replays recovery: that many transaction units (each
+// begin..commit block, or each bare insert/retract, is one unit) are
+// already durable in the recovered state, so they — and any query / why
+// / checkpoint lines interleaved among them — are skipped; execution
+// resumes at the first non-durable unit.
+Status RunUpdateScript(IdlogEngine* engine, const std::string& text,
+                       uint64_t skip_units) {
+  std::istringstream lines(text);
+  std::string raw;
+  uint64_t units_done = 0;
+  bool skip_in_block = false;
+  int line_no = 0;
+  while (std::getline(lines, raw)) {
+    ++line_no;
+    if (g_signals > 0) {
+      // Wind down through the normal cancelled-run path; the driver in
+      // RunBatch turns the trip into exit code 130.
+      return Status::OK();
+    }
+    std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream words(line);
+    std::string cmd;
+    words >> cmd;
+    std::string rest = Trim(line.substr(cmd.size()));
+    auto fail_here = [&](Status st) {
+      if (st.ok()) return st;
+      return Status(st.code(), "update script line " +
+                                   std::to_string(line_no) + ": " +
+                                   st.message());
+    };
+    if (units_done < skip_units) {
+      // Already durable before the crash: advance the unit counter
+      // without touching the engine.
+      if (cmd == "begin") {
+        skip_in_block = true;
+      } else if (cmd == "commit") {
+        skip_in_block = false;
+        ++units_done;
+      } else if (cmd == "abort") {
+        skip_in_block = false;  // Aborted blocks were never durable.
+      } else if ((cmd == "insert" || cmd == "retract") && !skip_in_block) {
+        ++units_done;
+      } else if (cmd != "insert" && cmd != "retract" && cmd != "query" &&
+                 cmd != "why" && cmd != "checkpoint") {
+        return fail_here(
+            Status::InvalidArgument("unknown command '" + cmd + "'"));
+      }
+      continue;
+    }
+    if (cmd == "begin") {
+      IDLOG_RETURN_NOT_OK(fail_here(engine->Begin()));
+    } else if (cmd == "commit") {
+      IDLOG_RETURN_NOT_OK(fail_here(engine->Commit()));
+      ++units_done;
+    } else if (cmd == "abort") {
+      IDLOG_RETURN_NOT_OK(fail_here(engine->Abort()));
+    } else if (cmd == "insert" || cmd == "retract") {
+      std::string pred;
+      std::vector<std::string> fields;
+      IDLOG_RETURN_NOT_OK(
+          fail_here(ParseGroundAtom(cmd, rest, &pred, &fields)));
+      idlog::Tuple tuple = FieldsToTuple(&engine->symbols(), fields);
+      const bool one_op = !engine->in_transaction();
+      if (one_op) IDLOG_RETURN_NOT_OK(fail_here(engine->Begin()));
+      Status st = cmd == "insert" ? engine->Insert(pred, std::move(tuple))
+                                  : engine->Retract(pred, std::move(tuple));
+      IDLOG_RETURN_NOT_OK(fail_here(st));
+      if (one_op) {
+        IDLOG_RETURN_NOT_OK(fail_here(engine->Commit()));
+        ++units_done;
+      }
+    } else if (cmd == "query") {
+      if (rest.empty()) {
+        return fail_here(Status::InvalidArgument("query PRED"));
+      }
+      auto result = engine->Query(rest);
+      IDLOG_RETURN_NOT_OK(fail_here(result.status()));
+      std::printf("query %s\n", rest.c_str());
+      PrintRelation(**result, engine->symbols());
+    } else if (cmd == "why") {
+      std::string pred;
+      std::vector<std::string> fields;
+      IDLOG_RETURN_NOT_OK(
+          fail_here(ParseGroundAtom("why", rest, &pred, &fields)));
+      idlog::Tuple tuple = FieldsToTuple(&engine->symbols(), fields);
+      auto proof = engine->Why(pred, tuple);
+      IDLOG_RETURN_NOT_OK(fail_here(proof.status()));
+      std::printf("%s", proof->c_str());
+    } else if (cmd == "checkpoint") {
+      IDLOG_RETURN_NOT_OK(fail_here(engine->WalCheckpoint()));
+    } else {
+      return fail_here(
+          Status::InvalidArgument("unknown command '" + cmd + "'"));
+    }
+  }
+  if (engine->in_transaction()) {
+    return Status::InvalidArgument(
+        "update script ended inside a begin..commit block");
+  }
+  return Status::OK();
+}
+
 int RunBatch(int argc, char** argv) {
   std::string program_path = argv[2];
   std::string query;
@@ -288,6 +459,10 @@ int RunBatch(int argc, char** argv) {
   std::string db_stats_json;
   std::string flight_path;  // --flight-recorder destination (explicit).
   uint64_t flight_events = idlog::FlightRecorder::kDefaultCapacity;
+  std::string wal_path;
+  std::string update_script;
+  bool recover = false;
+  IdlogEngine::WalOptions wal_options;
 
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
@@ -471,6 +646,32 @@ int RunBatch(int argc, char** argv) {
             "--flight-events expects 16..1048576 events per thread"));
       }
       flight_events = *v;
+    } else if (arg == "--wal") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--wal FILE"));
+      }
+      wal_path = v;
+    } else if (arg == "--update-script") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        return Fail(Status::InvalidArgument("--update-script FILE"));
+      }
+      update_script = v;
+    } else if (arg == "--recover") {
+      recover = true;
+    } else if (arg == "--wal-group-commit") {
+      auto v = ParseUint64("--wal-group-commit", next());
+      if (!v.ok()) return Fail(v.status());
+      if (*v < 1) {
+        return Fail(Status::InvalidArgument(
+            "--wal-group-commit expects a positive commit count"));
+      }
+      wal_options.group_commit_every = *v;
+    } else if (arg == "--wal-checkpoint-every") {
+      auto v = ParseUint64("--wal-checkpoint-every", next());
+      if (!v.ok()) return Fail(v.status());
+      wal_options.checkpoint_every_commits = *v;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--naive") {
@@ -501,7 +702,10 @@ int RunBatch(int argc, char** argv) {
                                  &why_pred, &why_fields);
     if (!ast.ok()) return Fail(ast);
   }
-  if (query.empty() && !explain_plan && !why && !why_not) {
+  // An update script can carry its own `query` lines, so a final
+  // --query is optional when one is given.
+  if (query.empty() && !explain_plan && !why && !why_not &&
+      update_script.empty()) {
     return Fail(Status::InvalidArgument("--query PRED is required"));
   }
   if (explain_analyze && query.empty()) {
@@ -553,6 +757,48 @@ int RunBatch(int argc, char** argv) {
     return Fail(Status::InvalidArgument(
         "--checkpoint-every-rounds needs --checkpoint FILE"));
   }
+  // Durable-session combinations. The session owns its snapshot
+  // (FILE.snap) and its log; the single-run --checkpoint / --resume
+  // machinery is a different lifecycle, so mixing them is a usage error
+  // rather than two writers disagreeing about one file.
+  if (wal_path.empty()) {
+    if (!update_script.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--update-script needs --wal FILE (updates are durable)"));
+    }
+    if (recover) {
+      return Fail(
+          Status::InvalidArgument("--recover needs --wal FILE to recover"));
+    }
+  } else {
+    if (!checkpoint_path.empty() || !resume_path.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--wal sessions snapshot to FILE.snap on checkpoint; they "
+          "cannot be combined with --checkpoint or --resume"));
+    }
+    if (enumerate || explain_plan) {
+      return Fail(Status::InvalidArgument(
+          "--wal records one evolving model; it cannot be combined with "
+          "--enumerate or --explain-plan"));
+    }
+    if (recover) {
+      if (!csvs.empty()) {
+        return Fail(Status::InvalidArgument(
+            "--recover restores the session snapshot's database; it "
+            "cannot be combined with --csv"));
+      }
+      if (random) {
+        return Fail(Status::InvalidArgument(
+            "--recover restores the session snapshot's tid-assigner "
+            "state; it cannot be combined with --seed"));
+      }
+      if (naive || !pushdown) {
+        return Fail(Status::InvalidArgument(
+            "--recover adopts the session snapshot's evaluation mode; it "
+            "cannot be combined with --naive or --no-tid-pushdown"));
+      }
+    }
+  }
   if (!checkpoint_path.empty() && (enumerate || explain_plan)) {
     return Fail(Status::InvalidArgument(
         "--checkpoint records one evaluation; it cannot be combined "
@@ -588,6 +834,22 @@ int RunBatch(int argc, char** argv) {
   idlog::FlightRecorder::Instance().Arm(
       static_cast<size_t>(flight_events));
 
+  // Read the update script up front: a missing file is a usage error
+  // before any evaluation, and a `why` line means the session needs
+  // provenance recorded from round 0.
+  std::string update_script_text;
+  bool script_wants_why = false;
+  if (!update_script.empty()) {
+    auto text = ReadFile(update_script);
+    if (!text.ok()) return Fail(text.status());
+    update_script_text = *text;
+    std::istringstream lines(update_script_text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (Trim(line).rfind("why", 0) == 0) script_wants_why = true;
+    }
+  }
+
   IdlogEngine engine;
   engine.SetSeminaive(!naive);
   engine.SetThreads(static_cast<int>(jobs));
@@ -604,7 +866,12 @@ int RunBatch(int argc, char** argv) {
   // run restores pre-crash derivations from the snapshot's DERIV
   // section, which is why --why (unlike --explain) composes with
   // --resume.
-  if (explain || why) engine.EnableProvenance(true);
+  if (explain || why || script_wants_why) engine.EnableProvenance(true);
+  // Graceful shutdown: after this point a first SIGINT/SIGTERM cancels
+  // the governor (the run winds down through the normal trip path and
+  // finish() maps the exit code to 130); a second force-exits.
+  g_cancel_target.store(&engine.governor(), std::memory_order_relaxed);
+  InstallSignalHandlers();
   if (explain_analyze) engine.EnableExplain(true);
   idlog::TraceSink trace_sink;
   const bool tracing = !trace_out.empty();
@@ -617,6 +884,10 @@ int RunBatch(int argc, char** argv) {
   // trace and metrics files are written even when the run tripped a
   // budget or failed — a truncated run is exactly when they matter.
   auto finish = [&](int code) {
+    // A signalled run exits 130 regardless of how the cancellation
+    // surfaced (governor trip, partial results, or a clean wind-down),
+    // after every dump below has been written.
+    if (g_signals > 0) code = 130;
     if (tracing) {
       Status wst = trace_sink.WriteJson(trace_out);
       if (!wst.ok()) {
@@ -703,6 +974,13 @@ int RunBatch(int argc, char** argv) {
     Status rst = engine.ResumeFromCheckpoint(resume_path);
     if (!rst.ok()) return finish(Fail(rst));
   }
+  // Recovery follows the same ordering: stage one restores the session
+  // snapshot into the fresh engine, the program parses against it, and
+  // stage two (below) replays the log's committed tail.
+  if (recover) {
+    Status rst = engine.PrepareRecovery(wal_path);
+    if (!rst.ok()) return finish(Fail(rst));
+  }
   auto text = ReadFile(program_path);
   if (!text.ok()) return finish(Fail(text.status()));
   Status st = engine.LoadProgramText(*text);
@@ -712,6 +990,19 @@ int RunBatch(int argc, char** argv) {
   }
   if (!checkpoint_path.empty()) {
     engine.SetCheckpoint(checkpoint_path, checkpoint_every);
+  }
+  if (!wal_path.empty()) {
+    Status wst = recover ? engine.CompleteRecovery(wal_options)
+                         : engine.AttachWal(wal_path, wal_options);
+    if (!wst.ok()) return finish(Fail(wst));
+    if (!update_script_text.empty()) {
+      // In --recover mode the first wal_commits() transaction units of
+      // the script are already durable (snapshot + replayed tail) and
+      // are skipped; execution resumes at the first lost unit.
+      const uint64_t skip = recover ? engine.wal_commits() : 0;
+      Status sst = RunUpdateScript(&engine, update_script_text, skip);
+      if (!sst.ok()) return finish(Fail(sst));
+    }
   }
 
   if (explain_plan) {
@@ -784,6 +1075,7 @@ int RunBatch(int argc, char** argv) {
     return finish(0);
   }
 
+  if (query.empty()) return finish(0);  // Update-script-only run.
   auto result = engine.Query(query);
   if (!result.ok()) return finish(Fail(result.status()));
   if (!engine.last_trip().ok()) {
@@ -980,7 +1272,10 @@ int main(int argc, char** argv) {
                  " [--checkpoint-every-rounds N] [--resume FILE]"
                  " [--fail-at SITE:N[:throw]]\n"
                  "           [--db-stats] [--db-stats-json FILE]"
-                 " [--flight-recorder FILE] [--flight-events N]\n",
+                 " [--flight-recorder FILE] [--flight-events N]\n"
+                 "           [--wal FILE] [--update-script FILE]"
+                 " [--recover] [--wal-group-commit N]"
+                 " [--wal-checkpoint-every N]\n",
                  argv[0], argv[0]);
     return 2;
   }
