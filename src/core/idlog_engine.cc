@@ -513,7 +513,19 @@ Status IdlogEngine::Commit() {
       return logged;
     }
   }
-  IDLOG_RETURN_NOT_OK(ApplyCommittedOps());
+  Status applied = ApplyCommittedOps();
+  if (!applied.ok()) {
+    if (!wal_replaying_) {
+      // The transaction is durably logged but only partially applied
+      // (a governor trip or storage failure mid-apply): the live state
+      // no longer matches what replaying the log would rebuild, and an
+      // Abort-and-retry would reuse this txn_id for different ops.
+      // Latch the session like a log-write failure — recovery replays
+      // the durable log into a fresh engine and converges.
+      wal_failed_ = true;
+    }
+    return applied;
+  }
   in_txn_ = false;
   txn_ops_.clear();
   ++wal_commits_;
@@ -608,6 +620,16 @@ Status IdlogEngine::WalCheckpoint() {
         "recover from the WAL");
   }
   IDLOG_RETURN_NOT_OK(Run());
+  // Drain the append buffer before taking the covered offset: with
+  // group commit > 1 the buffer may hold frames that are not yet on
+  // disk, and a snapshot recording a position past the durable log
+  // would make a later recovery replay from beyond the truncated file
+  // — aliasing the offsets of commits appended after that recovery.
+  Status flushed = wal_->Flush();
+  if (!flushed.ok()) {
+    wal_failed_ = true;
+    return flushed;
+  }
   // Snapshot first (atomically), then mark and rotate: every crash
   // point leaves either the old pair or the new pair recoverable.
   const uint64_t covered = wal_->offset();
@@ -721,6 +743,19 @@ Status IdlogEngine::CompleteRecovery(const WalOptions& options) {
   wal_commits_replayed_ = 0;
   wal_failed_ = false;
   if (rec->have_wal) {
+    if (replay_from > rec->scan.committed_length) {
+      // The snapshot claims to cover WAL bytes the on-disk log does not
+      // hold (the log was truncated or damaged behind the snapshot's
+      // back). The snapshot is self-contained — every commit it counts
+      // is folded into its state — so nothing is lost; but the log is
+      // about to be truncated to committed_length and new commits will
+      // land at offsets below the stale replay point. Clamp, and
+      // rewrite the snapshot's WAL position so a second recovery agrees
+      // instead of silently skipping those future records.
+      replay_from = rec->scan.committed_length;
+      IDLOG_RETURN_NOT_OK(
+          WriteSessionSnapshot(rec->scan.epoch, replay_from));
+    }
     // Truncate the torn tail durably and reopen for append before
     // replaying, so a crash mid-replay leaves a clean committed prefix
     // for the next recovery (which replays the same records again).

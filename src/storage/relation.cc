@@ -14,9 +14,9 @@ uint64_t Relation::NextUid() {
 
 bool Relation::Insert(Tuple t) {
   if (t.size() != type_.size()) return false;
-  auto [it, inserted] = set_.insert(std::move(t));
+  auto [it, inserted] = set_.try_emplace(std::move(t), rows_.size());
   if (inserted) {
-    rows_.push_back(*it);
+    rows_.push_back(it->first);
     ++version_;
   }
   return inserted;
@@ -42,7 +42,15 @@ Status Relation::InsertChecked(Tuple t) {
 bool Relation::Erase(const Tuple& t) {
   auto it = set_.find(t);
   if (it == set_.end()) return false;
-  rows_.erase(std::find(rows_.begin(), rows_.end(), t));
+  // Swap-and-pop keeps erasure O(1); the order perturbation is
+  // deterministic, so replayed and uninterrupted runs still agree.
+  const size_t idx = it->second;
+  const size_t last = rows_.size() - 1;
+  if (idx != last) {
+    rows_[idx] = std::move(rows_[last]);
+    set_.find(rows_[idx])->second = idx;
+  }
+  rows_.pop_back();
   set_.erase(it);
   ++version_;
   ++clear_generation_;

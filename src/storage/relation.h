@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <map>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -13,10 +13,12 @@ namespace idlog {
 
 /// A finite, typed, duplicate-free set of tuples.
 ///
-/// Iteration order is insertion order, which makes runs repeatable: the
-/// "canonical" tid assignment (IdentityTidAssigner) enumerates group
-/// members in this order. No semantic meaning attaches to it — IDLOG
-/// queries are generic, so any order yields *a* legal ID-function.
+/// Iteration order is insertion order (with Erase moving the last row
+/// into the vacated slot), which makes runs repeatable: the same
+/// operation sequence always yields the same order, and the "canonical"
+/// tid assignment (IdentityTidAssigner) enumerates group members in
+/// this order. No semantic meaning attaches to it — IDLOG queries are
+/// generic, so any order yields *a* legal ID-function.
 class Relation {
  public:
   Relation() : uid_(NextUid()) {}
@@ -82,10 +84,13 @@ class Relation {
   /// (the rows at those positions are different tuples now).
   uint64_t clear_generation() const { return clear_generation_; }
 
-  /// Removes one tuple; returns true if it was present. Bumps the
-  /// version *and* the clear generation: erasure breaks the "rows only
-  /// grow within a generation" contract that incremental index refresh
-  /// relies on, so indexes built earlier must rebuild from scratch.
+  /// Removes one tuple; returns true if it was present. O(1): the last
+  /// row moves into the erased slot (so erasure perturbs iteration
+  /// order — deterministically, which is what replay equivalence
+  /// needs). Bumps the version *and* the clear generation: erasure
+  /// breaks the "rows only grow within a generation" contract that
+  /// incremental index refresh relies on, so indexes built earlier must
+  /// rebuild from scratch.
   bool Erase(const Tuple& t);
 
   /// Removes all tuples.
@@ -112,7 +117,9 @@ class Relation {
 
   RelationType type_;
   std::vector<Tuple> rows_;
-  std::unordered_set<Tuple, TupleHash> set_;
+  /// Membership plus each tuple's index in rows_, so Erase need not
+  /// scan the row vector.
+  std::unordered_map<Tuple, size_t, TupleHash> set_;
   uint64_t version_ = 0;
   uint64_t uid_ = 0;
   uint64_t clear_generation_ = 0;

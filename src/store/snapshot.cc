@@ -205,7 +205,8 @@ Status ReadStats(Reader* r, EvalStats* s) {
   return Status::OK();
 }
 
-Status ReadRelation(Reader* r, size_t num_symbols, Relation* out) {
+Status ReadRelation(Reader* r, size_t num_symbols, bool with_counters,
+                    Relation* out) {
   uint32_t arity = 0;
   IDLOG_RETURN_NOT_OK(r->U32(&arity));
   RelationType type;
@@ -253,17 +254,22 @@ Status ReadRelation(Reader* r, size_t num_symbols, Relation* out) {
                                      r->where + " contains duplicate tuples");
     }
   }
-  uint64_t version = 0;
-  uint64_t clear_generation = 0;
-  IDLOG_RETURN_NOT_OK(r->U64(&version));
-  IDLOG_RETURN_NOT_OK(r->U64(&clear_generation));
-  if (version < nrows) {
-    return Status::InvalidArgument(
-        "snapshot corrupt: section " + r->where + " claims version " +
-        std::to_string(version) + " below its own row count " +
-        std::to_string(nrows));
+  if (with_counters) {
+    uint64_t version = 0;
+    uint64_t clear_generation = 0;
+    IDLOG_RETURN_NOT_OK(r->U64(&version));
+    IDLOG_RETURN_NOT_OK(r->U64(&clear_generation));
+    if (version < nrows) {
+      return Status::InvalidArgument(
+          "snapshot corrupt: section " + r->where + " claims version " +
+          std::to_string(version) + " below its own row count " +
+          std::to_string(nrows));
+    }
+    out->RestoreCounters(version, clear_generation);
   }
-  out->RestoreCounters(version, clear_generation);
+  // Without stored counters (v1) the relation keeps what the inserts
+  // above produced: version == row count, clear generation 0 — exactly
+  // what a v1-era decode reported.
   return Status::OK();
 }
 
@@ -564,12 +570,17 @@ Result<SnapshotData> ParseSnapshot(std::string_view bytes) {
                << (8 * i);
   }
   pos += 4;
-  if (version != kSnapshotVersion) {
+  if (version != kSnapshotVersion && version != 1) {
     return Status::Unsupported(
         "snapshot version " + std::to_string(version) +
-        "; this build reads idlog-snap-v" +
-        std::to_string(kSnapshotVersion) + " only");
+        "; this build reads idlog-snap-v2 (and the older v1) only");
   }
+  // v1 files predate the per-relation counters and the WALPOS section;
+  // both default (counters to what re-insertion produces, WAL position
+  // to absent), so old checkpoints stay resumable.
+  const bool with_counters = version >= 2;
+  const uint32_t last_section =
+      version >= 2 ? kSectionWalPos : kSectionDeriv;
 
   SnapshotData snap;
   uint32_t expected_tag = kSectionMeta;
@@ -614,7 +625,7 @@ Result<SnapshotData> ParseSnapshot(std::string_view bytes) {
     pos += 12 + len + 4;
 
     if (tag == kSectionEnd) {
-      if (expected_tag <= kSectionWalPos) {
+      if (expected_tag <= last_section) {
         return Status::InvalidArgument(
             "snapshot corrupt: END before section " +
             std::string(SectionName(expected_tag)));
@@ -675,7 +686,8 @@ Result<SnapshotData> ParseSnapshot(std::string_view bytes) {
           SnapshotData::NamedRelation named;
           IDLOG_RETURN_NOT_OK(r.Str(&named.name));
           IDLOG_RETURN_NOT_OK(
-              ReadRelation(&r, snap.symbols.size(), &named.relation));
+              ReadRelation(&r, snap.symbols.size(), with_counters,
+                           &named.relation));
           snap.edb.push_back(std::move(named));
         }
         uint64_t ndom = 0;
@@ -703,7 +715,7 @@ Result<SnapshotData> ParseSnapshot(std::string_view bytes) {
           IDLOG_RETURN_NOT_OK(r.Str(&name));
           Relation rel;
           IDLOG_RETURN_NOT_OK(
-              ReadRelation(&r, snap.symbols.size(), &rel));
+              ReadRelation(&r, snap.symbols.size(), with_counters, &rel));
           if (!target->emplace(name, std::move(rel)).second) {
             return Status::InvalidArgument(
                 "snapshot corrupt: relation '" + name + "' appears twice");
@@ -727,7 +739,7 @@ Result<SnapshotData> ParseSnapshot(std::string_view bytes) {
           }
           Relation rel;
           IDLOG_RETURN_NOT_OK(
-              ReadRelation(&r, snap.symbols.size(), &rel));
+              ReadRelation(&r, snap.symbols.size(), with_counters, &rel));
           snap.id_relations.emplace(
               std::make_pair(std::move(pred), std::move(group)),
               std::move(rel));

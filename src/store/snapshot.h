@@ -39,7 +39,11 @@ namespace idlog {
 ///
 /// v2 over v1: each serialized relation additionally carries its
 /// logical version and clear-generation counters (db-stats fields that
-/// must survive a round trip), and the WALPOS section exists.
+/// must survive a round trip), and the WALPOS section exists. The
+/// reader still accepts v1 files — the counters default to what
+/// re-inserting the rows produces and the WAL position reads as absent
+/// — so checkpoints written by v1 builds stay resumable; the writer
+/// emits v2 only.
 constexpr char kSnapshotMagic[8] = {'I', 'D', 'L', 'G',
                                     'S', 'N', 'A', 'P'};
 constexpr uint32_t kSnapshotVersion = 2;

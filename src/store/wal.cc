@@ -123,6 +123,12 @@ bool DecodePayload(WalRecordType type, const char* payload, size_t len,
       if (!r.Str(&out->pred)) return false;
       uint32_t arity = 0;
       if (!r.U32(&arity)) return false;
+      // Every value occupies at least two payload bytes (tag + body),
+      // so an arity larger than the remaining bytes could encode is a
+      // lie — reject it *before* reserving, or a crafted CRC-valid
+      // frame could force a multi-GB allocation instead of reading as
+      // a torn tail.
+      if (arity > (r.size - r.pos) / 2) return false;
       out->values.reserve(arity);
       for (uint32_t i = 0; i < arity; ++i) {
         uint8_t tag = 0;

@@ -317,6 +317,56 @@ TEST(Session, LogWriteFailurePoisonsTheSession) {
   EXPECT_NE(next.message().find("recover"), std::string::npos);
 }
 
+TEST(Session, ApplyFailureAfterDurableCommitPoisonsTheSession) {
+  // The mirror image of a log-write failure: the commit IS durably
+  // logged, but applying it to the in-memory store fails partway. The
+  // session must latch — further commits would diverge from the log —
+  // and recovery must replay the logged commit successfully.
+  ScratchDir scratch("apply_poison");
+  std::string wal_path = scratch.Path("s.wal");
+  {
+    IdlogEngine engine;
+    AddChain(&engine, 3);
+    ASSERT_TRUE(engine.LoadProgramText(kTcProgram).ok());
+    ASSERT_TRUE(engine.AttachWal(wal_path).ok());
+
+    ASSERT_TRUE(engine.Begin().ok());
+    ASSERT_TRUE(
+        engine.Insert("edge", T(&engine.symbols(), {"x", "y"})).ok());
+    Failpoints::Instance().Reset();
+    ASSERT_TRUE(
+        Failpoints::Instance().ArmFromSpec("storage.relation.insert:1").ok());
+    Status commit = engine.Commit();
+    EXPECT_FALSE(commit.ok());
+    Failpoints::Instance().Reset();
+
+    // The commit reached the log before the apply broke.
+    auto scan = ScanWal(wal_path);
+    ASSERT_TRUE(scan.ok());
+    uint64_t logged_commits = 0;
+    for (const WalRecord& r : scan->records) {
+      if (r.type == WalRecordType::kCommit) ++logged_commits;
+    }
+    EXPECT_EQ(logged_commits, 1u);
+
+    // In-memory state is now untrusted: the session refuses further
+    // work until recovery, exactly like a log-write failure.
+    Status next = engine.Begin();
+    EXPECT_FALSE(next.ok());
+    EXPECT_NE(next.message().find("recover"), std::string::npos);
+  }
+
+  // Recovery replays the durably-logged commit (the failpoint is gone)
+  // and the fact is present.
+  IdlogEngine fresh;
+  ASSERT_TRUE(fresh.PrepareRecovery(wal_path).ok());
+  ASSERT_TRUE(fresh.LoadProgramText(kTcProgram).ok());
+  ASSERT_TRUE(fresh.CompleteRecovery().ok());
+  EXPECT_EQ(fresh.wal_commits(), 1u);
+  EXPECT_NE(QueryDump(&fresh, "path").find("x, y"),
+            std::string::npos);
+}
+
 TEST(Session, CheckpointRotatesAndCommitsContinue) {
   ScratchDir scratch("checkpoint");
   IdlogEngine engine;

@@ -402,5 +402,120 @@ TEST(Snapshot, WalPositionRoundTrips) {
   EXPECT_EQ(session->wal_pos.commits, 0u);
 }
 
+// A hand-rolled idlog-snap-v1 file (no per-relation counters, no
+// WALPOS section) must still parse: v2 added both, and checkpoints
+// written by v1 builds have to stay resumable.
+TEST(Snapshot, V1FilesStillParse) {
+  std::string out;
+  auto u8 = [&out](uint8_t v) { out.push_back(static_cast<char>(v)); };
+  auto u32 = [&out](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  auto u64 = [&out](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  auto str = [&](const std::string& s) {
+    u32(static_cast<uint32_t>(s.size()));
+    out.append(s);
+  };
+  // Sections are framed [tag u32][len u64][payload][crc32], CRC over
+  // tag + length + payload — same scheme as the v2 writer.
+  std::string section_body;
+  auto begin_section = [&] {
+    section_body = std::move(out);
+    out.clear();
+  };
+  auto end_section = [&](uint32_t tag) {
+    std::string payload = std::move(out);
+    out = std::move(section_body);
+    std::string header;
+    for (int i = 0; i < 4; ++i) {
+      header.push_back(static_cast<char>((tag >> (8 * i)) & 0xFF));
+    }
+    uint64_t len = payload.size();
+    for (int i = 0; i < 8; ++i) {
+      header.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+    }
+    uint32_t crc = Crc32(payload, Crc32(header));
+    out.append(header);
+    out.append(payload);
+    u32(crc);
+  };
+
+  out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  u32(1);  // version
+
+  begin_section();  // META
+  u64(42);          // program hash
+  u8(1);            // seminaive
+  u8(1);            // tid-bound pushdown
+  u8(1);            // use indexes
+  u8(1);            // completed
+  u32(1);           // stratum (i32)
+  u64(0);           // round
+  u8(0);            // in_stratum
+  for (int i = 0; i < 15; ++i) u64(0);  // EvalStats
+  str("identity");  // assigner kind
+  str("");          // assigner state
+  end_section(1);
+
+  begin_section();  // SYMBOLS
+  u64(1);
+  str("a");
+  end_section(2);
+
+  begin_section();  // DATABASE: e/1 with rows (7) and (9), no counters.
+  u32(1);
+  str("e");
+  u32(1);  // arity
+  u8(1);   // sort: number
+  u64(2);  // rows
+  u8(1);
+  u64(7);
+  u8(1);
+  u64(9);
+  u64(0);  // u-domain size
+  end_section(3);
+
+  begin_section();  // DERIVED
+  u32(0);
+  end_section(4);
+  begin_section();  // IDRELS
+  u32(0);
+  end_section(5);
+  begin_section();  // DELTA
+  u32(0);
+  end_section(6);
+  begin_section();  // ANALYSIS
+  u8(0);
+  end_section(7);
+  begin_section();  // PROFILE
+  u8(0);
+  end_section(8);
+  begin_section();  // DERIV
+  u8(0);
+  end_section(9);
+  begin_section();  // END
+  end_section(0);
+
+  auto snap = ParseSnapshot(out);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_FALSE(snap->wal_pos.present);
+  ASSERT_EQ(snap->edb.size(), 1u);
+  EXPECT_EQ(snap->edb[0].name, "e");
+  EXPECT_EQ(snap->edb[0].relation.size(), 2u);
+  // The counters default to what re-inserting the rows produces.
+  EXPECT_EQ(snap->edb[0].relation.version(), 2u);
+  EXPECT_EQ(snap->edb[0].relation.clear_generation(), 0u);
+
+  // A v1 file truncated before DERIV is still corrupt, not "old".
+  std::string short_v1 = out.substr(0, out.size() - 32);
+  EXPECT_FALSE(ParseSnapshot(short_v1).ok());
+}
+
 }  // namespace
 }  // namespace idlog

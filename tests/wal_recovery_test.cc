@@ -491,6 +491,119 @@ TEST(WalRecovery, RecoveryNeedsAFreshEngine) {
   EXPECT_NE(st.message().find("fresh engine"), std::string::npos);
 }
 
+TEST(WalRecovery, GroupCommitCheckpointCoversOnlyDurableBytes) {
+  // With group commit > 1 the append buffer can hold fsync-pending
+  // frames; a checkpoint must flush them before recording its covered
+  // offset, or the snapshot points past the on-disk log and a crash
+  // before the CHECKPOINT-REF lands leaves recovery replaying from
+  // beyond the file.
+  ScratchDir scratch("group_ckpt");
+  std::string wal_path = scratch.Path("s.wal");
+  IdlogEngine::WalOptions opts;
+  opts.group_commit_every = 8;
+
+  Failpoints::Instance().Reset();
+  {
+    IdlogEngine session;
+    session.EnableProvenance(true);
+    SeedEdb(&session);
+    ASSERT_TRUE(session.LoadProgramText(kTcProgram).ok());
+    ASSERT_TRUE(session.AttachWal(wal_path, opts).ok());
+    ASSERT_TRUE(session.Begin().ok());
+    ASSERT_TRUE(
+        session.Insert("edge", T(&session.symbols(), {"z", "a0"})).ok());
+    ASSERT_TRUE(session.Commit().ok());  // 1 of 8: stays buffered
+
+    // Crash the checkpoint after its snapshot is written: the next
+    // wal.append from here is the CHECKPOINT-REF.
+    ASSERT_TRUE(Failpoints::Instance().ArmFromSpec("wal.append:1").ok());
+    EXPECT_FALSE(session.WalCheckpoint().ok());
+    Failpoints::Instance().Reset();
+
+    auto snap = LoadSnapshotFile(wal_path + ".snap");
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    ASSERT_TRUE(snap->wal_pos.present);
+    auto scan = ScanWal(wal_path);
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    EXPECT_EQ(snap->wal_pos.epoch, scan->epoch);
+    // The regression: the covered offset never exceeds the durable
+    // committed prefix.
+    EXPECT_LE(snap->wal_pos.offset, scan->committed_length);
+  }
+
+  ScratchDir reference("group_ckpt_ref");
+  Outputs want = RunUninterrupted(reference.Path("s.wal"), 1,
+                                  /*checkpoint=*/false, nullptr, nullptr);
+  Outputs got = RecoverAndFinish(wal_path, 1, /*checkpoint=*/false,
+                                 "group-commit checkpoint crash");
+  ExpectEqualOutputs(got, want, "group-commit checkpoint crash");
+}
+
+TEST(WalRecovery, SnapshotAheadOfTruncatedLogIsClampedNotSkipped) {
+  ScratchDir scratch("clamp");
+  std::string wal_path = scratch.Path("s.wal");
+  ScratchDir reference("clamp_ref");
+  Outputs want = RunUninterrupted(reference.Path("s.wal"), 1,
+                                  /*checkpoint=*/false, nullptr, nullptr);
+
+  // Build a same-epoch pair where the snapshot's WAL position points
+  // past the log: run txn 1, crash the checkpoint's rotation (snapshot
+  // and CHECKPOINT-REF durable, epoch bump lost), then truncate the
+  // log to its bare header — as if the device lost the flushed tail
+  // behind the snapshot's back.
+  Failpoints::Instance().Reset();
+  {
+    IdlogEngine session;
+    session.EnableProvenance(true);
+    SeedEdb(&session);
+    ASSERT_TRUE(session.LoadProgramText(kTcProgram).ok());
+    ASSERT_TRUE(session.AttachWal(wal_path).ok());
+    ASSERT_TRUE(session.Begin().ok());
+    ASSERT_TRUE(
+        session.Insert("edge", T(&session.symbols(), {"z", "a0"})).ok());
+    ASSERT_TRUE(session.Commit().ok());
+    ASSERT_TRUE(Failpoints::Instance().ArmFromSpec("wal.rotate:1").ok());
+    EXPECT_FALSE(session.WalCheckpoint().ok());
+    Failpoints::Instance().Reset();
+  }
+  auto stale = LoadSnapshotFile(wal_path + ".snap");
+  ASSERT_TRUE(stale.ok());
+  ASSERT_GT(stale->wal_pos.offset, kWalHeaderSize);
+  Spit(wal_path, Slurp(wal_path).substr(0, kWalHeaderSize));
+
+  // First recovery: the snapshot covers commit 1 but points past the
+  // truncated log. Recovery clamps (the snapshot is self-contained, so
+  // nothing is lost) and rewrites the snapshot's WAL position so later
+  // recoveries agree with the truncated file.
+  {
+    IdlogEngine engine;
+    engine.EnableProvenance(true);
+    ASSERT_TRUE(engine.PrepareRecovery(wal_path).ok());
+    ASSERT_TRUE(engine.LoadProgramText(kTcProgram).ok());
+    ASSERT_TRUE(engine.CompleteRecovery().ok());
+    EXPECT_EQ(engine.wal_commits(), 1u);
+    ASSERT_TRUE(
+        DriveSession(&engine, engine.wal_commits(), /*checkpoint=*/false)
+            .ok());
+    EXPECT_EQ(engine.wal_commits(), kScriptTxns);
+  }
+  auto rewritten = LoadSnapshotFile(wal_path + ".snap");
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(rewritten->wal_pos.offset, kWalHeaderSize);
+
+  // Second recovery: txns 2 and 3 live at offsets below the stale
+  // snapshot position; without the clamp they would be silently
+  // skipped here and the commits durably lost.
+  IdlogEngine second;
+  second.EnableProvenance(true);
+  ASSERT_TRUE(second.PrepareRecovery(wal_path).ok());
+  ASSERT_TRUE(second.LoadProgramText(kTcProgram).ok());
+  ASSERT_TRUE(second.CompleteRecovery().ok());
+  EXPECT_EQ(second.wal_commits(), kScriptTxns);
+  EXPECT_EQ(second.wal_commits_replayed(), kScriptTxns - 1);
+  ExpectEqualOutputs(Collect(&second), want, "clamped recovery");
+}
+
 TEST(WalRecovery, CheckpointedSessionRecoversAcrossTheRotation) {
   // Kill after the checkpoint: the snapshot is the checkpoint's, the
   // WAL is the rotated (epoch 2) log holding txns 2 and 3.

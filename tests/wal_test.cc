@@ -171,6 +171,49 @@ TEST(Wal, HeaderOnlyScansEmpty) {
   EXPECT_FALSE(scan->tail_truncated);
 }
 
+// A CRC-valid INSERT frame whose tuple claims 2^32-1 values must read
+// as a torn tail, not reserve gigabytes and die in bad_alloc: the
+// arity is bounded by the payload bytes before anything is allocated.
+TEST(Wal, LyingTupleArityReadsAsTornTail) {
+  ScratchDir scratch("arity");
+  std::string path = scratch.Path("s.wal");
+  std::string bytes = SerializeWalHeader(/*epoch=*/1, /*program_hash=*/7);
+
+  WalRecord begin;
+  begin.type = WalRecordType::kBegin;
+  begin.txn_id = 1;
+  bytes += SerializeWalRecord(begin);
+
+  std::string body;
+  auto u32 = [&body](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      body.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  body.push_back(static_cast<char>(WalRecordType::kInsert));
+  u32(1);  // predicate name length
+  body.push_back('e');
+  u32(0xFFFFFFFFu);  // lying arity; no values follow
+  std::string frame;
+  uint32_t len = static_cast<uint32_t>(body.size());
+  uint32_t crc = Crc32(body);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  }
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+  frame += body;
+  bytes += frame;
+  Spit(path, bytes);
+
+  auto scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan->records.size(), 0u);
+  EXPECT_EQ(scan->committed_length, kWalHeaderSize);
+  EXPECT_TRUE(scan->tail_truncated);
+}
+
 // The tentpole property at the byte level: truncating a committed log
 // at EVERY length must scan successfully (past the header) and recover
 // exactly the transactions whose COMMIT survived — never a partial
